@@ -1,0 +1,60 @@
+"""Ablation — in-memory block caching (§II / §VII extension).
+
+The paper's model explicitly counts cached copies as locality
+(``E_u = {D_x : stores or caches D_x}``).  Sweeps the per-node cache size
+with cache-on-remote-read: once a hot pool file has been fetched, later
+jobs find it resident, so locality rises for *both* managers and the two
+converge — caching substitutes for allocation when memory is abundant,
+while Custody's advantage is largest with no (or small) caches.
+"""
+
+from common import cached_run, emit, paper_config
+
+from repro.common.units import GB
+from repro.metrics.report import format_table
+
+CACHE_SIZES = (0.0, 2 * GB, 8 * GB)
+NUM_NODES = 50
+WORKLOAD = "wordcount"
+
+
+def run_sweep():
+    rows = []
+    for cache in CACHE_SIZES:
+        row = {"cache_gb": cache / GB}
+        for manager in ("standalone", "custody"):
+            config = paper_config(WORKLOAD, NUM_NODES, manager, cache_per_node=cache)
+            metrics = cached_run(config).metrics
+            row[manager] = metrics.locality_mean
+            row[f"{manager}_jct"] = metrics.avg_jct
+        rows.append(row)
+    return rows
+
+
+def test_ablation_cache(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["cache/node (GB)", "spark loc%", "custody loc%", "spark JCT", "custody JCT"],
+            [
+                [
+                    r["cache_gb"],
+                    100 * r["standalone"],
+                    100 * r["custody"],
+                    r["standalone_jct"],
+                    r["custody_jct"],
+                ]
+                for r in rows
+            ],
+            title=f"Ablation — block cache sweep ({WORKLOAD}, {NUM_NODES} nodes)",
+        )
+    )
+    spark = [r["standalone"] for r in rows]
+    custody = [r["custody"] for r in rows]
+    # Caching raises the baseline's locality monotonically-ish...
+    assert spark[-1] > spark[0]
+    # ...Custody still dominates at every cache size...
+    for r in rows:
+        assert r["custody"] >= r["standalone"], r
+    # ...and Custody's margin shrinks as memory substitutes for allocation.
+    assert (custody[-1] - spark[-1]) <= (custody[0] - spark[0]) + 1e-9

@@ -1,0 +1,58 @@
+"""Ablation — KMN-style input choice ([10], related work).
+
+KMN observes that approximation jobs needing any K of N input blocks give
+the scheduler *choice*: it serves the most-local K and drops the rest.
+Sweeps K/N and measures how much choice substitutes for — and composes
+with — Custody's data-aware allocation.
+"""
+
+from common import cached_run, emit, paper_config
+
+from repro.metrics.report import format_table
+
+FRACTIONS = (1.0, 0.9, 0.75)
+NUM_NODES = 50
+WORKLOAD = "wordcount"
+
+
+def run_sweep():
+    rows = []
+    for fraction in FRACTIONS:
+        row = {"fraction": fraction}
+        for manager in ("standalone", "custody"):
+            kmn = None if fraction >= 1.0 else fraction
+            config = paper_config(WORKLOAD, NUM_NODES, manager, kmn_fraction=kmn)
+            metrics = cached_run(config).metrics
+            row[manager] = metrics.locality_mean
+            row[f"{manager}_jct"] = metrics.avg_jct
+        rows.append(row)
+    return rows
+
+
+def test_ablation_kmn(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["K/N", "spark loc%", "custody loc%", "spark JCT", "custody JCT"],
+            [
+                [
+                    r["fraction"],
+                    100 * r["standalone"],
+                    100 * r["custody"],
+                    r["standalone_jct"],
+                    r["custody_jct"],
+                ]
+                for r in rows
+            ],
+            title=f"Ablation — KMN input choice ({WORKLOAD}, {NUM_NODES} nodes)",
+        )
+    )
+    spark = [r["standalone"] for r in rows]
+    spark_jct = [r["standalone_jct"] for r in rows]
+    # Choice raises the baseline's locality and reduces its JCT...
+    assert spark[-1] >= spark[0]
+    assert spark_jct[-1] <= spark_jct[0]
+    # ...and Custody still wins (or ties) at every K/N.
+    for r in rows:
+        assert r["custody"] >= r["standalone"] - 0.01, r
+        assert r["custody_jct"] <= r["standalone_jct"] * 1.02, r

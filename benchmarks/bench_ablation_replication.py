@@ -1,0 +1,53 @@
+"""Ablation — replication level (§VII, caching and storage management).
+
+Replication is the foundation of locality: more replicas mean more nodes
+can serve a block.  Sweeps the HDFS replication factor and measures locality
+under both managers.  Custody extracts high locality already at low
+replication (it *chooses* the right executors), so the baseline's benefit
+from extra replicas is larger.
+"""
+
+from common import JOBS_PER_APP, NUM_APPS, SEED, cached_run, emit, paper_config
+
+from repro.metrics.report import format_table
+
+REPLICATION_LEVELS = (1, 2, 3, 5)
+NUM_NODES = 50
+WORKLOAD = "wordcount"
+
+
+def run_sweep():
+    rows = []
+    for replication in REPLICATION_LEVELS:
+        row = {"replication": replication}
+        for manager in ("standalone", "custody"):
+            config = paper_config(
+                WORKLOAD, NUM_NODES, manager, replication=replication
+            )
+            row[manager] = cached_run(config).metrics.locality_mean
+        rows.append(row)
+    return rows
+
+
+def test_ablation_replication(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["replication", "spark loc%", "custody loc%"],
+            [
+                [r["replication"], 100 * r["standalone"], 100 * r["custody"]]
+                for r in rows
+            ],
+            title=f"Ablation §VII — replication sweep ({WORKLOAD}, {NUM_NODES} nodes)",
+        )
+    )
+    # Baseline locality grows with replication.
+    spark = [r["standalone"] for r in rows]
+    assert spark[-1] > spark[0]
+    # Custody dominates at every level.
+    for r in rows:
+        assert r["custody"] > r["standalone"], r
+    # Custody's advantage is largest when replication is scarce.
+    gain_r1 = rows[0]["custody"] - rows[0]["standalone"]
+    gain_r5 = rows[-1]["custody"] - rows[-1]["standalone"]
+    assert gain_r1 > gain_r5

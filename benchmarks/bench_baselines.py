@@ -1,0 +1,60 @@
+"""Related-work comparison (§VII) — all four cluster managers.
+
+Beyond the paper's standalone baseline, runs the same workload trace under
+YARN-style capacity pools and Mesos-style offers.  Expected ordering:
+Custody's locality is the best; YARN (data-unaware, demand-sized pools) is
+the worst; Mesos sits between — delay scheduling can reject its way to
+locality but pays offer-cycle latency in JCT.
+"""
+
+from common import cached_run, emit, paper_config
+
+from repro.metrics.report import format_table
+
+NUM_NODES = 50
+WORKLOAD = "wordcount"
+MANAGERS = ("standalone", "yarn", "mesos", "custody")
+
+
+def run_comparison():
+    rows = []
+    for manager in MANAGERS:
+        metrics = cached_run(paper_config(WORKLOAD, NUM_NODES, manager)).metrics
+        rows.append(
+            {
+                "manager": manager,
+                "locality": metrics.locality_mean,
+                "jct": metrics.avg_jct,
+                "delay": metrics.avg_scheduler_delay,
+                "min_local_jobs": metrics.min_local_job_fraction,
+            }
+        )
+    return rows
+
+
+def test_baseline_managers(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["manager", "loc%", "avg JCT (s)", "sched delay (s)", "worst-app local jobs%"],
+            [
+                [
+                    r["manager"],
+                    100 * r["locality"],
+                    r["jct"],
+                    r["delay"],
+                    100 * r["min_local_jobs"],
+                ]
+                for r in rows
+            ],
+            title=f"Related work — cluster managers ({WORKLOAD}, {NUM_NODES} nodes)",
+        )
+    )
+    by = {r["manager"]: r for r in rows}
+    assert by["custody"]["locality"] >= max(
+        by[m]["locality"] for m in ("standalone", "yarn", "mesos")
+    )
+    assert by["custody"]["jct"] <= min(
+        by[m]["jct"] for m in ("standalone", "yarn", "mesos")
+    )
+    assert by["yarn"]["locality"] < by["custody"]["locality"]

@@ -1,0 +1,53 @@
+"""Fig. 10 — scheduler delay vs cluster size.
+
+Paper: under delay scheduling a task waits for an executor holding its
+input; Custody's allocation makes suitable executors appear sooner, so the
+average scheduler delay is *lower* than standalone's despite the extra
+allocation machinery (the "allocation overhead" turns out negative).
+"""
+
+from common import CLUSTER_SIZES, WORKLOADS, compare, emit
+
+from repro.metrics.report import format_table
+
+
+def regenerate_fig10():
+    rows = []
+    for size in CLUSTER_SIZES:
+        for workload in WORKLOADS:
+            results = compare(workload, size)
+            spark = results["standalone"].metrics.avg_scheduler_delay
+            custody = results["custody"].metrics.avg_scheduler_delay
+            assert spark is not None and custody is not None
+            rows.append(
+                {
+                    "cluster": size,
+                    "workload": workload,
+                    "spark": spark,
+                    "custody": custody,
+                }
+            )
+    return rows
+
+
+def test_fig10_scheduler_delay(benchmark):
+    rows = benchmark.pedantic(regenerate_fig10, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["cluster", "workload", "spark delay (s)", "custody delay (s)"],
+            [[r["cluster"], r["workload"], r["spark"], r["custody"]] for r in rows],
+            title="Fig. 10 — average scheduler delay of input tasks",
+        )
+    )
+    # Custody's delay is lower on average; individual cells can tie or even
+    # invert slightly when the small cluster is overloaded (sort on 25
+    # nodes), so the per-cell guard only rejects gross regressions.
+    for r in rows:
+        assert r["custody"] <= r["spark"] * 1.25 + 0.05, r
+    mean_spark = sum(r["spark"] for r in rows) / len(rows)
+    mean_custody = sum(r["custody"] for r in rows) / len(rows)
+    assert mean_custody < mean_spark
+    # On the paper's 100-node cluster Custody is lower for every workload.
+    for r in rows:
+        if r["cluster"] == 100:
+            assert r["custody"] <= r["spark"], r

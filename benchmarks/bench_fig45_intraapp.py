@@ -1,0 +1,30 @@
+"""Fig. 4/5 — fairness-based vs priority-based intra-application allocation.
+
+Paper: one application, two 2-task jobs, an executor budget of two.  The
+fairness-based choice gives each job one local task and both jobs finish in
+2.0 time units (stragglers); the priority choice makes job 1 perfectly
+local (0.5) without slowing job 2 (2.0): average 1.25.
+"""
+
+import pytest
+
+from common import emit
+
+from repro.experiments.scenarios import fig45_intraapp_example
+from repro.metrics.report import format_table
+
+
+def test_fig45_intraapp(benchmark):
+    result = benchmark.pedantic(fig45_intraapp_example, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["strategy", "job 1 JCT", "job 2 JCT", "average"],
+            [
+                ["fairness-based", *result.fairness_jcts, result.fairness_avg],
+                ["priority-based", *result.priority_jcts, result.priority_avg],
+            ],
+            title="Fig. 5 — completion times under intra-app strategies (time units)",
+        )
+    )
+    assert result.fairness_avg == pytest.approx(2.0, abs=1e-6)
+    assert result.priority_avg == pytest.approx(1.25, abs=1e-6)

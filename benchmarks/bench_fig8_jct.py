@@ -1,0 +1,55 @@
+"""Fig. 8 — average job completion times, Custody vs Spark standalone.
+
+Paper's series (Fig. 8a–c): average JCT per workload on 25/50/100 nodes;
+Custody reduces JCT by over 8% in all groups, with PageRank benefiting
+least (its iterations are shuffle-bound, §VI-B).
+"""
+
+from common import CLUSTER_SIZES, WORKLOADS, compare, emit
+
+from repro.metrics.report import format_table
+
+
+def regenerate_fig8():
+    rows = []
+    for size in CLUSTER_SIZES:
+        for workload in WORKLOADS:
+            results = compare(workload, size)
+            spark = results["standalone"].metrics.avg_jct
+            custody = results["custody"].metrics.avg_jct
+            assert spark is not None and custody is not None
+            rows.append(
+                {
+                    "cluster": size,
+                    "workload": workload,
+                    "spark": spark,
+                    "custody": custody,
+                    "reduction": (spark - custody) / spark,
+                }
+            )
+    return rows
+
+
+def test_fig8_jct(benchmark):
+    rows = benchmark.pedantic(regenerate_fig8, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["cluster", "workload", "spark JCT (s)", "custody JCT (s)", "reduction%"],
+            [
+                [r["cluster"], r["workload"], r["spark"], r["custody"], 100 * r["reduction"]]
+                for r in rows
+            ],
+            title="Fig. 8 — average job completion time (Custody vs Spark standalone)",
+        )
+    )
+    # Shape: Custody never materially regresses JCT anywhere...
+    for r in rows:
+        assert r["reduction"] > -0.03, r
+    # ...and wins clearly on the single-shuffle workloads in every cluster.
+    for r in rows:
+        if r["workload"] in ("wordcount", "sort"):
+            assert r["reduction"] > 0.0, r
+    # PageRank's gain is the smallest of the three workloads on the largest
+    # cluster (the paper's §VI-B observation).
+    big = {r["workload"]: r["reduction"] for r in rows if r["cluster"] == CLUSTER_SIZES[-1]}
+    assert big["pagerank"] <= max(big["wordcount"], big["sort"])

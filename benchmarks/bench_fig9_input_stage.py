@@ -1,0 +1,36 @@
+"""Fig. 9 — average completion time of the input (map) stage, 100 nodes.
+
+Paper: on the 100-node cluster, Custody's improved locality shortens the
+input stages of all three workloads; downstream stages are untouched, which
+is why Fig. 8's JCT gains are smaller than Fig. 7's locality gains.
+"""
+
+from common import WORKLOADS, compare, emit
+
+from repro.metrics.report import format_table
+
+NUM_NODES = 100
+
+
+def regenerate_fig9():
+    rows = []
+    for workload in WORKLOADS:
+        results = compare(workload, NUM_NODES)
+        spark = results["standalone"].metrics.avg_input_stage_time
+        custody = results["custody"].metrics.avg_input_stage_time
+        assert spark is not None and custody is not None
+        rows.append({"workload": workload, "spark": spark, "custody": custody})
+    return rows
+
+
+def test_fig9_input_stage(benchmark):
+    rows = benchmark.pedantic(regenerate_fig9, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["workload", "spark input stage (s)", "custody input stage (s)"],
+            [[r["workload"], r["spark"], r["custody"]] for r in rows],
+            title=f"Fig. 9 — average input-stage time, {NUM_NODES}-node cluster",
+        )
+    )
+    for r in rows:
+        assert r["custody"] < r["spark"], r

@@ -1,0 +1,48 @@
+"""The abstract's headline numbers on the 100-node cluster.
+
+Paper: +36.9% input-task locality and −14.9% average JCT versus Spark's
+default cluster manager, averaged over the three workloads.  Our simulator
+is not the authors' Linode testbed, so the *magnitudes* differ; the bench
+asserts the directions and prints measured vs paper.
+"""
+
+from common import WORKLOADS, compare, emit
+
+from repro.metrics.locality import locality_gain
+from repro.metrics.report import format_table
+
+PAPER_LOCALITY_GAIN = 0.369
+PAPER_JCT_REDUCTION = 0.149
+NUM_NODES = 100
+
+
+def regenerate_headline():
+    locality_gains, jct_reductions = [], []
+    for workload in WORKLOADS:
+        results = compare(workload, NUM_NODES)
+        spark = results["standalone"].metrics
+        custody = results["custody"].metrics
+        locality_gains.append(
+            locality_gain(custody.locality_mean, spark.locality_mean)
+        )
+        jct_reductions.append((spark.avg_jct - custody.avg_jct) / spark.avg_jct)
+    return {
+        "locality_gain": sum(locality_gains) / len(locality_gains),
+        "jct_reduction": sum(jct_reductions) / len(jct_reductions),
+    }
+
+
+def test_headline_numbers(benchmark):
+    measured = benchmark.pedantic(regenerate_headline, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                ["locality gain %", 100 * PAPER_LOCALITY_GAIN, 100 * measured["locality_gain"]],
+                ["JCT reduction %", 100 * PAPER_JCT_REDUCTION, 100 * measured["jct_reduction"]],
+            ],
+            title=f"Headline (abstract) — {NUM_NODES}-node cluster, 3-workload mean",
+        )
+    )
+    assert measured["locality_gain"] > 0.0
+    assert measured["jct_reduction"] > 0.0

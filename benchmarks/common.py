@@ -1,0 +1,72 @@
+"""Shared bench infrastructure.
+
+* Scale control: benches default to a CI-friendly fraction of the paper's
+  setup (8 jobs per application instead of 30).  Set ``REPRO_FULL=1`` to run
+  the full §VI-A configuration.
+* Result cache: several figures share the same underlying experiment runs
+  (Fig. 7 and Fig. 8 both need standalone-vs-custody sweeps), so runs are
+  memoised per process.
+* Printing: pytest captures stdout, so benches print their figure tables
+  through ``emit`` which writes via ``__stderr__`` — visible under
+  ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "") == "1"
+
+#: Jobs per application (paper: 30) and applications (paper: 4).
+JOBS_PER_APP = 30 if FULL_SCALE else 8
+NUM_APPS = 4
+#: Cluster sizes of Fig. 7/8's panels.
+CLUSTER_SIZES = (25, 50, 100)
+WORKLOADS = ("pagerank", "wordcount", "sort")
+SEED = 0
+
+_cache: Dict[Tuple, ExperimentResult] = {}
+
+
+def cached_run(config: ExperimentConfig) -> ExperimentResult:
+    """run_experiment memoised on the (hashable, frozen) config."""
+    key = tuple(sorted(config.__dict__.items()))
+    result = _cache.get(key)
+    if result is None:
+        result = run_experiment(config)
+        _cache[key] = result
+    return result
+
+
+def paper_config(workload: str, num_nodes: int, manager: str, **overrides) -> ExperimentConfig:
+    """The §VI-A configuration at bench scale."""
+    params = dict(
+        manager=manager,
+        workload=workload,
+        num_nodes=num_nodes,
+        num_apps=NUM_APPS,
+        jobs_per_app=JOBS_PER_APP,
+        seed=SEED,
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def compare(workload: str, num_nodes: int, **overrides) -> Dict[str, ExperimentResult]:
+    """Standalone vs Custody on the shared trace."""
+    return {
+        manager: cached_run(paper_config(workload, num_nodes, manager, **overrides))
+        for manager in ("standalone", "custody")
+    }
+
+
+def emit(text: str) -> None:
+    """Print a figure table so it survives pytest's capture."""
+    stream = sys.__stderr__ or sys.stderr
+    stream.write("\n" + text + "\n")
+    stream.flush()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Allocation playground: the core algorithms on a hand-built instance.
+
+Works entirely in :mod:`repro.core` — no simulator — so you can see exactly
+what Algorithms 1+2 decide for a problem you describe, and compare against
+the exact optimum and the LP relaxation's upper bound (§III).
+
+The instance: three applications share nine executors; a hot pair of
+executors (E0, E1) is wanted by everyone, plus each app has some private
+demand.
+
+Usage::
+
+    python examples/allocation_playground.py
+"""
+
+from repro.core.allocation import two_level_allocate
+from repro.core.demand import AppDemand, JobDemand, TaskDemand, validate_plan
+from repro.core.flownetwork import (
+    ConcurrentFlowInstance,
+    brute_force_optimum,
+    lp_concurrent_flow_bound,
+)
+from repro.core.intraapp import plan_value
+from repro.metrics.report import format_table
+
+EXECUTORS = [f"E{i}" for i in range(9)]
+
+
+def build_apps():
+    """Three tenants; everyone wants the hot executors E0/E1."""
+
+    def t(tid, *cands):
+        return TaskDemand.of(tid, cands)
+
+    return [
+        AppDemand(
+            app_id="analytics",
+            jobs=(
+                JobDemand("an-etl", (t("an-etl-0", "E0"), t("an-etl-1", "E2"))),
+                JobDemand("an-adhoc", (t("an-adhoc-0", "E1"),)),
+            ),
+            quota=3,
+        ),
+        AppDemand(
+            app_id="ml-train",
+            jobs=(
+                JobDemand("ml-epoch", (t("ml-0", "E0", "E3"), t("ml-1", "E1", "E4"))),
+            ),
+            quota=3,
+        ),
+        AppDemand(
+            app_id="reporting",
+            jobs=(
+                JobDemand("rp-daily", (t("rp-0", "E0"),)),
+                JobDemand("rp-weekly", (t("rp-1", "E1"), t("rp-2", "E5"))),
+            ),
+            quota=3,
+        ),
+    ]
+
+
+def main() -> None:
+    apps = build_apps()
+
+    plan = two_level_allocate(apps, EXECUTORS, fill=False)
+    validate_plan(plan, apps, EXECUTORS)
+
+    rows = []
+    for app in apps:
+        local_jobs, credit = plan_value(
+            {t: e for t, e in plan.assignment.items()
+             if any(t == td.task_id for j in app.jobs for td in j.tasks)},
+            app,
+        )
+        rows.append(
+            [
+                app.app_id,
+                " ".join(sorted(plan.executors_of(app.app_id))) or "-",
+                local_jobs,
+                f"{credit:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["app", "granted executors", "fully-local jobs", "Σ 1/µ credit"],
+            rows,
+            title="Two-level allocation (Algorithms 1 + 2)",
+        ),
+        end="\n\n",
+    )
+    print("Task promises:")
+    for task_id, executor in sorted(plan.assignment.items()):
+        print(f"  {task_id:12s} -> {executor}")
+    print()
+
+    instance = ConcurrentFlowInstance.of(apps, EXECUTORS)
+    lp = lp_concurrent_flow_bound(instance)
+    optimum, ownership = brute_force_optimum(instance)
+    heuristic_fracs = []
+    for app in apps:
+        satisfied = sum(
+            1 for j in app.jobs for t in j.tasks if t.task_id in plan.assignment
+        )
+        heuristic_fracs.append(satisfied / app.total_unsatisfied)
+    print(
+        format_table(
+            ["quantity", "min-locality fraction"],
+            [
+                ["LP relaxation λ* (upper bound)", f"{lp:.3f}"],
+                ["exact integral optimum", f"{optimum:.3f}"],
+                ["two-level heuristic", f"{min(heuristic_fracs):.3f}"],
+            ],
+            title="Theory check (§III)",
+        )
+    )
+    hot = {e: ownership.get(e, "-") for e in ("E0", "E1")}
+    print(f"\nOne optimal ownership of the hot executors: {hot}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fault tolerance: stragglers, crashes and disk loss under Custody.
+
+Injects a hostile environment into a Custody-managed cluster —
+
+* 20% of nodes run 8x slower for the whole run (stragglers),
+* three executors crash mid-run and restart after 10 s,
+* one DataNode loses its disk (all replicas) and HDFS re-replicates —
+
+and compares three configurations: a healthy baseline, the faulty run, and
+the faulty run with speculative execution enabled.  Every job still
+completes in all three; speculation claws back most of the straggler
+damage.
+
+Usage::
+
+    python examples/fault_tolerance.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.faults.plan import DiskFailure, ExecutorFailure, FaultPlan, NodeSlowdown
+from repro.metrics.report import format_table
+
+BASE = ExperimentConfig(
+    manager="custody",
+    workload="sort",
+    num_nodes=30,
+    num_apps=4,
+    jobs_per_app=6,
+    seed=17,
+)
+
+
+def hostile_plan() -> FaultPlan:
+    """Stragglers + crashes + disk loss."""
+    plan = FaultPlan(
+        [
+            NodeSlowdown(at=0.0, node_id=f"worker-{i:03d}", duration=1e6, factor=8.0)
+            for i in range(6)
+        ]
+    )
+    for i, executor in enumerate(("executor-010", "executor-021", "executor-032")):
+        plan.add(ExecutorFailure(at=15.0 + 5 * i, executor_id=executor, restart_delay=10.0))
+    plan.add(DiskFailure(at=25.0, node_id="worker-015"))
+    return plan
+
+
+def main() -> None:
+    rows = []
+    scenarios = [
+        ("healthy", False, None),
+        ("faulty", False, hostile_plan()),
+        ("faulty + speculation", True, hostile_plan()),
+    ]
+    results = {}
+    for label, speculation, plan in scenarios:
+        config = ExperimentConfig(
+            **{**BASE.__dict__, "speculation": speculation}
+        )
+        result = run_experiment(config, fault_plan=plan)
+        results[label] = result
+        injector = result.fault_injector
+        rows.append(
+            [
+                label,
+                result.metrics.finished_jobs,
+                result.metrics.avg_jct,
+                result.speculative_launches or "-",
+                injector.tasks_requeued if injector else "-",
+                f"{injector.replicas_lost}/{injector.replicas_restored}"
+                if injector
+                else "-",
+            ]
+        )
+
+    print("6/30 nodes 8x slow, 3 executor crashes, 1 disk loss\n")
+    print(
+        format_table(
+            ["scenario", "jobs done", "avg JCT (s)", "clones", "requeued",
+             "replicas lost/restored"],
+            rows,
+            title="Custody under faults",
+        )
+    )
+    healthy = results["healthy"].metrics.avg_jct
+    faulty = results["faulty"].metrics.avg_jct
+    rescued = results["faulty + speculation"].metrics.avg_jct
+    recovered = (faulty - rescued) / (faulty - healthy) if faulty > healthy else 1.0
+    print(
+        f"\nStraggler damage: {faulty - healthy:+.1f} s avg JCT; "
+        f"speculation recovered {100 * recovered:.0f}% of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

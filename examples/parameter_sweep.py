@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Parameter sweep: map Custody's advantage across the design space.
+
+Sweeps cluster size × replication level for both managers, prints the
+locality-gain surface and writes the raw rows to CSV for external
+plotting.  Demonstrates :func:`repro.experiments.sweeps.sweep` — the
+general tool behind the figure benches.
+
+Usage::
+
+    python examples/parameter_sweep.py [output.csv]
+"""
+
+import sys
+
+from repro import ExperimentConfig
+from repro.experiments.sweeps import rows_to_csv, sweep
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        workload="wordcount", num_apps=2, jobs_per_app=4, seed=11
+    )
+    print("Sweeping cluster size x replication x manager (8 runs)...\n")
+    rows = sweep(
+        base,
+        grid={
+            "manager": ["standalone", "custody"],
+            "num_nodes": [20, 40],
+            "replication": [1, 3],
+        },
+        extract={
+            "locality": lambda r: r.metrics.locality_mean,
+            "jct": lambda r: r.metrics.avg_jct,
+        },
+    )
+
+    # Pivot: one output row per (nodes, replication) with both managers.
+    by_point = {}
+    for row in rows:
+        key = (row["num_nodes"], row["replication"])
+        by_point.setdefault(key, {})[row["manager"]] = row
+    table = []
+    for (nodes, repl), managers in sorted(by_point.items()):
+        spark, custody = managers["standalone"], managers["custody"]
+        gain = (custody["locality"] - spark["locality"]) / spark["locality"]
+        table.append(
+            [
+                nodes,
+                repl,
+                100 * spark["locality"],
+                100 * custody["locality"],
+                100 * gain,
+                spark["jct"],
+                custody["jct"],
+            ]
+        )
+    print(
+        format_table(
+            ["nodes", "replicas", "spark loc%", "custody loc%", "gain%",
+             "spark JCT", "custody JCT"],
+            table,
+            title="Custody's advantage across the design space",
+        )
+    )
+
+    out = sys.argv[1] if len(sys.argv) > 1 else "/tmp/custody_sweep.csv"
+    path = rows_to_csv(rows, out)
+    print(f"\nraw rows written to {path}")
+    print(
+        "\nReading the surface: the gain is largest where replicas are "
+        "scarce\n(replication 1) — exactly where picking the *right* "
+        "executors matters most."
+    )
+
+
+if __name__ == "__main__":
+    main()

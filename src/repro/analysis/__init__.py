@@ -1,0 +1,23 @@
+"""Analytical expectations used to validate the simulator.
+
+A simulator is only trustworthy against closed forms it can be checked on.
+This package derives the quantities the evaluation's *shape* rests on —
+replica coverage probabilities, random-allocation node coverage, the
+locality upper bound of a data-unaware allocation, and uncontended
+transfer times — so tests can assert the measured behaviour converges to
+them (see ``tests/analysis/``).
+"""
+
+from repro.analysis.expectations import (
+    expected_node_coverage,
+    expected_random_allocation_locality,
+    prob_block_covered,
+    uncontended_read_time,
+)
+
+__all__ = [
+    "expected_node_coverage",
+    "expected_random_allocation_locality",
+    "prob_block_covered",
+    "uncontended_read_time",
+]

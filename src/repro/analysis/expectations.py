@@ -1,0 +1,101 @@
+"""Closed-form expectations for locality under random allocation.
+
+The baseline's locality in Fig. 7 is, to first order, a coverage problem:
+
+* A block's *r* replicas land on *r* distinct nodes chosen uniformly from
+  *N* (the paper's storage model, §II).
+* A data-unaware manager hands an application *q* of the *E* executors at
+  random; with *e* executors per node those executors cover some set of
+  nodes.
+* An input task can run locally iff at least one replica node is covered —
+  a hypergeometric event.
+
+These functions compute those quantities exactly, giving the simulator a
+ground truth to converge to (slot contention and delay-wait expiry only
+*lower* achieved locality, so the closed form is also an upper bound on
+the measured baseline).
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "prob_block_covered",
+    "expected_node_coverage",
+    "expected_random_allocation_locality",
+    "uncontended_read_time",
+]
+
+
+def prob_block_covered(num_nodes: int, covered_nodes: int, replication: int) -> float:
+    """P(a block has ≥1 replica on a covered node).
+
+    Replicas occupy ``replication`` distinct nodes uniformly at random among
+    ``num_nodes``; ``covered_nodes`` of them are covered.  Hypergeometric:
+    ``1 − C(N − c, r) / C(N, r)``.
+    """
+    if not (0 <= covered_nodes <= num_nodes):
+        raise ConfigurationError(
+            f"covered_nodes must be in [0, {num_nodes}], got {covered_nodes}"
+        )
+    if not (1 <= replication <= num_nodes):
+        raise ConfigurationError(
+            f"replication must be in [1, {num_nodes}], got {replication}"
+        )
+    uncovered = num_nodes - covered_nodes
+    if replication > uncovered:
+        return 1.0
+    return 1.0 - comb(uncovered, replication) / comb(num_nodes, replication)
+
+
+def expected_node_coverage(
+    num_nodes: int, executors_per_node: int, picked: int
+) -> float:
+    """E[distinct nodes covered] when ``picked`` of the ``N·e`` executors are
+    drawn uniformly without replacement.
+
+    Per node, P(no executor picked) = ``C(E − e, q) / C(E, q)``; linearity
+    of expectation sums the complements.
+    """
+    if num_nodes < 1 or executors_per_node < 1:
+        raise ConfigurationError("num_nodes and executors_per_node must be >= 1")
+    total = num_nodes * executors_per_node
+    if not (0 <= picked <= total):
+        raise ConfigurationError(f"picked must be in [0, {total}], got {picked}")
+    if picked > total - executors_per_node:
+        return float(num_nodes)  # every node necessarily holds a pick
+    p_node_missed = comb(total - executors_per_node, picked) / comb(total, picked)
+    return num_nodes * (1.0 - p_node_missed)
+
+
+def expected_random_allocation_locality(
+    num_nodes: int,
+    executors_per_node: int,
+    quota: int,
+    replication: int,
+) -> float:
+    """Upper bound on the baseline's task locality (Fig. 7's mechanism).
+
+    A data-unaware manager gives an application ``quota`` random executors;
+    an input task *can* be local iff some replica node is covered.  The
+    bound treats coverage as its expectation and ignores slot contention
+    and delay-wait expiry — both only reduce achieved locality — so it
+    upper-bounds (and with light load, approximates) the measured value.
+    """
+    coverage = expected_node_coverage(num_nodes, executors_per_node, quota)
+    return prob_block_covered(num_nodes, round(coverage), replication)
+
+
+def uncontended_read_time(size: float, uplink: float, downlink: float) -> float:
+    """Seconds to move ``size`` bytes over an otherwise-idle path.
+
+    A single flow's max-min rate is the min of the two NIC capacities.
+    """
+    if size < 0:
+        raise ConfigurationError(f"size must be >= 0, got {size}")
+    if uplink <= 0 or downlink <= 0:
+        raise ConfigurationError("NIC capacities must be positive")
+    return size / min(uplink, downlink)

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    One experiment; prints the metrics and optionally saves JSON.
+``compare``
+    Several managers on the identical workload trace, side by side.
+``figures``
+    Regenerate a paper figure's series (7, 8, 9 or 10).
+``scenarios``
+    The worked micro-examples (Fig. 1, 3, 4/5) with exact expected numbers.
+
+Examples::
+
+    python -m repro run --manager custody --workload sort --nodes 50
+    python -m repro compare --managers standalone,custody,yarn --nodes 25
+    python -m repro figures --figure 7 --jobs 8
+    python -m repro scenarios
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.common.units import GB
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    figure7_locality,
+    figure8_jct,
+    figure9_input_stage,
+    figure10_scheduler_delay,
+)
+from repro.experiments.persistence import save_result
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import (
+    fig1_motivating_example,
+    fig3_interapp_example,
+    fig45_intraapp_example,
+)
+from repro.metrics.report import comparison_table, format_table
+from repro.metrics.utilization import analyze_utilization
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Custody (CLUSTER 2016) reproduction: data-aware resource sharing.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="wordcount",
+                       choices=["pagerank", "wordcount", "sort"])
+        p.add_argument("--nodes", type=int, default=50, help="cluster size")
+        p.add_argument("--apps", type=int, default=4, help="applications")
+        p.add_argument("--jobs", type=int, default=8, help="jobs per application")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--delay-wait", type=float, default=3.0,
+                       help="delay-scheduling locality wait (s)")
+        p.add_argument("--replication", type=int, default=3)
+        p.add_argument("--cache-gb", type=float, default=0.0,
+                       help="in-memory block cache per node (GB)")
+        p.add_argument("--kmn", type=float, default=None,
+                       help="KMN fraction of inputs required (0,1]")
+        p.add_argument("--speculation", action="store_true",
+                       help="enable speculative execution")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    add_common(run_p)
+    run_p.add_argument("--manager", default="custody",
+                       choices=["custody", "standalone", "yarn", "mesos"])
+    run_p.add_argument("--save", metavar="PATH", default=None,
+                       help="write the result as JSON")
+    run_p.add_argument("--utilization", action="store_true",
+                       help="also print a slot-utilization report")
+
+    cmp_p = sub.add_parser("compare", help="compare managers on one trace")
+    add_common(cmp_p)
+    cmp_p.add_argument("--managers", default="standalone,custody",
+                       help="comma-separated manager list")
+
+    fig_p = sub.add_parser("figures", help="regenerate a paper figure")
+    fig_p.add_argument("--figure", required=True, choices=["7", "8", "9", "10"])
+    fig_p.add_argument("--jobs", type=int, default=8)
+    fig_p.add_argument("--apps", type=int, default=4)
+    fig_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("scenarios", help="run the worked micro-examples")
+    return parser
+
+
+def _config(args: argparse.Namespace, manager: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        manager=manager,
+        workload=args.workload,
+        num_nodes=args.nodes,
+        num_apps=args.apps,
+        jobs_per_app=args.jobs,
+        seed=args.seed,
+        delay_wait=args.delay_wait,
+        replication=args.replication,
+        cache_per_node=args.cache_gb * GB,
+        kmn_fraction=args.kmn,
+        speculation=args.speculation,
+        timeline_enabled=getattr(args, "utilization", False),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config(args, args.manager)
+    result = run_experiment(config)
+    print(comparison_table({args.manager: result.metrics},
+                           title=f"{args.workload} on {args.nodes} nodes"))
+    print(f"\nallocation rounds: {result.allocation_rounds}"
+          f"   simulated time: {result.sim_time:.1f} s")
+    if result.speculative_launches:
+        print(f"speculative clones: {result.speculative_launches} "
+              f"({result.speculative_wins} won)")
+    if args.utilization and result.timeline is not None:
+        total_slots = (
+            config.num_nodes * config.executors_per_node * config.executor_slots
+        )
+        print("\n" + analyze_utilization(result.timeline, total_slots).describe())
+    if args.save:
+        path = save_result(result, args.save)
+        print(f"\nsaved: {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    managers = [m.strip() for m in args.managers.split(",") if m.strip()]
+    results = {}
+    for manager in managers:
+        results[manager] = run_experiment(_config(args, manager)).metrics
+    print(comparison_table(
+        results, title=f"{args.workload} on {args.nodes} nodes (common trace)"
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    scale = dict(jobs_per_app=args.jobs, num_apps=args.apps, seed=args.seed)
+    if args.figure == "7":
+        rows = figure7_locality(**scale)
+        print(format_table(
+            ["cluster", "workload", "spark loc%", "custody loc%", "gain%"],
+            [[r["cluster_size"], r["workload"], 100 * r["spark_locality"],
+              100 * r["custody_locality"], 100 * r["gain"]] for r in rows],
+            title="Fig. 7 — % local input tasks",
+        ))
+    elif args.figure == "8":
+        rows = figure8_jct(**scale)
+        print(format_table(
+            ["cluster", "workload", "spark JCT", "custody JCT", "reduction%"],
+            [[r["cluster_size"], r["workload"], r["spark_jct"], r["custody_jct"],
+              100 * r["reduction"]] for r in rows],
+            title="Fig. 8 — average job completion time (s)",
+        ))
+    elif args.figure == "9":
+        rows = figure9_input_stage(**scale)
+        print(format_table(
+            ["workload", "spark input stage", "custody input stage"],
+            [[r["workload"], r["spark_input_stage"], r["custody_input_stage"]]
+             for r in rows],
+            title="Fig. 9 — input-stage time, 100 nodes (s)",
+        ))
+    else:
+        rows = figure10_scheduler_delay(**scale)
+        print(format_table(
+            ["cluster", "spark delay", "custody delay"],
+            [[r["cluster_size"], r["spark_delay"], r["custody_delay"]]
+             for r in rows],
+            title="Fig. 10 — scheduler delay (s)",
+        ))
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    fig1 = fig1_motivating_example()
+    print(format_table(
+        ["app", "data-unaware", "data-aware"],
+        [[a, fig1.data_unaware[a], fig1.data_aware[a]]
+         for a in sorted(fig1.data_unaware)],
+        title="Fig. 1 — motivating example",
+    ))
+    fig3 = fig3_interapp_example()
+    print("\n" + format_table(
+        ["app", "naive fair", "locality fair"],
+        [[a, fig3.naive_fair[a], fig3.locality_fair[a]]
+         for a in sorted(fig3.naive_fair)],
+        title="Fig. 3 — inter-application strategies",
+    ))
+    fig45 = fig45_intraapp_example()
+    print("\n" + format_table(
+        ["strategy", "avg JCT"],
+        [["fairness-based", fig45.fairness_avg],
+         ["priority-based", fig45.priority_avg]],
+        title="Fig. 5 — intra-application strategies (paper: 2.0 vs 1.25)",
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figures": _cmd_figures,
+        "scenarios": _cmd_scenarios,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Cluster hardware model: worker nodes, executors, racks.
+
+The paper's testbed (§VI-A): 100 Linode nodes, 8 cores / 16 GB / 384 GB SSD
+each, 40 Gbps downlink and 2 Gbps uplink, two executors launched per node.
+:class:`ClusterConfig` defaults to exactly that, scaled by ``num_nodes``.
+
+Executors are the unit of resource sharing (§II): a worker node launches
+multiple executor processes; a cluster manager assigns each executor to at
+most one application at a time; tasks of that application then run in the
+executor's task slots.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.executor import Executor, ExecutorState
+from repro.cluster.node import WorkerNode
+from repro.cluster.topology import Rack, Topology
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "Executor",
+    "ExecutorState",
+    "Rack",
+    "Topology",
+    "WorkerNode",
+]

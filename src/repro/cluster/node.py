@@ -1,0 +1,73 @@
+"""Worker node: cores, memory, local SSD, NIC, hosted executors."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.common.errors import CapacityError, ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.cluster.executor import Executor
+
+__all__ = ["WorkerNode"]
+
+
+class WorkerNode:
+    """One physical (or virtual) machine in the cluster.
+
+    The node is passive: it owns capacities and hosts executors; behaviour
+    lives in the executors and the drivers that use them.  Block storage is
+    tracked by the HDFS DataNode bound to this node id, not here.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        *,
+        cores: int,
+        memory: float,
+        disk_bandwidth: float,
+        uplink: float,
+        downlink: float,
+        rack_id: str = "rack-000",
+    ):
+        if cores < 1:
+            raise ConfigurationError(f"{node_id}: cores must be >= 1, got {cores}")
+        if memory <= 0 or disk_bandwidth <= 0:
+            raise ConfigurationError(f"{node_id}: memory and disk bandwidth must be positive")
+        if uplink <= 0 or downlink <= 0:
+            raise ConfigurationError(f"{node_id}: NIC capacities must be positive")
+        self.node_id = node_id
+        self.cores = cores
+        self.memory = memory
+        self.disk_bandwidth = disk_bandwidth
+        self.uplink = uplink
+        self.downlink = downlink
+        self.rack_id = rack_id
+        self.executors: List["Executor"] = []
+
+    # -------------------------------------------------------------- executors
+    def attach_executor(self, executor: "Executor") -> None:
+        """Register an executor hosted on this node, checking core capacity."""
+        committed = sum(e.slots for e in self.executors)
+        if committed + executor.slots > self.cores:
+            raise CapacityError(
+                f"{self.node_id}: cannot host executor {executor.executor_id} "
+                f"({executor.slots} slots); {committed}/{self.cores} cores committed"
+            )
+        self.executors.append(executor)
+
+    # ------------------------------------------------------------------- disk
+    def local_read_time(self, size: float) -> float:
+        """Seconds to stream ``size`` bytes from the local SSD.
+
+        Modelled as uncontended sequential streaming: the paper's nodes have
+        384 GB SSDs whose sequential rate far exceeds the per-task demand, so
+        disk queueing is not the bottleneck the evaluation measures.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        return size / self.disk_bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<WorkerNode {self.node_id} cores={self.cores} execs={len(self.executors)}>"

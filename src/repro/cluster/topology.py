@@ -1,0 +1,81 @@
+"""Rack topology.
+
+HDFS's default placement is rack-aware (first replica local, second on a
+remote rack, third on the same remote rack).  Locality in this paper is
+node-level, but the placement substrate models racks so the rack-aware
+policy produces realistic replica spreads and so rack-level locality can be
+measured as an extension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["Rack", "Topology"]
+
+
+class Rack:
+    """A named group of worker node ids."""
+
+    def __init__(self, rack_id: str):
+        self.rack_id = rack_id
+        self.node_ids: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Rack {self.rack_id} nodes={len(self.node_ids)}>"
+
+
+class Topology:
+    """Node → rack mapping with round-robin construction helpers."""
+
+    def __init__(self) -> None:
+        self._racks: Dict[str, Rack] = {}
+        self._node_rack: Dict[str, str] = {}
+
+    @property
+    def racks(self) -> List[Rack]:
+        """All racks in creation order."""
+        return list(self._racks.values())
+
+    def add_node(self, node_id: str, rack_id: str) -> None:
+        """Place ``node_id`` in ``rack_id``, creating the rack if needed."""
+        if node_id in self._node_rack:
+            raise ConfigurationError(f"node {node_id!r} already placed")
+        rack = self._racks.get(rack_id)
+        if rack is None:
+            rack = Rack(rack_id)
+            self._racks[rack_id] = rack
+        rack.node_ids.append(node_id)
+        self._node_rack[node_id] = rack_id
+
+    def rack_of(self, node_id: str) -> str:
+        """The rack id hosting ``node_id``."""
+        try:
+            return self._node_rack[node_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {node_id!r}") from None
+
+    def same_rack(self, a: str, b: str) -> bool:
+        """True when both nodes share a rack."""
+        return self.rack_of(a) == self.rack_of(b)
+
+    def nodes_in(self, rack_id: str) -> List[str]:
+        """Node ids in ``rack_id`` (creation order)."""
+        try:
+            return list(self._racks[rack_id].node_ids)
+        except KeyError:
+            raise ConfigurationError(f"unknown rack {rack_id!r}") from None
+
+    def nodes_outside(self, rack_id: str) -> List[str]:
+        """Node ids in every rack except ``rack_id``."""
+        return [
+            node_id
+            for rid, rack in self._racks.items()
+            if rid != rack_id
+            for node_id in rack.node_ids
+        ]

@@ -1,0 +1,53 @@
+"""Shared utilities: units, deterministic RNG streams, id factories, errors.
+
+Everything in :mod:`repro` builds on these primitives.  They are deliberately
+dependency-free (stdlib + numpy only) so every other subpackage can import
+them without cycles.
+"""
+
+from repro.common.errors import (
+    AllocationError,
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.ids import IdFactory
+from repro.common.rng import RngStreams, SeedSequenceError
+from repro.common.units import (
+    GB,
+    GBPS,
+    KB,
+    MB,
+    MBPS,
+    TB,
+    Bandwidth,
+    DataSize,
+    gbps,
+    mb,
+    pretty_bytes,
+    pretty_seconds,
+)
+
+__all__ = [
+    "AllocationError",
+    "Bandwidth",
+    "CapacityError",
+    "ConfigurationError",
+    "DataSize",
+    "GB",
+    "GBPS",
+    "IdFactory",
+    "KB",
+    "MB",
+    "MBPS",
+    "ReproError",
+    "RngStreams",
+    "SeedSequenceError",
+    "SimulationError",
+    "TB",
+    "gbps",
+    "mb",
+    "pretty_bytes",
+    "pretty_seconds",
+]

@@ -1,0 +1,31 @@
+"""Exception hierarchy for :mod:`repro`.
+
+A single root (:class:`ReproError`) lets callers catch everything raised by
+the library without swallowing unrelated bugs; subclasses separate the three
+failure domains users actually handle differently: bad configuration,
+infeasible allocation requests, and simulator misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of all exceptions raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A config object or parameter combination is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly (e.g. scheduling
+    events in the past, running a finished simulation)."""
+
+
+class AllocationError(ReproError):
+    """An executor allocation request could not be satisfied or violates an
+    invariant (e.g. allocating the same executor to two applications)."""
+
+
+class CapacityError(AllocationError):
+    """A resource request exceeds the capacity of a node, executor or NIC."""

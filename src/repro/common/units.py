@@ -1,0 +1,103 @@
+"""Units for data sizes and bandwidths.
+
+Internally the simulator works in **bytes** and **bytes/second** stored as
+plain ``float``.  These helpers exist so configuration code reads like the
+paper ("128 MB blocks", "40 Gbps downlink", "2 Gbps uplink") rather than
+like raw exponents, and so unit mistakes show up in review.
+
+The constants follow the conventions of the systems being modelled:
+
+* Storage sizes are binary (HDFS's 128 MB block is ``128 * 2**20`` bytes).
+* Network bandwidths are decimal bits (a "40 Gbps" NIC moves
+  ``40e9 / 8`` bytes per second), matching how NIC speeds are quoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Binary byte multiples (storage convention).
+KB: float = 2.0**10
+MB: float = 2.0**20
+GB: float = 2.0**30
+TB: float = 2.0**40
+
+# Decimal bit-rate multiples converted to bytes/second (network convention).
+MBPS: float = 1e6 / 8.0
+GBPS: float = 1e9 / 8.0
+
+#: Type aliases used throughout the package for documentation purposes.
+DataSize = float  # bytes
+Bandwidth = float  # bytes / second
+
+
+def mb(n: float) -> DataSize:
+    """Return ``n`` mebibytes expressed in bytes."""
+    return n * MB
+
+
+def gb(n: float) -> DataSize:
+    """Return ``n`` gibibytes expressed in bytes."""
+    return n * GB
+
+
+def gbps(n: float) -> Bandwidth:
+    """Return ``n`` gigabits/second expressed in bytes/second."""
+    return n * GBPS
+
+
+def mbps(n: float) -> Bandwidth:
+    """Return ``n`` megabits/second expressed in bytes/second."""
+    return n * MBPS
+
+
+def pretty_bytes(size: DataSize) -> str:
+    """Human-readable rendering of a byte count (e.g. ``"128.0 MB"``)."""
+    if size < 0:
+        return "-" + pretty_bytes(-size)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if size >= unit:
+            return f"{size / unit:.1f} {name}"
+    return f"{size:.0f} B"
+
+
+def pretty_seconds(seconds: float) -> str:
+    """Human-readable rendering of a duration (e.g. ``"2m03s"``)."""
+    if seconds < 0:
+        return "-" + pretty_seconds(-seconds)
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 60:
+        return f"{seconds:.2f} s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{secs:04.1f}s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)}h{int(minutes):02d}m{secs:04.1f}s"
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Specification of the fixed-size blocks a distributed file is split into.
+
+    Mirrors HDFS's configuration: the paper's clusters use 128 MB blocks with
+    a replication level of three (§VI-A).
+    """
+
+    size: DataSize = 128 * MB
+    replication: int = 3
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"block size must be positive, got {self.size}")
+        if self.replication < 1:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
+
+    def blocks_for(self, file_size: DataSize) -> int:
+        """Number of blocks a file of ``file_size`` bytes is split into."""
+        if file_size < 0:
+            raise ValueError(f"file size must be non-negative, got {file_size}")
+        if file_size == 0:
+            return 0
+        full, rem = divmod(file_size, self.size)
+        return int(full) + (1 if rem else 0)

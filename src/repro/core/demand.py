@@ -1,0 +1,257 @@
+"""The allocation problem instance and its solution object.
+
+Notation mapping to the paper (Table I):
+
+=================  ==========================================================
+Paper              Here
+=================  ==========================================================
+``A_i``            :class:`AppDemand` (one per application)
+``J_ij``           :class:`JobDemand`
+``T_ijk``          :class:`TaskDemand`
+``x^u_ijk``        ``executor in TaskDemand.candidates`` (replica holders)
+``y^u_i``          ``executor in AllocationPlan.executors_of(app)``
+``z^u_ijk``        ``AllocationPlan.assignment[task_id] == executor``
+``sigma_i``        ``AppDemand.quota``
+``zeta_i``         ``AppDemand.held`` (executors the app already has)
+``mu_ij``          ``JobDemand.total_tasks``
+``rho_i, tau_i``   derived properties
+=================  ==========================================================
+
+Instances are built either by hand (tests, the paper's worked examples) or
+from live simulator state by :class:`repro.managers.custody.CustodyManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.common.errors import AllocationError, ConfigurationError
+
+__all__ = ["TaskDemand", "JobDemand", "AppDemand", "AllocationPlan", "validate_plan"]
+
+
+@dataclass(frozen=True)
+class TaskDemand:
+    """One unsatisfied input task: which executors could serve it locally.
+
+    ``candidates`` is the set x^u_ijk = 1: executors residing on nodes that
+    hold a replica of the task's input block.  An empty candidate set is
+    legal (every replica holder may be fully booked) — the task simply cannot
+    achieve locality this round.
+    """
+
+    task_id: str
+    candidates: FrozenSet[str]
+
+    @staticmethod
+    def of(task_id: str, candidates: Iterable[str]) -> "TaskDemand":
+        """Convenience constructor accepting any iterable of executor ids."""
+        return TaskDemand(task_id, frozenset(candidates))
+
+
+@dataclass(frozen=True)
+class JobDemand:
+    """One job's unsatisfied input tasks.
+
+    ``total_tasks`` is µ_ij — the job's *full* input-task count, which may
+    exceed ``len(tasks)`` when some tasks are already satisfied (running
+    locally or promised a local executor earlier).  Algorithm 2 sorts jobs by
+    ``len(tasks)`` (unsatisfied count); the job-level locality credit of a
+    task is 1/µ_ij.
+    """
+
+    job_id: str
+    tasks: Sequence[TaskDemand]
+    total_tasks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        total = self.total_tasks if self.total_tasks is not None else len(self.tasks)
+        if total < len(self.tasks):
+            raise ConfigurationError(
+                f"job {self.job_id}: total_tasks={total} < unsatisfied={len(self.tasks)}"
+            )
+        object.__setattr__(self, "total_tasks", total)
+
+    @property
+    def unsatisfied(self) -> int:
+        """Number of input tasks still lacking a local executor."""
+        return len(self.tasks)
+
+
+@dataclass(frozen=True)
+class AppDemand:
+    """One application's view for an allocation round.
+
+    ``held`` (ζ_i) counts executors the application currently owns;
+    ``quota`` (σ_i) caps the total it may own.  ``local_jobs`` /
+    ``decided_jobs`` / ``local_tasks`` / ``decided_tasks`` carry the
+    *historical* locality record Algorithm 1 sorts on; the allocator adds the
+    locality it promises during the round on top of these.
+    """
+
+    app_id: str
+    jobs: Sequence[JobDemand]
+    quota: int
+    held: int = 0
+    local_jobs: int = 0
+    decided_jobs: int = 0
+    local_tasks: int = 0
+    decided_tasks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.quota < 0 or self.held < 0:
+            raise ConfigurationError(f"app {self.app_id}: negative quota/held")
+        if self.held > self.quota:
+            raise ConfigurationError(
+                f"app {self.app_id}: held={self.held} exceeds quota={self.quota}"
+            )
+        if self.local_jobs > self.decided_jobs or self.local_tasks > self.decided_tasks:
+            raise ConfigurationError(f"app {self.app_id}: locality counts inconsistent")
+        seen: Set[str] = set()
+        for job in self.jobs:
+            if job.job_id in seen:
+                raise ConfigurationError(f"app {self.app_id}: duplicate job {job.job_id}")
+            seen.add(job.job_id)
+
+    @property
+    def budget(self) -> int:
+        """Executors the app may still acquire this round (σ_i − ζ_i)."""
+        return self.quota - self.held
+
+    @property
+    def total_unsatisfied(self) -> int:
+        """Unsatisfied input tasks across all jobs."""
+        return sum(j.unsatisfied for j in self.jobs)
+
+
+@dataclass
+class AllocationPlan:
+    """The outcome of one allocation round.
+
+    ``grants`` maps app id → executor ids newly allocated to it;
+    ``assignment`` maps task id → the granted executor promised to serve it
+    locally (the z^u_ijk = 1 entries); ``released`` maps app id → executor
+    ids the app should give back (used by the swap mechanism).
+    """
+
+    grants: Dict[str, List[str]] = field(default_factory=dict)
+    assignment: Dict[str, str] = field(default_factory=dict)
+    released: Dict[str, List[str]] = field(default_factory=dict)
+
+    def executors_of(self, app_id: str) -> List[str]:
+        """Executors granted to ``app_id`` this round."""
+        return list(self.grants.get(app_id, []))
+
+    def grant(self, app_id: str, executor_id: str) -> None:
+        """Record a new executor grant."""
+        self.grants.setdefault(app_id, []).append(executor_id)
+
+    def assign(self, task_id: str, executor_id: str) -> None:
+        """Record a local-service promise for ``task_id``."""
+        if task_id in self.assignment:
+            raise AllocationError(f"task {task_id} assigned twice")
+        self.assignment[task_id] = executor_id
+
+    def release(self, app_id: str, executor_id: str) -> None:
+        """Record that ``app_id`` should return ``executor_id``."""
+        self.released.setdefault(app_id, []).append(executor_id)
+
+    @property
+    def total_granted(self) -> int:
+        """Executors granted across all applications."""
+        return sum(len(v) for v in self.grants.values())
+
+    def satisfied_tasks(self) -> Set[str]:
+        """Tasks promised a local executor."""
+        return set(self.assignment)
+
+
+def validate_plan(
+    plan: AllocationPlan,
+    apps: Sequence[AppDemand],
+    idle_executors: Iterable[str],
+    held_executors: Optional[Mapping[str, Iterable[str]]] = None,
+    *,
+    executor_capacity: int = 1,
+) -> None:
+    """Check a plan against the paper's feasibility constraints.
+
+    Raises :class:`AllocationError` on any violation of:
+
+    * Eq. (2): each executor granted to at most one application, and only
+      from the idle pool (or from an app's own released executors);
+    * Eq. (3): each granted executor promised to at most
+      ``executor_capacity`` tasks (the paper's analysis fixes this at one;
+      the deployed multi-slot executors raise it);
+    * Eq. (4): each task assigned at most one executor;
+    * x-feasibility: a task's assigned executor must be one of its candidates
+      and must be granted to the task's own application;
+    * quota: grants − releases never push an app beyond σ_i.
+
+    ``held_executors`` optionally maps app id → executors it owned before the
+    round, so swap-releases can be checked for ownership.
+    """
+    idle = set(idle_executors)
+    held = {a: set(e) for a, e in (held_executors or {}).items()}
+
+    seen: Set[str] = set()
+    for app_id, executors in plan.grants.items():
+        for ex in executors:
+            if ex in seen:
+                raise AllocationError(f"executor {ex} granted twice")
+            seen.add(ex)
+            released_here = ex in {
+                r for rels in plan.released.values() for r in rels
+            }
+            if ex not in idle and not released_here:
+                raise AllocationError(f"executor {ex} granted but not idle")
+
+    for app_id, executors in plan.released.items():
+        if held and app_id in held:
+            for ex in executors:
+                if ex not in held[app_id]:
+                    raise AllocationError(
+                        f"app {app_id} releases {ex} it does not hold"
+                    )
+
+    app_by_id = {a.app_id: a for a in apps}
+    task_owner: Dict[str, str] = {}
+    task_candidates: Dict[str, FrozenSet[str]] = {}
+    for app in apps:
+        for job in app.jobs:
+            for task in job.tasks:
+                task_owner[task.task_id] = app.app_id
+                task_candidates[task.task_id] = task.candidates
+
+    promise_count: Dict[str, int] = {}
+    for task_id, executor_id in plan.assignment.items():
+        if task_id not in task_owner:
+            raise AllocationError(f"assignment references unknown task {task_id}")
+        promise_count[executor_id] = promise_count.get(executor_id, 0) + 1
+        if promise_count[executor_id] > executor_capacity:
+            raise AllocationError(
+                f"executor {executor_id} promised to {promise_count[executor_id]} "
+                f"tasks (capacity {executor_capacity})"
+            )
+        if executor_id not in task_candidates[task_id]:
+            raise AllocationError(
+                f"task {task_id} assigned non-candidate executor {executor_id}"
+            )
+        owner = task_owner[task_id]
+        if executor_id not in set(plan.grants.get(owner, ())):
+            raise AllocationError(
+                f"task {task_id} (app {owner}) assigned executor {executor_id} "
+                "that was not granted to its application"
+            )
+
+    for app_id, executors in plan.grants.items():
+        app = app_by_id.get(app_id)
+        if app is None:
+            raise AllocationError(f"grant to unknown app {app_id}")
+        releases = len(plan.released.get(app_id, ()))
+        if app.held + len(executors) - releases > app.quota:
+            raise AllocationError(
+                f"app {app_id} would hold {app.held + len(executors) - releases} "
+                f"> quota {app.quota}"
+            )

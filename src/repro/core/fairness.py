@@ -1,0 +1,59 @@
+"""Max-min fairness predicates and indices.
+
+Custody's inter-application objective is max-min fairness on the percentage
+of local jobs (Eq. 6).  These helpers give tests and benches a precise
+vocabulary for "fairer":
+
+* :func:`lexmin_key` — the leximin ordering key: allocation A is max-min
+  fairer than B iff ``lexmin_key(A) > lexmin_key(B)``;
+* :func:`is_maxmin_fair_improvement` — strict leximin comparison;
+* :func:`jains_index` — Jain's fairness index, the standard scalar summary
+  reported alongside the leximin comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["lexmin_key", "is_maxmin_fair_improvement", "jains_index"]
+
+
+def lexmin_key(values: Sequence[float]) -> Tuple[float, ...]:
+    """The leximin comparison key: values sorted ascending.
+
+    Comparing keys with ``>`` implements the standard leximin order: raise
+    the minimum first, then the second-minimum, and so on.
+    """
+    return tuple(sorted(values))
+
+
+def is_maxmin_fair_improvement(
+    candidate: Sequence[float], baseline: Sequence[float]
+) -> bool:
+    """True when ``candidate`` strictly leximin-dominates ``baseline``.
+
+    Both vectors must have equal length (one entry per application).
+    """
+    if len(candidate) != len(baseline):
+        raise ValueError(
+            f"vector lengths differ: {len(candidate)} vs {len(baseline)}"
+        )
+    return lexmin_key(candidate) > lexmin_key(baseline)
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²), in (0, 1]; 1 = perfectly even.
+
+    A vector of all zeros is defined as perfectly fair (index 1.0).
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("empty vector")
+    if np.any(x < 0):
+        raise ValueError("values must be non-negative")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / denom

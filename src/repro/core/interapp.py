@@ -1,0 +1,45 @@
+"""Algorithm 1 — data-aware inter-application ordering.
+
+MINLOCALITY: sort applications by the percentage of local jobs achieved so
+far, breaking ties by the percentage of local tasks, and let the first one
+choose executors.  The allocator re-evaluates the order after every single
+grant (line 5 of Algorithm 2's ALLOCATEEXECUTOR returns control when the
+current application stops being the minimum), which is what yields the
+max-min fair progression of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["min_locality_order", "pick_min_locality"]
+
+#: An application's locality record as Algorithm 1 sees it.
+LocalityKey = Tuple[float, float, str]
+
+
+def min_locality_order(
+    keys: Sequence[LocalityKey],
+) -> List[LocalityKey]:
+    """Applications sorted least-localized first.
+
+    ``keys`` are ``(local_job_fraction, local_task_fraction, app_id)``
+    tuples; the app id makes the order total and deterministic.
+    """
+    return sorted(keys)
+
+
+def pick_min_locality(
+    keys: Sequence[LocalityKey],
+    eligible: Optional[Callable[[str], bool]] = None,
+) -> Optional[str]:
+    """The MINLOCALITY procedure: id of the least-localized eligible app.
+
+    ``eligible`` filters out applications that cannot take an executor this
+    round (budget exhausted, nothing desired); returns None when no app is
+    eligible.
+    """
+    for _jobs, _tasks, app_id in min_locality_order(keys):
+        if eligible is None or eligible(app_id):
+            return app_id
+    return None

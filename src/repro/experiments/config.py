@@ -1,0 +1,129 @@
+"""ExperimentConfig: every knob of an evaluation run, with §VI-A defaults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, GBPS, MB
+
+__all__ = ["ExperimentConfig"]
+
+_MANAGERS = ("custody", "standalone", "yarn", "mesos")
+_SCHEDULERS = ("delay", "fifo", "locality-first")
+_PLACEMENTS = ("random", "rack-aware", "popularity")
+_WORKLOADS = ("pagerank", "wordcount", "sort")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One evaluation run.
+
+    Defaults reproduce the paper's setup: a 100-node cluster of 8-core /
+    16 GB / 40 Gbps-down / 2 Gbps-up machines with two executors per node,
+    128 MB blocks replicated three times, four applications submitting 30
+    jobs each with exponential(14 s) inter-arrivals, delay scheduling inside
+    every application.
+    """
+
+    manager: str = "custody"
+    workload: str = "wordcount"
+    num_nodes: int = 100
+    num_apps: int = 4
+    app_weights: Optional[Tuple[float, ...]] = None  # weighted max-min quotas
+    jobs_per_app: int = 30
+    seed: int = 0
+    cores_per_node: int = 8
+    memory_per_node: float = 16 * GB
+    executors_per_node: int = 2
+    executor_slots: int = 4
+    nodes_per_rack: int = 20
+    disk_bandwidth: float = 500 * MB
+    uplink: float = 2 * GBPS
+    downlink: float = 40 * GBPS
+    block_size: float = 128 * MB
+    replication: int = 3
+    placement: str = "random"
+    cache_per_node: float = 0.0  # in-memory block cache per node (bytes)
+    mean_interarrival: float = 14.0
+    scheduler: str = "delay"
+    delay_wait: float = 3.0
+    rack_wait: Optional[float] = None  # enables the node->rack->any ladder
+    speculation: bool = False
+    speculation_quantile: float = 0.75
+    speculation_multiplier: float = 1.5
+    pool_size: Optional[int] = None
+    popularity_skew: float = 1.2
+    kmn_fraction: Optional[float] = None  # KMN [10]: fraction of inputs required
+    shuffle_fanout: int = 1  # parallel source nodes per shuffle fetch
+    spread: bool = False  # standalone spreadOut mode
+    mesos_offer_interval: float = 1.0
+    custody_fill: bool = True
+    custody_enforce_hints: bool = False  # enforce z^u_ijk suggestions (§V)
+    timeline_enabled: bool = False
+    validate_plans: bool = False
+
+    def __post_init__(self) -> None:
+        if self.manager not in _MANAGERS:
+            raise ConfigurationError(f"manager must be one of {_MANAGERS}, got {self.manager!r}")
+        if self.scheduler not in _SCHEDULERS:
+            raise ConfigurationError(
+                f"scheduler must be one of {_SCHEDULERS}, got {self.scheduler!r}"
+            )
+        if self.placement not in _PLACEMENTS:
+            raise ConfigurationError(
+                f"placement must be one of {_PLACEMENTS}, got {self.placement!r}"
+            )
+        if self.workload not in _WORKLOADS:
+            raise ConfigurationError(
+                f"workload must be one of {_WORKLOADS}, got {self.workload!r}"
+            )
+        if self.num_apps < 1 or self.jobs_per_app < 1:
+            raise ConfigurationError("num_apps and jobs_per_app must be >= 1")
+        if self.replication < 1:
+            raise ConfigurationError(f"replication must be >= 1, got {self.replication}")
+        if self.cache_per_node < 0:
+            raise ConfigurationError(
+                f"cache_per_node must be >= 0, got {self.cache_per_node}"
+            )
+        if not (0.0 < self.speculation_quantile <= 1.0):
+            raise ConfigurationError(
+                f"speculation_quantile must be in (0, 1], got {self.speculation_quantile}"
+            )
+        if self.speculation_multiplier < 1.0:
+            raise ConfigurationError(
+                f"speculation_multiplier must be >= 1, got {self.speculation_multiplier}"
+            )
+        if self.kmn_fraction is not None and not (0.0 < self.kmn_fraction <= 1.0):
+            raise ConfigurationError(
+                f"kmn_fraction must be in (0, 1], got {self.kmn_fraction}"
+            )
+        if self.shuffle_fanout < 1:
+            raise ConfigurationError(
+                f"shuffle_fanout must be >= 1, got {self.shuffle_fanout}"
+            )
+        if self.app_weights is not None:
+            if len(self.app_weights) != self.num_apps:
+                raise ConfigurationError(
+                    f"app_weights must have {self.num_apps} entries, "
+                    f"got {len(self.app_weights)}"
+                )
+            if any(w <= 0 for w in self.app_weights):
+                raise ConfigurationError("app_weights must be positive")
+
+    # ------------------------------------------------------------- conveniences
+    @property
+    def app_ids(self) -> tuple:
+        """Deterministic application ids ("app-00" ...)."""
+        return tuple(f"app-{i:02d}" for i in range(self.num_apps))
+
+    def with_manager(self, manager: str) -> "ExperimentConfig":
+        """Same run under a different policy (the common-trace comparison)."""
+        return replace(self, manager=manager)
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        """A cheaper variant for CI: scale the job count, keep the shape."""
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return replace(self, jobs_per_app=max(1, int(round(self.jobs_per_app * factor))))

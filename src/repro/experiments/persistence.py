@@ -1,0 +1,99 @@
+"""Persist experiment results to JSON for cross-run analysis.
+
+Round-trips the serialisable core of an :class:`ExperimentResult` — the
+config, the metrics and optional extras (allocation rounds, speculation
+counters) — so figure sweeps can be accumulated across processes and
+plotted elsewhere.  Timelines export separately as JSON-lines (one record
+per line) since they can be large.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.collector import ExperimentMetrics
+from repro.simulation.timeline import Timeline
+
+__all__ = [
+    "result_to_dict",
+    "save_result",
+    "load_result",
+    "export_timeline",
+    "load_timeline_records",
+]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """The JSON-serialisable projection of a result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(result.config),
+        "metrics": asdict(result.metrics),
+        "sim_time": result.sim_time,
+        "allocation_rounds": result.allocation_rounds,
+        "speculative_launches": result.speculative_launches,
+        "speculative_wins": result.speculative_wins,
+    }
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write a result to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a saved result; reconstructs config and metrics objects.
+
+    Returns ``{"config": ExperimentConfig, "metrics": ExperimentMetrics,
+    ...}`` with the scalar extras passed through.
+    """
+    data = json.loads(Path(path).read_text())
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported result format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    metrics_raw = dict(data["metrics"])
+    metrics_raw["local_job_fraction_per_app"] = tuple(
+        metrics_raw["local_job_fraction_per_app"]
+    )
+    return {
+        "config": ExperimentConfig(**data["config"]),
+        "metrics": ExperimentMetrics(**metrics_raw),
+        "sim_time": data["sim_time"],
+        "allocation_rounds": data["allocation_rounds"],
+        "speculative_launches": data.get("speculative_launches", 0),
+        "speculative_wins": data.get("speculative_wins", 0),
+    }
+
+
+def export_timeline(timeline: Timeline, path: Union[str, Path]) -> Path:
+    """Write a timeline as JSON-lines (one record per line)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for record in timeline:
+            fh.write(json.dumps(record.as_dict(), sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def load_timeline_records(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read an exported timeline back as a list of flat dicts."""
+    records = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,285 @@
+"""End-to-end experiment runner.
+
+Builds the full stack from an :class:`ExperimentConfig` — simulation,
+network fabric, cluster, HDFS with placement policy, workload pools, the
+common submission trace, the chosen cluster manager and one driver per
+application — replays the trace, runs the simulation to quiescence and
+returns the collected metrics.
+
+Determinism: every stochastic component draws from its own named stream of
+a single :class:`~repro.common.rng.RngStreams` derived from ``config.seed``,
+and the submission trace plus all job structures are materialised *before*
+the simulation starts.  Two configs differing only in ``manager`` therefore
+see byte-identical workloads — the paper's common-schedule methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStreams
+from repro.common.units import BlockSpec
+from repro.experiments.config import ExperimentConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.placement import (
+    PlacementPolicy,
+    PopularityAwarePlacement,
+    RackAwarePlacement,
+    RandomPlacement,
+)
+from repro.managers.base import ClusterManager
+from repro.managers.custody import CustodyManager
+from repro.managers.mesos import MesosManager
+from repro.managers.standalone import StandaloneManager
+from repro.managers.yarn import YarnManager
+from repro.metrics.collector import ExperimentMetrics, MetricsCollector
+from repro.network.fabric import NetworkFabric
+from repro.scheduling.driver import ApplicationDriver
+from repro.scheduling.policies import (
+    DelayScheduler,
+    FifoScheduler,
+    HintedDelayScheduler,
+    LocalityFirstScheduler,
+    TaskScheduler,
+)
+from repro.simulation.engine import Simulation
+from repro.simulation.timeline import Timeline
+from repro.workload.application import Application
+from repro.workload.generators import JobFactory, profile_by_name
+from repro.workload.job import Job
+from repro.workload.trace import SubmissionTrace, common_schedule
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a bench or test needs from one run."""
+
+    config: ExperimentConfig
+    metrics: ExperimentMetrics
+    apps: List[Application]
+    sim_time: float
+    allocation_rounds: int
+    timeline: Optional[Timeline] = None
+    manager: Optional[ClusterManager] = None
+    fault_injector: Optional[FaultInjector] = None
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+
+
+def _make_placement(config: ExperimentConfig) -> PlacementPolicy:
+    if config.placement == "random":
+        return RandomPlacement()
+    if config.placement == "rack-aware":
+        return RackAwarePlacement()
+    return PopularityAwarePlacement(max_replicas=2 * config.replication + 1)
+
+
+def _make_scheduler(config: ExperimentConfig, cluster: Cluster) -> TaskScheduler:
+    if config.scheduler == "delay":
+        cls = (
+            HintedDelayScheduler
+            if config.custody_enforce_hints and config.manager == "custody"
+            else DelayScheduler
+        )
+        return cls(
+            wait=config.delay_wait,
+            rack_wait=config.rack_wait,
+            topology=cluster.topology if config.rack_wait is not None else None,
+        )
+    if config.scheduler == "fifo":
+        return FifoScheduler()
+    return LocalityFirstScheduler()
+
+
+def _make_manager(
+    config: ExperimentConfig,
+    sim: Simulation,
+    cluster: Cluster,
+    streams: RngStreams,
+    timeline: Optional[Timeline],
+) -> ClusterManager:
+    weights = None
+    if config.app_weights is not None:
+        weights = dict(zip(config.app_ids, config.app_weights))
+    if config.manager == "standalone":
+        return StandaloneManager(
+            sim,
+            cluster,
+            num_apps=config.num_apps,
+            rng=streams.get("manager.standalone"),
+            spread=config.spread,
+            weights=weights,
+            timeline=timeline,
+        )
+    if config.manager == "yarn":
+        return YarnManager(
+            sim, cluster, num_apps=config.num_apps, weights=weights, timeline=timeline
+        )
+    if config.manager == "mesos":
+        return MesosManager(
+            sim,
+            cluster,
+            num_apps=config.num_apps,
+            offer_interval=config.mesos_offer_interval,
+            weights=weights,
+            timeline=timeline,
+        )
+    return CustodyManager(
+        sim,
+        cluster,
+        num_apps=config.num_apps,
+        fill=config.custody_fill,
+        validate=config.validate_plans,
+        weights=weights,
+        timeline=timeline,
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    max_sim_time: float = 1e7,
+    fault_plan: Optional[FaultPlan] = None,
+    trace: Optional[SubmissionTrace] = None,
+) -> ExperimentResult:
+    """Execute one evaluation run; see module docstring.
+
+    ``max_sim_time`` is a safety net: a policy/scheduler combination that
+    livelocks (e.g. locality-first scheduling on a data-unaware manager)
+    terminates there with its unfinished jobs reported in the metrics.
+    ``fault_plan`` optionally injects slowdowns / executor crashes / disk
+    failures into the run (see :mod:`repro.faults`).
+    ``trace`` replays a caller-supplied submission schedule instead of the
+    generated common schedule — its app ids must be a subset of
+    ``config.app_ids`` and its per-app job indices contiguous from zero
+    (one job is built per event, in trace order).
+    """
+    streams = RngStreams(seed=config.seed)
+    sim = Simulation()
+    timeline = Timeline(clock=lambda: sim.now, enabled=config.timeline_enabled)
+    fabric = NetworkFabric(sim, timeline=timeline if config.timeline_enabled else None)
+    cluster = Cluster(
+        ClusterConfig(
+            num_nodes=config.num_nodes,
+            cores_per_node=config.cores_per_node,
+            memory_per_node=config.memory_per_node,
+            disk_bandwidth=config.disk_bandwidth,
+            uplink=config.uplink,
+            downlink=config.downlink,
+            executors_per_node=config.executors_per_node,
+            executor_slots=config.executor_slots,
+            nodes_per_rack=config.nodes_per_rack,
+        ),
+        fabric=fabric,
+    )
+    hdfs = HDFS(
+        cluster,
+        block_spec=BlockSpec(size=config.block_size, replication=config.replication),
+        placement=_make_placement(config),
+        rng=streams.get("hdfs.placement"),
+        cache_per_node=config.cache_per_node,
+    )
+
+    profile = profile_by_name(config.workload)
+    factory = JobFactory(
+        hdfs,
+        streams.get("workload.jobs"),
+        pool_size=config.pool_size,
+        popularity_skew=config.popularity_skew,
+    )
+    if trace is None:
+        trace = common_schedule(
+            list(config.app_ids),
+            config.jobs_per_app,
+            streams.get("workload.arrivals"),
+            mean_interarrival=config.mean_interarrival,
+        )
+    else:
+        unknown = {e.app_id for e in trace} - set(config.app_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"trace references apps not in the config: {sorted(unknown)}"
+            )
+    # Materialise every job in trace order so job structure is independent
+    # of the manager policy under test.
+    jobs: Dict[tuple, Job] = {}
+    for event in trace:
+        jobs[(event.app_id, event.job_index)] = factory.build_job(
+            event.app_id,
+            profile,
+            expected_jobs=config.jobs_per_app,
+            input_fraction=config.kmn_fraction,
+        )
+
+    manager = _make_manager(config, sim, cluster, streams, timeline)
+    injector: Optional[FaultInjector] = None
+    if fault_plan is not None and len(fault_plan):
+        injector = FaultInjector(
+            sim, cluster, hdfs, fault_plan,
+            timeline=timeline if config.timeline_enabled else None,
+        )
+        injector.bind_manager(manager)
+    drivers: Dict[str, ApplicationDriver] = {}
+    for app_id in config.app_ids:
+        app = Application(app_id, executor_quota=manager.quota_of(app_id))
+        driver = ApplicationDriver(
+            sim,
+            app,
+            cluster,
+            hdfs,
+            fabric,
+            _make_scheduler(config, cluster),
+            timeline=timeline if config.timeline_enabled else None,
+            speculation=config.speculation,
+            speculation_quantile=config.speculation_quantile,
+            speculation_multiplier=config.speculation_multiplier,
+            fault_injector=injector,
+            shuffle_fanout=config.shuffle_fanout,
+        )
+        drivers[app_id] = driver
+        manager.register_driver(driver)
+
+    for event in trace:
+        job = jobs[(event.app_id, event.job_index)]
+        sim.schedule_at(event.time, drivers[event.app_id].submit_job, job)
+
+    # Drain events up to the safety cap without advancing the clock past the
+    # last real event (run(until=...) would park the clock at the cap).
+    while True:
+        nxt = sim.peek()
+        if nxt is None or nxt > max_sim_time:
+            break
+        sim.step()
+    if sim.pending_events:
+        # Hit the safety cap with work still queued: surface it loudly for
+        # configurations that are *expected* to finish.
+        unfinished = sum(
+            1 for d in drivers.values() for j in d.app.jobs if not j.finished
+        )
+        if unfinished and max_sim_time >= 1e7:
+            raise ConfigurationError(
+                f"simulation hit max_sim_time={max_sim_time:g} with "
+                f"{unfinished} unfinished jobs (policy livelock?)"
+            )
+
+    apps = [drivers[a].app for a in config.app_ids]
+    metrics = MetricsCollector().collect(apps)
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        apps=apps,
+        sim_time=sim.now,
+        allocation_rounds=manager.allocation_rounds,
+        timeline=timeline if config.timeline_enabled else None,
+        manager=manager,
+        fault_injector=injector,
+        speculative_launches=sum(d.speculative_launches for d in drivers.values()),
+        speculative_wins=sum(d.speculative_wins for d in drivers.values()),
+    )

@@ -1,0 +1,97 @@
+"""Parameter sweeps: run a config grid and tabulate the results.
+
+The figure drivers in :mod:`repro.experiments.figures` are hand-written for
+the paper's exact panels; :func:`sweep` is the general tool behind them for
+users exploring their own parameter spaces::
+
+    from repro.experiments.sweeps import sweep
+
+    rows = sweep(
+        base=ExperimentConfig(workload="sort", jobs_per_app=6),
+        grid={"manager": ["standalone", "custody"], "num_nodes": [25, 50]},
+        extract={"locality": lambda r: r.metrics.locality_mean,
+                 "jct": lambda r: r.metrics.avg_jct},
+    )
+
+Each row carries the grid point's parameter values plus the extracted
+metrics; :func:`rows_to_csv` writes the whole table for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = ["sweep", "rows_to_csv", "DEFAULT_EXTRACTORS"]
+
+#: The metrics most sweeps want, by name.
+DEFAULT_EXTRACTORS: Dict[str, Callable[[ExperimentResult], Any]] = {
+    "locality": lambda r: r.metrics.locality_mean,
+    "locality_std": lambda r: r.metrics.locality_std,
+    "jct": lambda r: r.metrics.avg_jct,
+    "input_stage": lambda r: r.metrics.avg_input_stage_time,
+    "scheduler_delay": lambda r: r.metrics.avg_scheduler_delay,
+    "makespan": lambda r: r.metrics.makespan,
+    "min_local_jobs": lambda r: r.metrics.min_local_job_fraction,
+    "fairness": lambda r: r.metrics.fairness_index,
+}
+
+
+def sweep(
+    base: ExperimentConfig,
+    grid: Dict[str, Sequence[Any]],
+    *,
+    extract: Optional[Dict[str, Callable[[ExperimentResult], Any]]] = None,
+    repeats: int = 1,
+) -> List[Dict[str, Any]]:
+    """Run the Cartesian product of ``grid`` over ``base``.
+
+    ``grid`` maps :class:`ExperimentConfig` field names to the values to
+    try; ``extract`` maps output column names to functions of the
+    :class:`ExperimentResult` (default: :data:`DEFAULT_EXTRACTORS`).
+    ``repeats`` runs each point with seeds ``base.seed + 0..repeats-1``,
+    one row per run (callers aggregate as they prefer).
+    """
+    if not grid:
+        raise ConfigurationError("sweep grid must name at least one parameter")
+    for field in grid:
+        if not hasattr(base, field):
+            raise ConfigurationError(f"unknown config field {field!r}")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    extractors = extract if extract is not None else DEFAULT_EXTRACTORS
+
+    rows: List[Dict[str, Any]] = []
+    names = sorted(grid)
+    for values in itertools.product(*(grid[name] for name in names)):
+        point = dict(zip(names, values))
+        for trial in range(repeats):
+            config = replace(base, **point, seed=base.seed + trial)
+            result = run_experiment(config)
+            row: Dict[str, Any] = dict(point)
+            row["seed"] = config.seed
+            for column, fn in extractors.items():
+                row[column] = fn(result)
+            rows.append(row)
+    return rows
+
+
+def rows_to_csv(rows: List[Dict[str, Any]], path: Union[str, Path]) -> Path:
+    """Write sweep rows as CSV (columns = union of row keys, sorted)."""
+    if not rows:
+        raise ConfigurationError("no rows to write")
+    path = Path(path)
+    columns = sorted({key for row in rows for key in row})
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

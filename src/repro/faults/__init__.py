@@ -1,0 +1,31 @@
+"""Fault injection: slowdowns, executor failures, disk (replica) loss.
+
+The evaluation's mechanisms — stragglers, speculative execution, NameNode
+block reports, re-replication — only matter when something goes wrong.
+This package makes "wrong" schedulable:
+
+* :class:`NodeSlowdown` — a node's CPU runs at ``1/factor`` speed for a
+  window (the classic straggler cause; pairs with the driver's speculative
+  execution).
+* :class:`ExecutorFailure` — an executor crashes: running attempts are
+  killed, their tasks requeued, the executor returns to the free pool after
+  a restart delay.
+* :class:`DiskFailure` — a DataNode loses every replica; the NameNode is
+  reconciled via a block report and (optionally) re-replicates
+  under-replicated blocks onto healthy nodes.
+
+A :class:`FaultPlan` is a list of such events; a :class:`FaultInjector`
+binds the plan to a live simulation.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import DiskFailure, ExecutorFailure, FaultEvent, FaultPlan, NodeSlowdown
+
+__all__ = [
+    "DiskFailure",
+    "ExecutorFailure",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeSlowdown",
+]

@@ -1,0 +1,182 @@
+"""FaultInjector: binds a FaultPlan to a live simulation."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import ConfigurationError
+from repro.faults.plan import DiskFailure, ExecutorFailure, FaultPlan, NodeSlowdown
+from repro.hdfs.filesystem import HDFS
+from repro.simulation.engine import Simulation
+from repro.simulation.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.managers.base import ClusterManager
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules fault events and answers runtime queries (cpu_factor).
+
+    Construction schedules every plan event; the manager must be attached
+    (:meth:`bind_manager`) before executor failures fire so the injector can
+    find the owning driver.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        hdfs: HDFS,
+        plan: FaultPlan,
+        *,
+        timeline: Optional[Timeline] = None,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.hdfs = hdfs
+        self.plan = plan
+        self.timeline = timeline
+        self.manager: Optional["ClusterManager"] = None
+        #: node id → set of (end_time, factor) currently active
+        self._slowdowns: Dict[str, List[Tuple[float, float]]] = {}
+        self._failed_executors: Set[str] = set()
+        self.injected = 0
+        self.tasks_requeued = 0
+        self.replicas_lost = 0
+        self.replicas_restored = 0
+        for event in plan:
+            if isinstance(event, NodeSlowdown):
+                self.sim.schedule_at(event.at, self._start_slowdown, event)
+            elif isinstance(event, ExecutorFailure):
+                self.sim.schedule_at(event.at, self._fail_executor, event)
+            elif isinstance(event, DiskFailure):
+                self.sim.schedule_at(event.at, self._fail_disk, event)
+            else:
+                raise ConfigurationError(f"unknown fault event {event!r}")
+
+    def bind_manager(self, manager: "ClusterManager") -> None:
+        """Attach the cluster manager (needed for executor failures)."""
+        self.manager = manager
+
+    # ---------------------------------------------------------------- queries
+    def cpu_factor(self, node_id: str) -> float:
+        """Multiplier on CPU time for attempts launched on ``node_id`` now."""
+        active = self._slowdowns.get(node_id)
+        if not active:
+            return 1.0
+        now = self.sim.now
+        factor = 1.0
+        for end, f in active:
+            if now < end:
+                factor = max(factor, f)
+        return factor
+
+    @property
+    def failed_executor_ids(self) -> Set[str]:
+        """Executors currently down (crashed, restart pending)."""
+        return set(self._failed_executors)
+
+    # ------------------------------------------------------------- slowdowns
+    def _start_slowdown(self, event: NodeSlowdown) -> None:
+        self.injected += 1
+        self._slowdowns.setdefault(event.node_id, []).append(
+            (self.sim.now + event.duration, event.factor)
+        )
+        if self.timeline is not None:
+            self.timeline.record(
+                "fault.slowdown", event.node_id,
+                factor=event.factor, duration=event.duration,
+            )
+        self.sim.schedule(event.duration, self._gc_slowdowns, event.node_id)
+
+    def _gc_slowdowns(self, node_id: str) -> None:
+        now = self.sim.now
+        active = self._slowdowns.get(node_id, [])
+        self._slowdowns[node_id] = [(end, f) for end, f in active if end > now]
+
+    # -------------------------------------------------------------- executors
+    def _fail_executor(self, event: ExecutorFailure) -> None:
+        executor = self.cluster.executor(event.executor_id)
+        self.injected += 1
+        if self.timeline is not None:
+            self.timeline.record("fault.executor", event.executor_id)
+        if executor.executor_id in self._failed_executors:
+            return  # already down
+        self._failed_executors.add(executor.executor_id)
+        executor.healthy = False
+        owner = executor.owner
+        if owner is not None:
+            if self.manager is None:
+                raise ConfigurationError(
+                    "FaultInjector needs bind_manager() before executor failures"
+                )
+            driver = self.manager.drivers.get(owner)
+            if driver is not None:
+                self.tasks_requeued += driver.on_executor_failure(executor)
+            executor.release()
+            # Let demand-driven managers replace the lost capacity now.
+            if hasattr(self.manager, "reallocate"):
+                self.manager.reallocate()
+        # Restart: the executor rejoins the free pool after the delay; a
+        # reallocation nudge lets demand-driven managers pick it up.
+        self.sim.schedule(event.restart_delay, self._restart_executor, executor)
+
+    def _restart_executor(self, executor) -> None:
+        self._failed_executors.discard(executor.executor_id)
+        executor.healthy = True
+        if self.timeline is not None:
+            self.timeline.record("fault.executor.restart", executor.executor_id)
+        if self.manager is not None and hasattr(self.manager, "reallocate"):
+            self.manager.reallocate()
+
+    # ------------------------------------------------------------------ disks
+    def _fail_disk(self, event: DiskFailure) -> None:
+        self.injected += 1
+        datanode = self.hdfs.datanodes[event.node_id]
+        lost = datanode.block_report()
+        self.replicas_lost += len(lost)
+        for block_id in lost:
+            datanode.evict(block_id)
+            self.hdfs.namenode.remove_replica(block_id, event.node_id)
+        # The node's cache survives a disk failure in principle, but HDFS
+        # treats the node as unhealthy: drop cached copies too.
+        cache = self.hdfs.caches[event.node_id]
+        for block in cache.clear():
+            self.hdfs.namenode.remove_cached_replica(block.block_id, event.node_id)
+        if self.timeline is not None:
+            self.timeline.record(
+                "fault.disk", event.node_id, replicas_lost=len(lost)
+            )
+        if event.re_replicate:
+            self._re_replicate(event.node_id, lost)
+
+    def _re_replicate(self, failed_node: str, lost_block_ids) -> None:
+        """Restore replication by copying from survivors to healthy nodes."""
+        for block_id in lost_block_ids:
+            survivors = self.hdfs.namenode.locations(block_id)
+            if not survivors:
+                continue  # all replicas gone: data loss, nothing to copy
+            block = None
+            for node in survivors:
+                dn = self.hdfs.datanodes[node]
+                block = dn.block(block_id)
+                if block is not None:
+                    break
+            if block is None:
+                continue
+            candidates = [
+                n
+                for n in self.cluster.node_ids
+                if n != failed_node and not self.hdfs.datanodes[n].holds(block_id)
+            ]
+            if not candidates:
+                continue
+            # Deterministic target choice: stable hash of the block id.
+            digest = sum(block_id.encode("utf-8"))
+            target = candidates[digest % len(candidates)]
+            self.hdfs.datanodes[target].store(block)
+            self.hdfs.namenode.add_replica(block_id, target)
+            self.replicas_restored += 1

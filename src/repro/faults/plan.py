@@ -1,0 +1,104 @@
+"""Fault event types and the FaultPlan container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["FaultEvent", "NodeSlowdown", "ExecutorFailure", "DiskFailure", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base: something goes wrong at virtual time ``at``."""
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"fault time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class NodeSlowdown(FaultEvent):
+    """CPU on ``node_id`` runs ``factor``x slower for ``duration`` seconds.
+
+    Applies to task attempts *launched* during the window (the per-launch
+    approximation keeps already-running timeouts immutable; with typical
+    task lengths well below slowdown windows the difference is negligible).
+    """
+
+    node_id: str = ""
+    duration: float = 0.0
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node_id:
+            raise ConfigurationError("NodeSlowdown requires a node_id")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.factor < 1.0:
+            raise ConfigurationError(f"factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class ExecutorFailure(FaultEvent):
+    """Executor crash: attempts killed, tasks requeued, executor restarts
+    after ``restart_delay`` seconds back in the free pool."""
+
+    executor_id: str = ""
+    restart_delay: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.executor_id:
+            raise ConfigurationError("ExecutorFailure requires an executor_id")
+        if self.restart_delay < 0:
+            raise ConfigurationError(
+                f"restart_delay must be >= 0, got {self.restart_delay}"
+            )
+
+
+@dataclass(frozen=True)
+class DiskFailure(FaultEvent):
+    """DataNode disk loss on ``node_id``: every stored replica vanishes.
+
+    With ``re_replicate`` the filesystem restores each block's replication
+    level by copying from surviving holders to random healthy nodes
+    (instantaneous metadata-level repair — the recovery traffic itself is
+    not modelled, matching how HDFS re-replication runs in the background).
+    """
+
+    node_id: str = ""
+    re_replicate: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node_id:
+            raise ConfigurationError("DiskFailure requires a node_id")
+
+
+class FaultPlan:
+    """A time-ordered collection of fault events."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        self.events: List[FaultEvent] = sorted(events, key=lambda e: e.at)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        """Append an event (keeps the plan sorted); returns self for chaining."""
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def of_type(self, kind: type) -> List[FaultEvent]:
+        """Events of one fault class."""
+        return [e for e in self.events if isinstance(e, kind)]

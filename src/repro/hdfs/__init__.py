@@ -1,0 +1,36 @@
+"""HDFS substrate: NameNode, DataNodes, blocks, placement policies.
+
+Custody's only interface to the storage layer is the NameNode query "which
+DataNodes hold the blocks of this file?" (§IV-C).  We model exactly the
+machinery that answers it:
+
+* :class:`Block` — a fixed-size chunk of a file (128 MB default, §VI-A);
+* :class:`DataNode` — per-worker block inventory with capacity accounting;
+* :class:`NameNode` — directory tree, file → block list, block → replica map;
+* placement policies — HDFS's rack-aware default, uniform random, and a
+  Scarlett-style popularity-proportional policy (§VII, [9]);
+* :class:`HDFS` — the facade tying them together.
+"""
+
+from repro.hdfs.blocks import Block
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.namenode import FileEntry, NameNode
+from repro.hdfs.placement import (
+    PlacementPolicy,
+    PopularityAwarePlacement,
+    RackAwarePlacement,
+    RandomPlacement,
+)
+
+__all__ = [
+    "Block",
+    "DataNode",
+    "FileEntry",
+    "HDFS",
+    "NameNode",
+    "PlacementPolicy",
+    "PopularityAwarePlacement",
+    "RackAwarePlacement",
+    "RandomPlacement",
+]

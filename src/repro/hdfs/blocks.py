@@ -1,0 +1,31 @@
+"""Block: the unit of storage, replication and input-task granularity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Block"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """A fixed-size chunk of one file.
+
+    ``index`` is the block's position within its file; the last block of a
+    file may be shorter than the configured block size.  Blocks are hashable
+    and compared by value, so they key dictionaries throughout the allocator.
+    """
+
+    block_id: str
+    path: str
+    index: int
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"block index must be >= 0, got {self.index}")
+        if self.size <= 0:
+            raise ValueError(f"block size must be positive, got {self.size}")
+
+    def __str__(self) -> str:
+        return self.block_id

@@ -1,0 +1,139 @@
+"""In-memory block caching.
+
+The paper's executor model is ``E_u = {D_x : E_u stores or caches D_x}``
+(§III-A): a block *cached* in a node's memory serves locality exactly like
+a disk replica.  This module adds that second tier:
+
+* :class:`BlockCache` — one per worker node: a byte-capacity LRU over block
+  replicas, read at memory bandwidth;
+* cache locations are registered with the NameNode
+  (:meth:`~repro.hdfs.namenode.NameNode.add_cached_replica`), whose
+  :meth:`~repro.hdfs.namenode.NameNode.serving_locations` is what the task
+  schedulers and the Custody allocator consult.
+
+The runtime policy (wired in :class:`~repro.scheduling.driver.ApplicationDriver`)
+is cache-on-remote-read: when an input task fetches its block over the
+network, the destination node caches it, so repeated scans of a hot dataset
+become local — the Alluxio/HDFS-cache behaviour the paper's popularity
+discussion (§VII) assumes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.hdfs.blocks import Block
+
+__all__ = ["BlockCache"]
+
+#: Default memory-read bandwidth: 2 GB/s, an order of magnitude over SSD.
+DEFAULT_CACHE_BANDWIDTH = 2.0 * 2.0**30
+
+
+class BlockCache:
+    """LRU cache of block replicas on one worker node.
+
+    ``capacity`` is in bytes; a capacity of zero disables the cache (every
+    insert is refused).  Reads at ``bandwidth`` bytes/second.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        capacity: float,
+        *,
+        bandwidth: float = DEFAULT_CACHE_BANDWIDTH,
+    ):
+        if capacity < 0:
+            raise ConfigurationError(f"{node_id}: cache capacity must be >= 0")
+        if bandwidth <= 0:
+            raise ConfigurationError(f"{node_id}: cache bandwidth must be positive")
+        self.node_id = node_id
+        self.capacity = float(capacity)
+        self.bandwidth = float(bandwidth)
+        self._blocks: "OrderedDict[str, Block]" = OrderedDict()
+        self._used = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    # ---------------------------------------------------------------- lookup
+    @property
+    def used(self) -> float:
+        """Bytes currently cached."""
+        return self._used
+
+    @property
+    def block_count(self) -> int:
+        """Number of cached blocks."""
+        return len(self._blocks)
+
+    def holds(self, block_id: str) -> bool:
+        """True when ``block_id`` is cached here (does not touch LRU order)."""
+        return block_id in self._blocks
+
+    def touch(self, block_id: str) -> bool:
+        """Record a read: refresh LRU position; count hit/miss."""
+        if block_id in self._blocks:
+            self._blocks.move_to_end(block_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def read_time(self, size: float) -> float:
+        """Seconds to stream ``size`` bytes from memory."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        return size / self.bandwidth
+
+    # ---------------------------------------------------------------- mutate
+    def insert(self, block: Block) -> List[Block]:
+        """Cache a block, evicting LRU entries to make room.
+
+        Returns the evicted blocks (callers deregister them from the
+        NameNode).  A block larger than the whole cache — or any insert on a
+        zero-capacity cache — is refused (returns the block uncached is not
+        signalled; the cache simply does not hold it).
+        Re-inserting an already-cached block refreshes its LRU position.
+        """
+        if block.block_id in self._blocks:
+            self._blocks.move_to_end(block.block_id)
+            return []
+        if block.size > self.capacity:
+            return []
+        evicted: List[Block] = []
+        while self._used + block.size > self.capacity and self._blocks:
+            _bid, victim = self._blocks.popitem(last=False)
+            self._used -= victim.size
+            self.evictions += 1
+            evicted.append(victim)
+        self._blocks[block.block_id] = block
+        self._used += block.size
+        self.insertions += 1
+        return evicted
+
+    def evict(self, block_id: str) -> Optional[Block]:
+        """Drop a specific block (None if absent)."""
+        block = self._blocks.pop(block_id, None)
+        if block is not None:
+            self._used -= block.size
+            self.evictions += 1
+        return block
+
+    def clear(self) -> List[Block]:
+        """Empty the cache, returning everything that was cached."""
+        blocks = list(self._blocks.values())
+        self._blocks.clear()
+        self._used = 0.0
+        self.evictions += len(blocks)
+        return blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<BlockCache {self.node_id} {len(self._blocks)} blocks "
+            f"{self._used:.0f}/{self.capacity:.0f} B>"
+        )

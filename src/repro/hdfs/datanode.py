@@ -1,0 +1,81 @@
+"""DataNode: the per-worker block inventory.
+
+Each worker node runs one DataNode.  It stores block replicas, enforces its
+storage capacity, and reports its inventory to the NameNode — the periodic
+block-report mechanism, collapsed here to a synchronous call since the
+simulated NameNode and DataNodes share one process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import CapacityError
+from repro.hdfs.blocks import Block
+
+__all__ = ["DataNode"]
+
+
+class DataNode:
+    """Block storage bound to one worker node."""
+
+    def __init__(self, node_id: str, capacity: float):
+        if capacity <= 0:
+            raise CapacityError(f"{node_id}: storage capacity must be positive")
+        self.node_id = node_id
+        self.capacity = capacity
+        self._blocks: Dict[str, Block] = {}
+        self._used = 0.0
+
+    # ---------------------------------------------------------------- storage
+    @property
+    def used(self) -> float:
+        """Bytes currently stored."""
+        return self._used
+
+    @property
+    def free(self) -> float:
+        """Bytes of remaining capacity."""
+        return self.capacity - self._used
+
+    @property
+    def block_count(self) -> int:
+        """Number of replicas stored here."""
+        return len(self._blocks)
+
+    def holds(self, block_id: str) -> bool:
+        """True when a replica of ``block_id`` lives on this node."""
+        return block_id in self._blocks
+
+    def store(self, block: Block) -> None:
+        """Write one replica of ``block``.
+
+        Storing a block twice is idempotent (HDFS never keeps two replicas of
+        one block on the same DataNode).
+        """
+        if block.block_id in self._blocks:
+            return
+        if block.size > self.free:
+            raise CapacityError(
+                f"{self.node_id}: block {block.block_id} ({block.size:.0f} B) "
+                f"exceeds free space ({self.free:.0f} B)"
+            )
+        self._blocks[block.block_id] = block
+        self._used += block.size
+
+    def evict(self, block_id: str) -> None:
+        """Drop the local replica of ``block_id`` (no-op if absent)."""
+        block = self._blocks.pop(block_id, None)
+        if block is not None:
+            self._used -= block.size
+
+    def block(self, block_id: str) -> "Block | None":
+        """The stored :class:`Block` object, or None when absent."""
+        return self._blocks.get(block_id)
+
+    def block_report(self) -> List[str]:
+        """Ids of all replicas stored here (insertion order)."""
+        return list(self._blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DataNode {self.node_id} blocks={len(self._blocks)} used={self._used:.0f}B>"

@@ -1,0 +1,28 @@
+"""Cluster managers: the resource-sharing policies under comparison.
+
+* :class:`StandaloneManager` — Spark standalone [13]: a static, data-unaware
+  executor set per application, fixed for its lifetime.  The paper's
+  baseline.
+* :class:`YarnManager` — YARN-style [12] dynamic capacity pools: executor
+  counts track demand, but the *choice* of executors ignores data.
+* :class:`MesosManager` — Mesos-style [11] offer-based fine-grained sharing:
+  idle executors are offered round-robin; data-aware task schedulers reject
+  unhelpful offers, reproducing the repeated-rejection overhead of §II-A.
+* :class:`CustodyManager` — the paper's contribution: allocation postponed
+  to job submission, NameNode-informed demands, and the two-level
+  data-aware procedure of :mod:`repro.core`.
+"""
+
+from repro.managers.base import ClusterManager
+from repro.managers.custody import CustodyManager
+from repro.managers.mesos import MesosManager
+from repro.managers.standalone import StandaloneManager
+from repro.managers.yarn import YarnManager
+
+__all__ = [
+    "ClusterManager",
+    "CustodyManager",
+    "MesosManager",
+    "StandaloneManager",
+    "YarnManager",
+]

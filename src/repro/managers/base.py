@@ -1,0 +1,141 @@
+"""Shared cluster-manager machinery.
+
+A manager owns the free-executor pool and decides which application gets
+which executor; drivers call back into it on job submission, job completion
+and executor idleness.  Subclasses override the four hooks; the base class
+provides the grant/revoke plumbing with invariant checks and timeline
+records, plus the equal-share quota every policy in the paper uses.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.executor import Executor
+from repro.common.errors import AllocationError, ConfigurationError
+from repro.simulation.engine import Simulation
+from repro.simulation.timeline import Timeline
+from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.driver import ApplicationDriver
+
+__all__ = ["ClusterManager"]
+
+
+class ClusterManager(abc.ABC):
+    """Base class for all resource-sharing policies."""
+
+    #: Human-readable policy name, shown in reports.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        *,
+        num_apps: int,
+        weights: Optional[Dict[str, float]] = None,
+        timeline: Optional[Timeline] = None,
+    ):
+        if num_apps < 1:
+            raise ConfigurationError(f"num_apps must be >= 1, got {num_apps}")
+        if weights is not None:
+            if any(w <= 0 for w in weights.values()):
+                raise ConfigurationError("application weights must be positive")
+            if not weights:
+                weights = None
+        self.sim = sim
+        self.cluster = cluster
+        self.num_apps = num_apps
+        self.weights = weights
+        self.timeline = timeline
+        self.drivers: Dict[str, "ApplicationDriver"] = {}
+        self.allocation_rounds = 0
+
+    # ------------------------------------------------------------------ quota
+    @property
+    def quota(self) -> int:
+        """σ_i under equal sharing — each application's executor share."""
+        return max(1, self.cluster.config.total_executors // self.num_apps)
+
+    def quota_of(self, app_id: str) -> int:
+        """σ_i for ``app_id`` — weighted share when weights are configured.
+
+        Weighted max-min: quotas are proportional to the application's
+        weight over the sum of all configured weights (unknown apps weigh
+        1.0); always at least one executor.
+        """
+        if self.weights is None:
+            return self.quota
+        total_weight = sum(self.weights.values())
+        weight = self.weights.get(app_id, 1.0)
+        share = self.cluster.config.total_executors * weight / total_weight
+        return max(1, int(share))
+
+    def needed_executors(self, driver: "ApplicationDriver") -> int:
+        """Executors required to serve a driver's outstanding tasks."""
+        slots = self.cluster.config.executor_slots
+        return math.ceil(driver.outstanding_tasks / slots) if slots else 0
+
+    # ------------------------------------------------------------ registration
+    def register_driver(self, driver: "ApplicationDriver") -> None:
+        """Admit an application; subclasses may allocate immediately."""
+        if driver.app_id in self.drivers:
+            raise AllocationError(f"app {driver.app_id} registered twice")
+        if driver.manager is not None and driver.manager is not self:
+            raise AllocationError(f"driver {driver.app_id} already has a manager")
+        self.drivers[driver.app_id] = driver
+        driver.manager = self
+        if self.timeline is not None:
+            self.timeline.record("app.register", driver.app_id, manager=self.name)
+        self._on_register(driver)
+
+    # ---------------------------------------------------------------- plumbing
+    def grant(self, driver: "ApplicationDriver", executor: Executor) -> None:
+        """Allocate a free executor to an application."""
+        executor.allocate(driver.app_id)
+        if self.timeline is not None:
+            self.timeline.record(
+                "executor.grant",
+                executor.executor_id,
+                app=driver.app_id,
+                node=executor.node_id,
+            )
+        driver.attach_executor(executor)
+
+    def revoke_idle(self, driver: "ApplicationDriver", executor: Executor) -> bool:
+        """Take an idle executor back from an application; False if busy."""
+        if executor.owner != driver.app_id:
+            raise AllocationError(
+                f"{executor.executor_id} is not owned by {driver.app_id}"
+            )
+        if executor.running_tasks:
+            return False
+        driver.detach_executor(executor)
+        executor.release()
+        if self.timeline is not None:
+            self.timeline.record(
+                "executor.release", executor.executor_id, app=driver.app_id
+            )
+        return True
+
+    def free_pool(self) -> List[Executor]:
+        """Free executors in deterministic (creation) order."""
+        return self.cluster.free_executors()
+
+    # -------------------------------------------------------------------- hooks
+    def _on_register(self, driver: "ApplicationDriver") -> None:
+        """Subclass hook: called after an application registers."""
+
+    def on_job_submitted(self, driver: "ApplicationDriver", job: Job) -> None:
+        """Subclass hook: a driver accepted a new job."""
+
+    def on_job_finished(self, driver: "ApplicationDriver", job: Job) -> None:
+        """Subclass hook: a driver completed a job."""
+
+    def on_executor_idle(self, driver: "ApplicationDriver", executor: Executor) -> None:
+        """Subclass hook: an owned executor's last running task finished."""

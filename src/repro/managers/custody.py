@@ -1,0 +1,199 @@
+"""Custody: the data-aware cluster manager (the paper's contribution).
+
+The manager mirrors the plugin architecture of §V:
+
+1. **Postponed allocation.**  Nothing is allocated at registration; demands
+   become known when jobs are submitted.
+2. **NameNode query.**  On every job boundary the manager asks the NameNode
+   where each pending input block lives and derives, per application, the
+   set of *unsatisfied* input tasks — those with no owned executor on any
+   replica node — and their candidate free executors.
+3. **Release.**  Each application proactively returns idle executors that
+   are neither on a replica node of its pending inputs nor needed for its
+   outstanding task volume ("a specific executor can be released"), so the
+   pool reflects true availability and executor *swaps* are possible at
+   quota.
+4. **Two-level allocation.**  :func:`repro.core.allocation.two_level_allocate`
+   runs Algorithms 1 + 2 over the demands and the idle pool; the resulting
+   grants are applied.  Task-level assignments are forwarded as *hints*;
+   by default applications keep their own (delay) schedulers and ignore
+   them, exactly as the paper deploys it — a
+   :class:`~repro.scheduling.policies.HintedDelayScheduler` opts in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.core.allocation import DataAwareAllocator
+from repro.core.demand import AllocationPlan, AppDemand, JobDemand, TaskDemand, validate_plan
+from repro.managers.base import ClusterManager
+from repro.simulation.engine import Simulation
+from repro.simulation.timeline import Timeline
+from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.driver import ApplicationDriver
+
+__all__ = ["CustodyManager"]
+
+
+class CustodyManager(ClusterManager):
+    """Data-aware executor allocation via the two-level procedure."""
+
+    name = "custody"
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        *,
+        num_apps: int,
+        fill: bool = True,
+        validate: bool = False,
+        weights=None,
+        timeline: Optional[Timeline] = None,
+    ):
+        super().__init__(
+            sim, cluster, num_apps=num_apps, weights=weights, timeline=timeline
+        )
+        self.allocator = DataAwareAllocator(
+            fill=fill, executor_capacity=cluster.config.executor_slots
+        )
+        self.validate = validate
+        self.last_plan: Optional[AllocationPlan] = None
+
+    # -------------------------------------------------------------------- hooks
+    def on_job_submitted(self, driver: "ApplicationDriver", job: Job) -> None:
+        self.reallocate()
+
+    def on_job_finished(self, driver: "ApplicationDriver", job: Job) -> None:
+        self.reallocate()
+
+    # --------------------------------------------------------------- allocation
+    def reallocate(self) -> AllocationPlan:
+        """One full Custody round: release, build demands, allocate, apply."""
+        self.allocation_rounds += 1
+        self._release_surplus()
+        demands, fill_limits = self._build_demands()
+        idle = [e.executor_id for e in self.free_pool()]
+        plan = self.allocator.allocate(demands, idle, fill_limits=fill_limits)
+        if self.validate:
+            validate_plan(
+                plan,
+                demands,
+                idle,
+                executor_capacity=self.cluster.config.executor_slots,
+            )
+        for app_id, executor_ids in plan.grants.items():
+            driver = self.drivers[app_id]
+            for executor_id in executor_ids:
+                self.grant(driver, self.cluster.executor(executor_id))
+        # Forward the z^u_ijk suggestions to hint-aware schedulers (§V: the
+        # allocation "can submit both the list of executors and the
+        # scheduling suggestions"); plain delay schedulers ignore them.
+        if plan.assignment:
+            owner_of_task = {
+                t.task_id: a.app_id for a in demands for j in a.jobs for t in j.tasks
+            }
+            per_app: Dict[str, Dict[str, str]] = {}
+            for task_id, executor_id in plan.assignment.items():
+                per_app.setdefault(owner_of_task[task_id], {})[task_id] = executor_id
+            for app_id, hints in per_app.items():
+                self.drivers[app_id].set_task_hints(hints)
+        if self.timeline is not None:
+            self.timeline.record(
+                "custody.round",
+                f"round-{self.allocation_rounds:05d}",
+                granted=plan.total_granted,
+                promised=len(plan.assignment),
+            )
+        self.last_plan = plan
+        return plan
+
+    # ----------------------------------------------------------------- releases
+    def _release_surplus(self) -> None:
+        """Return idle executors that serve neither locality nor capacity."""
+        for driver in self._driver_order():
+            useful_nodes = self._pending_replica_nodes(driver)
+            needed = self.needed_executors(driver)
+            for executor in driver.executors:
+                if driver.executor_count <= needed:
+                    break
+                if executor.running_tasks:
+                    continue
+                if executor.node_id in useful_nodes:
+                    continue
+                self.revoke_idle(driver, executor)
+
+    def _pending_replica_nodes(self, driver: "ApplicationDriver") -> set:
+        """Nodes holding replicas of any pending (unstarted) input task."""
+        namenode = driver.hdfs.namenode
+        nodes: set = set()
+        for task in driver.runnable_tasks:
+            if task.is_input and task.started_at is None and task.block is not None:
+                nodes.update(namenode.serving_locations(task.block.block_id))
+        return nodes
+
+    # ------------------------------------------------------------------ demands
+    def _build_demands(self) -> tuple:
+        """Construct the AppDemand list and fill limits from live state."""
+        free_by_node: Dict[str, List[str]] = {}
+        for executor in self.free_pool():
+            free_by_node.setdefault(executor.node_id, []).append(executor.executor_id)
+
+        demands: List[AppDemand] = []
+        fill_limits: Dict[str, int] = {}
+        for driver in self._driver_order():
+            namenode = driver.hdfs.namenode
+            owned_nodes = set(driver.owned_nodes())
+            job_by_id = {j.job_id: j for j in driver.app.jobs}
+            jobs: Dict[str, List[TaskDemand]] = {}
+            totals: Dict[str, int] = {}
+            for task in driver.runnable_tasks:
+                if not task.is_input or task.started_at is not None:
+                    continue
+                assert task.block is not None
+                replica_nodes = namenode.serving_locations(task.block.block_id)
+                if owned_nodes.intersection(replica_nodes):
+                    continue  # satisfied: an owned executor can serve it locally
+                candidates = [
+                    ex for node in replica_nodes for ex in free_by_node.get(node, ())
+                ]
+                jobs.setdefault(task.job_id, []).append(
+                    TaskDemand.of(task.task_id, candidates)
+                )
+                totals[task.job_id] = job_by_id[task.job_id].num_input_tasks
+            job_demands = [
+                JobDemand(job_id, tuple(tasks), total_tasks=totals[job_id])
+                for job_id, tasks in sorted(jobs.items())
+            ]
+            app = driver.app
+            decided_jobs = sum(1 for j in app.jobs if j.is_local_job is not None)
+            local_jobs = sum(1 for j in app.jobs if j.is_local_job)
+            decided_tasks = sum(
+                1 for t in app.input_tasks if t.was_local is not None
+            )
+            local_tasks = sum(1 for t in app.input_tasks if t.was_local)
+            quota = self.quota_of(driver.app_id)
+            held = min(driver.executor_count, quota)
+            demands.append(
+                AppDemand(
+                    app_id=driver.app_id,
+                    jobs=tuple(job_demands),
+                    quota=quota,
+                    held=held,
+                    local_jobs=local_jobs,
+                    decided_jobs=decided_jobs,
+                    local_tasks=local_tasks,
+                    decided_tasks=decided_tasks,
+                )
+            )
+            fill_limits[driver.app_id] = max(
+                0, self.needed_executors(driver) - driver.executor_count
+            )
+        return demands, fill_limits
+
+    def _driver_order(self):
+        return [self.drivers[k] for k in sorted(self.drivers)]

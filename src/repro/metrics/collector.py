@@ -1,0 +1,95 @@
+"""ExperimentMetrics: one summary object per experiment run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.fairness import jains_index
+from repro.metrics.locality import (
+    local_job_fraction,
+    locality_level_breakdown,
+    per_job_locality,
+)
+from repro.metrics.timings import (
+    average_completion_time,
+    average_input_stage_time,
+    average_scheduler_delay,
+    makespan,
+)
+from repro.workload.application import Application
+from repro.workload.job import Job
+
+__all__ = ["ExperimentMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class ExperimentMetrics:
+    """All figures' raw numbers for one run."""
+
+    finished_jobs: int
+    unfinished_jobs: int
+    locality_mean: float
+    locality_std: float
+    locality_min: float
+    local_job_fraction_per_app: tuple
+    avg_jct: Optional[float]
+    avg_input_stage_time: Optional[float]
+    avg_scheduler_delay: Optional[float]
+    makespan: Optional[float]
+    fairness_index: float
+    per_workload_jct: Dict[str, float] = field(default_factory=dict)
+    per_workload_locality: Dict[str, float] = field(default_factory=dict)
+    locality_levels: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def min_local_job_fraction(self) -> float:
+        """The max-min objective: worst application's local-job fraction."""
+        return min(self.local_job_fraction_per_app) if self.local_job_fraction_per_app else 0.0
+
+
+class MetricsCollector:
+    """Builds :class:`ExperimentMetrics` from finished applications."""
+
+    def collect(self, apps: Iterable[Application]) -> ExperimentMetrics:
+        """Summarise a finished run (all jobs should have completed)."""
+        apps = list(apps)
+        jobs: List[Job] = [j for app in apps for j in app.jobs]
+        finished = [j for j in jobs if j.finished]
+        unfinished = [j for j in jobs if not j.finished]
+        localities = per_job_locality(finished)
+        loc = np.asarray(localities, dtype=np.float64) if localities else np.zeros(0)
+        per_app = tuple(local_job_fraction(apps))
+        tasks = [t for j in finished for t in j.input_tasks]
+
+        per_workload_jct: Dict[str, float] = {}
+        per_workload_loc: Dict[str, float] = {}
+        by_workload: Dict[str, List[Job]] = {}
+        for job in finished:
+            by_workload.setdefault(job.workload or "unknown", []).append(job)
+        for name, group in sorted(by_workload.items()):
+            jct = average_completion_time(group)
+            if jct is not None:
+                per_workload_jct[name] = jct
+            fracs = per_job_locality(group)
+            if fracs:
+                per_workload_loc[name] = float(np.mean(fracs))
+
+        return ExperimentMetrics(
+            finished_jobs=len(finished),
+            unfinished_jobs=len(unfinished),
+            locality_mean=float(loc.mean()) if loc.size else 0.0,
+            locality_std=float(loc.std()) if loc.size else 0.0,
+            locality_min=float(loc.min()) if loc.size else 0.0,
+            local_job_fraction_per_app=per_app,
+            avg_jct=average_completion_time(finished),
+            avg_input_stage_time=average_input_stage_time(finished),
+            avg_scheduler_delay=average_scheduler_delay(tasks),
+            makespan=makespan(finished),
+            fairness_index=jains_index(per_app) if per_app else 1.0,
+            per_workload_jct=per_workload_jct,
+            per_workload_locality=per_workload_loc,
+            locality_levels=locality_level_breakdown(finished),
+        )

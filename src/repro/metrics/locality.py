@@ -1,0 +1,73 @@
+"""Locality metrics over finished workloads."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.workload.application import Application
+from repro.workload.job import Job
+
+__all__ = [
+    "per_job_locality",
+    "local_job_fraction",
+    "locality_gain",
+    "locality_level_breakdown",
+]
+
+
+def per_job_locality(jobs: Iterable[Job]) -> List[float]:
+    """Fraction of local input tasks for each finished job — Fig. 7's samples.
+
+    A job counts once its quorum of input tasks has run (all N for a normal
+    job; K for a KMN job whose surplus tasks were cancelled); the fraction
+    is over the tasks that actually ran.
+    """
+    fractions: List[float] = []
+    for job in jobs:
+        frac = job.local_input_fraction
+        decided = sum(1 for t in job.input_tasks if t.was_local is not None)
+        if frac is not None and decided >= job.input_quorum:
+            fractions.append(frac)
+    return fractions
+
+
+def local_job_fraction(apps: Iterable[Application]) -> List[float]:
+    """Per-application fraction of perfectly-local jobs — the Eq. 6 objective."""
+    result = []
+    for app in apps:
+        decided = [j for j in app.jobs if j.is_local_job is not None]
+        if decided:
+            result.append(sum(1 for j in decided if j.is_local_job) / len(decided))
+        else:
+            result.append(0.0)
+    return result
+
+
+def locality_level_breakdown(jobs: Iterable[Job]) -> dict:
+    """Fraction of executed input tasks at each locality level.
+
+    Returns ``{"node": x, "rack": y, "any": z}`` summing to 1 over executed
+    input tasks (empty dict when nothing ran).  Rack shares are only
+    non-zero on multi-rack clusters.
+    """
+    counts = {"node": 0, "rack": 0, "any": 0}
+    total = 0
+    for job in jobs:
+        for task in job.input_tasks:
+            if task.locality_level is not None:
+                counts[task.locality_level] += 1
+                total += 1
+    if total == 0:
+        return {}
+    return {level: count / total for level, count in counts.items()}
+
+
+def locality_gain(custody: float, baseline: float) -> float:
+    """Relative improvement the paper reports: (c − b) / b.
+
+    Defined as 0 when the baseline is already 0 and custody is too;
+    infinite baseline-zero improvements are reported as ``inf``.
+    """
+    if baseline == 0.0:
+        return 0.0 if custody == 0.0 else float("inf")
+    return (custody - baseline) / baseline

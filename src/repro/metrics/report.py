@@ -1,0 +1,79 @@
+"""Plain-text report rendering for benches and examples.
+
+Benches print paper-style rows ("Custody vs Spark, workload X, cluster N:
+locality a% vs b%, gain c%"); these helpers keep the formatting in one
+place so every bench and example reads the same.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.collector import ExperimentMetrics
+
+__all__ = ["format_table", "comparison_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def comparison_table(
+    results: Dict[str, ExperimentMetrics],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Side-by-side summary of several runs (key = policy name)."""
+    headers = [
+        "policy",
+        "locality%",
+        "±std",
+        "local jobs%(min app)",
+        "avg JCT (s)",
+        "input stage (s)",
+        "sched delay (s)",
+        "makespan (s)",
+        "fairness",
+    ]
+    rows = []
+    for name, m in results.items():
+        rows.append(
+            [
+                name,
+                100.0 * m.locality_mean,
+                100.0 * m.locality_std,
+                100.0 * m.min_local_job_fraction,
+                m.avg_jct,
+                m.avg_input_stage_time,
+                m.avg_scheduler_delay,
+                m.makespan,
+                m.fairness_index,
+            ]
+        )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,53 @@
+"""Timing metrics: JCT, input-stage duration, scheduler delay, makespan."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.workload.job import Job
+from repro.workload.task import Task
+
+__all__ = [
+    "average_completion_time",
+    "average_input_stage_time",
+    "average_scheduler_delay",
+    "makespan",
+]
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def average_completion_time(jobs: Iterable[Job]) -> Optional[float]:
+    """Mean job completion time over finished jobs — Fig. 8's metric."""
+    return _mean([j.completion_time for j in jobs if j.completion_time is not None])
+
+
+def average_input_stage_time(jobs: Iterable[Job]) -> Optional[float]:
+    """Mean input (map) stage duration over finished jobs — Fig. 9's metric."""
+    return _mean([j.input_stage_time for j in jobs if j.input_stage_time is not None])
+
+
+def average_scheduler_delay(tasks: Iterable[Task], *, input_only: bool = True) -> Optional[float]:
+    """Mean submission-to-launch delay — Fig. 10's metric.
+
+    The paper measures the delay delay-scheduling induces on tasks waiting
+    for suitable executors; by default only input tasks are counted (shuffle
+    tasks have no locality wait).
+    """
+    delays = [
+        t.scheduler_delay
+        for t in tasks
+        if t.scheduler_delay is not None and (t.is_input or not input_only)
+    ]
+    return _mean(delays)
+
+
+def makespan(jobs: Iterable[Job]) -> Optional[float]:
+    """First submission to last completion across all finished jobs."""
+    submitted = [j.submitted_at for j in jobs if j.submitted_at is not None]
+    finished = [j.finished_at for j in jobs if j.finished_at is not None]
+    if not submitted or not finished:
+        return None
+    return max(finished) - min(submitted)

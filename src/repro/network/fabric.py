@@ -1,0 +1,131 @@
+"""The cluster network: starts transfers, reallocates rates, fires completions.
+
+On every flow arrival or departure the fabric recomputes the global max-min
+fair allocation (:func:`repro.network.bandwidth.maxmin_rates`), settles each
+active transfer's progress, and reschedules the earliest completion event.
+A single pending completion event is maintained (for the flow with the
+smallest ETA); when it fires, any other flows that finish at the same instant
+are also completed, then rates are recomputed once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import IdFactory
+from repro.network.bandwidth import LinkCapacities, maxmin_rates
+from repro.network.transfer import Transfer
+from repro.simulation.engine import EventHandle, Simulation
+from repro.simulation.timeline import Timeline
+
+__all__ = ["NetworkFabric"]
+
+#: Completions within this many seconds of the earliest ETA are batched into
+#: one event, avoiding event storms from floating-point near-ties.
+_ETA_EPSILON = 1e-9
+
+
+class NetworkFabric:
+    """Flow-level network shared by all worker nodes.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulation.
+    timeline:
+        Optional trace sink; transfer start/finish records are written to it.
+    """
+
+    def __init__(self, sim: Simulation, timeline: Optional[Timeline] = None):
+        self.sim = sim
+        self.timeline = timeline
+        self.capacities = LinkCapacities()
+        self._active: Dict[str, Transfer] = {}
+        self._ids = IdFactory(width=6)
+        self._completion_event: Optional[EventHandle] = None
+        self.completed_count = 0
+        self.total_bytes_moved = 0.0
+
+    # ------------------------------------------------------------------ setup
+    def add_node(self, node_id: str, uplink: float, downlink: float) -> None:
+        """Register a node's NIC before any transfer touches it."""
+        self.capacities.add_node(node_id, uplink, downlink)
+
+    # --------------------------------------------------------------- transfers
+    @property
+    def active_transfers(self) -> int:
+        """Number of flows currently in flight."""
+        return len(self._active)
+
+    def start_transfer(self, src: str, dst: str, size: float) -> Transfer:
+        """Begin moving ``size`` bytes from ``src`` to ``dst``.
+
+        Returns the :class:`Transfer`; wait on ``transfer.done`` for
+        completion.  ``src == dst`` is rejected — local reads never cross the
+        fabric (model them with the node's disk, not the NIC).
+        """
+        if src == dst:
+            raise ConfigurationError(
+                f"transfer {src!r}->{dst!r} is local; use disk read time instead"
+            )
+        transfer = Transfer(self.sim, self._ids.next("xfer"), src, dst, size)
+        self._active[transfer.transfer_id] = transfer
+        if self.timeline is not None:
+            self.timeline.record(
+                "transfer.start", transfer.transfer_id, src=src, dst=dst, size=size
+            )
+        self._reallocate()
+        return transfer
+
+    def cancel_transfer(self, transfer: Transfer) -> None:
+        """Abort an in-flight transfer (its ``done`` signal never triggers)."""
+        if transfer.transfer_id in self._active:
+            del self._active[transfer.transfer_id]
+            if self.timeline is not None:
+                self.timeline.record("transfer.cancel", transfer.transfer_id)
+            self._reallocate()
+
+    # ------------------------------------------------------------- reallocation
+    def _reallocate(self) -> None:
+        """Recompute fair rates for all active flows and re-arm completion."""
+        now = self.sim.now
+        transfers = list(self._active.values())
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not transfers:
+            return
+        flows = [(t.src, t.dst) for t in transfers]
+        rates = maxmin_rates(flows, self.capacities)
+        min_eta = float("inf")
+        for transfer, rate in zip(transfers, rates):
+            transfer.set_rate(now, rate)
+            eta = transfer.eta(now)
+            if eta < min_eta:
+                min_eta = eta
+        if min_eta == float("inf"):
+            return
+        self._completion_event = self.sim.schedule(min_eta, self._on_completion)
+
+    def _on_completion(self) -> None:
+        """Finish every flow whose residual hit zero, then reallocate once."""
+        now = self.sim.now
+        finished: List[Transfer] = [
+            t for t in self._active.values() if t.eta(now) <= _ETA_EPSILON
+        ]
+        for transfer in finished:
+            del self._active[transfer.transfer_id]
+            transfer.settle(now)
+            transfer.finished_at = now
+            self.completed_count += 1
+            self.total_bytes_moved += transfer.size
+            if self.timeline is not None:
+                self.timeline.record(
+                    "transfer.finish",
+                    transfer.transfer_id,
+                    duration=now - transfer.started_at,
+                )
+            transfer.done.trigger(transfer)
+        self._completion_event = None
+        self._reallocate()

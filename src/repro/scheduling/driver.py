@@ -1,0 +1,579 @@
+"""ApplicationDriver: the Spark-driver analogue.
+
+One driver per application.  It receives jobs from the submission trace,
+walks each job's stage chain, and launches tasks into the executors the
+cluster manager has granted it, consulting its :class:`TaskScheduler`
+(delay scheduling by default) for every free slot.  It reports job
+submission/completion and executor idleness to the manager — the hooks
+Custody's reallocation listens on (§V).
+
+Execution model per task *attempt*:
+
+* **input task** — if the hosting node holds the block on disk or in cache,
+  stream it locally; otherwise fetch it over the network from a replica
+  holder (remote read = no locality) and cache it if caching is enabled.
+* **shuffle task** — fetch the aggregated upstream output; the source node
+  rotates deterministically over the nodes that ran the previous stage.
+  (Approximation: one aggregate flow per reduce task instead of one flow
+  per map-reduce pair — preserves volume and NIC contention, drops
+  per-flow fan-in.)
+* then burn the task's CPU time (scaled by any active node slowdown) and
+  release the slot.
+
+Tasks run as interruptible **attempts** so two mechanisms compose:
+
+* **speculative execution** (straggler mitigation, [26][27] in the paper's
+  §IV-B): once most of a stage has finished, a running task that exceeds
+  ``speculation_multiplier`` × the stage's median completed duration gets a
+  clone on a free slot; the first finisher wins and the loser is killed.
+* **executor failure** (fault injection): all attempts on a failed executor
+  are killed and their tasks requeued.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.executor import Executor
+from repro.common.errors import AllocationError
+from repro.hdfs.filesystem import HDFS
+from repro.network.fabric import NetworkFabric
+from repro.scheduling.policies import TaskScheduler
+from repro.simulation.engine import EventHandle, Simulation
+from repro.simulation.process import AllOf, Interrupt, Process, Timeout
+from repro.simulation.timeline import Timeline
+from repro.workload.application import Application
+from repro.workload.job import Job
+from repro.workload.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+    from repro.managers.base import ClusterManager
+
+__all__ = ["ApplicationDriver"]
+
+
+class _Attempt:
+    """One execution attempt of a task on an executor."""
+
+    __slots__ = ("task", "executor", "process", "speculative", "started_at")
+
+    def __init__(self, task: Task, executor: Executor, speculative: bool, started_at: float):
+        self.task = task
+        self.executor = executor
+        self.process: Optional[Process] = None
+        self.speculative = speculative
+        self.started_at = started_at
+
+
+class ApplicationDriver:
+    """Runs one application's jobs on its granted executors."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        app: Application,
+        cluster: Cluster,
+        hdfs: HDFS,
+        fabric: NetworkFabric,
+        scheduler: TaskScheduler,
+        timeline: Optional[Timeline] = None,
+        *,
+        speculation: bool = False,
+        speculation_quantile: float = 0.75,
+        speculation_multiplier: float = 1.5,
+        fault_injector: Optional["FaultInjector"] = None,
+        shuffle_fanout: int = 1,
+    ):
+        if not (0.0 < speculation_quantile <= 1.0):
+            raise ValueError(
+                f"speculation_quantile must be in (0, 1], got {speculation_quantile}"
+            )
+        if speculation_multiplier < 1.0:
+            raise ValueError(
+                f"speculation_multiplier must be >= 1, got {speculation_multiplier}"
+            )
+        if shuffle_fanout < 1:
+            raise ValueError(f"shuffle_fanout must be >= 1, got {shuffle_fanout}")
+        self.sim = sim
+        self.app = app
+        self.cluster = cluster
+        self.hdfs = hdfs
+        self.fabric = fabric
+        self.scheduler = scheduler
+        self.timeline = timeline
+        self.speculation = speculation
+        self.speculation_quantile = speculation_quantile
+        self.speculation_multiplier = speculation_multiplier
+        self.fault_injector = fault_injector
+        self.shuffle_fanout = shuffle_fanout
+        self.manager: Optional["ClusterManager"] = None
+        self.speculative_launches = 0
+        self.speculative_wins = 0
+        self.requeued_tasks = 0
+        self._executors: Dict[str, Executor] = {}
+        self._runnable: List[Task] = []
+        self._attempts: Dict[str, List[_Attempt]] = {}
+        self._stage_remaining: Dict[Tuple[str, int], int] = {}
+        self._stage_durations: Dict[Tuple[str, int], List[float]] = {}
+        self._stage_nodes: Dict[Tuple[str, int], List[str]] = {}
+        self._shuffle_rotation: Dict[Tuple[str, int], int] = {}
+        self._jobs: Dict[str, Job] = {}
+        self._wakeup: Optional[EventHandle] = None
+        self._spec_wakeup: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def app_id(self) -> str:
+        """Owning application's id."""
+        return self.app.app_id
+
+    @property
+    def executors(self) -> List[Executor]:
+        """Executors currently granted to this application (id order)."""
+        return [self._executors[k] for k in sorted(self._executors)]
+
+    @property
+    def executor_count(self) -> int:
+        """ζ_i — executors currently held."""
+        return len(self._executors)
+
+    @property
+    def runnable_tasks(self) -> List[Task]:
+        """Tasks ready to run, FIFO order."""
+        return list(self._runnable)
+
+    @property
+    def running_count(self) -> int:
+        """Tasks with at least one active attempt."""
+        return len(self._attempts)
+
+    @property
+    def outstanding_tasks(self) -> int:
+        """Runnable + running task count (the manager's capacity signal)."""
+        return len(self._runnable) + len(self._attempts)
+
+    def owned_nodes(self) -> List[str]:
+        """Distinct node ids hosting this app's executors."""
+        return sorted({e.node_id for e in self._executors.values()})
+
+    # ------------------------------------------------------------ job intake
+    def submit_job(self, job: Job) -> None:
+        """Accept a new job: record it, enqueue its input stage, dispatch."""
+        now = self.sim.now
+        job.submitted_at = now
+        self._jobs[job.job_id] = job
+        self.app.add_job(job)
+        self._enqueue_stage(job, 0)
+        if self.timeline is not None:
+            self.timeline.record(
+                "job.submit", job.job_id, app=self.app_id, inputs=job.num_input_tasks
+            )
+        if self.manager is not None:
+            self.manager.on_job_submitted(self, job)
+        self._dispatch()
+
+    def _enqueue_stage(self, job: Job, stage_index: int) -> None:
+        stage = job.stages[stage_index]
+        now = self.sim.now
+        key = (job.job_id, stage_index)
+        # KMN quorum: the input stage barrier fires after K of N tasks.
+        if stage_index == 0:
+            self._stage_remaining[key] = job.input_quorum
+        else:
+            self._stage_remaining[key] = len(stage.tasks)
+        self._stage_durations[key] = []
+        self._stage_nodes[key] = []
+        for task in stage.tasks:
+            task.submitted_at = now
+            self._runnable.append(task)
+
+    # -------------------------------------------------------- executor churn
+    def attach_executor(self, executor: Executor) -> None:
+        """Manager grant: the executor now belongs to this app."""
+        if executor.owner != self.app_id:
+            raise AllocationError(
+                f"{executor.executor_id} owned by {executor.owner!r}, "
+                f"cannot attach to {self.app_id!r}"
+            )
+        self._executors[executor.executor_id] = executor
+        self._dispatch()
+
+    def detach_executor(self, executor: Executor) -> None:
+        """Manager revocation; only idle executors may be detached."""
+        if executor.running_tasks:
+            raise AllocationError(
+                f"{executor.executor_id} is busy; cannot detach from {self.app_id}"
+            )
+        self._executors.pop(executor.executor_id, None)
+
+    def consider_offer(self, executor: Executor) -> bool:
+        """Mesos-style offer: would this app use a slot on that node now?"""
+        return self.scheduler.accepts_offer(
+            self._runnable, executor.node_id, self.sim.now, self.hdfs.namenode
+        )
+
+    def set_task_hints(self, mapping: Dict[str, str]) -> None:
+        """Forward Custody's task→executor suggestions to a hint-aware
+        scheduler (no-op for schedulers without ``set_hints``)."""
+        setter = getattr(self.scheduler, "set_hints", None)
+        if setter is not None:
+            setter(mapping)
+
+    def on_executor_failure(self, executor: Executor) -> int:
+        """Fault hook: kill every attempt on ``executor``, requeue the tasks.
+
+        Returns the number of tasks requeued.  The executor itself is
+        detached; ownership/release is the fault injector's business.
+        """
+        victims = [
+            attempt
+            for attempts in self._attempts.values()
+            for attempt in attempts
+            if attempt.executor is executor
+        ]
+        requeued = 0
+        for attempt in victims:
+            task = attempt.task
+            self._kill_attempt(attempt)
+            if not self._attempts.get(task.task_id):
+                # No surviving attempt: back to the runnable queue.
+                self._attempts.pop(task.task_id, None)
+                task.started_at = None
+                task.executor_id = None
+                task.node_id = None
+                task.was_local = None
+                task.read_time = None
+                self._runnable.append(task)
+                requeued += 1
+                self.requeued_tasks += 1
+                if self.timeline is not None:
+                    self.timeline.record(
+                        "task.requeue", task.task_id, app=self.app_id,
+                        executor=executor.executor_id,
+                    )
+        self._executors.pop(executor.executor_id, None)
+        self._dispatch()
+        return requeued
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch(self) -> None:
+        """Greedily match runnable tasks to free slots, then arm the wakeup."""
+        namenode = self.hdfs.namenode
+        now = self.sim.now
+        progressed = True
+        while progressed and self._runnable:
+            progressed = False
+            for executor in self.executors:
+                if executor.free_slots <= 0:
+                    continue
+                task = self.scheduler.pick_task(
+                    self._runnable,
+                    executor.node_id,
+                    now,
+                    namenode,
+                    executor_id=executor.executor_id,
+                )
+                if task is None:
+                    continue
+                self._runnable.remove(task)
+                self._start_attempt(task, executor, speculative=False)
+                progressed = True
+                if not self._runnable:
+                    break
+        if self.speculation:
+            self._launch_speculative_attempts()
+        self._arm_wakeup()
+
+    def _arm_wakeup(self) -> None:
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self._wakeup = None
+        if not self._runnable:
+            return
+        if not any(e.free_slots > 0 for e in self._executors.values()):
+            return
+        when = self.scheduler.next_wakeup(self._runnable, self.sim.now)
+        if when is not None and when > self.sim.now:
+            self._wakeup = self.sim.schedule_at(when, self._dispatch)
+
+    # ------------------------------------------------------------ speculation
+    def _launch_speculative_attempts(self) -> None:
+        """Clone stragglers onto free slots (one clone per task at a time).
+
+        Also arms a timer at the earliest moment a currently-running
+        singleton attempt will cross its straggler threshold, so clones
+        launch even when the cluster is otherwise quiet.
+        """
+        if self._spec_wakeup is not None:
+            self._spec_wakeup.cancel()
+            self._spec_wakeup = None
+        free = [e for e in self.executors if e.free_slots > 0]
+        if not free:
+            return
+        now = self.sim.now
+        next_check: Optional[float] = None
+        for task_id, attempts in list(self._attempts.items()):
+            if not free:
+                break
+            if len(attempts) != 1:
+                continue  # already cloned (or being finalised)
+            attempt = attempts[0]
+            threshold = self._speculation_threshold(attempt.task)
+            if threshold is None:
+                continue
+            eligible_at = attempt.started_at + threshold
+            if now < eligible_at:
+                if next_check is None or eligible_at < next_check:
+                    next_check = eligible_at
+                continue
+            # Prefer a local executor for the clone; else first free slot.
+            executor = self._pick_clone_slot(attempt.task, free)
+            if executor is None:
+                continue
+            self._start_attempt(attempt.task, executor, speculative=True)
+            self.speculative_launches += 1
+            if executor.free_slots <= 0:
+                free.remove(executor)
+        if next_check is not None and next_check > now:
+            self._spec_wakeup = self.sim.schedule_at(next_check, self._dispatch)
+
+    def _speculation_threshold(self, task: Task) -> Optional[float]:
+        """Duration beyond which ``task`` counts as a straggler, or None."""
+        key = (task.job_id, task.stage_index)
+        durations = self._stage_durations.get(key)
+        total = len(self._jobs[task.job_id].stages[task.stage_index].tasks)
+        if not durations or len(durations) < self.speculation_quantile * total:
+            return None
+        ordered = sorted(durations)
+        median = ordered[len(ordered) // 2]
+        return self.speculation_multiplier * median
+
+    def _pick_clone_slot(self, task: Task, free: List[Executor]) -> Optional[Executor]:
+        running_on = {a.executor.executor_id for a in self._attempts[task.task_id]}
+        candidates = [e for e in free if e.executor_id not in running_on]
+        if not candidates:
+            return None
+        if task.is_input and task.block is not None:
+            serving = set(self.hdfs.namenode.serving_locations(task.block.block_id))
+            local = [e for e in candidates if e.node_id in serving]
+            if local:
+                return local[0]
+        return candidates[0]
+
+    # ---------------------------------------------------------------- attempts
+    def _start_attempt(self, task: Task, executor: Executor, *, speculative: bool) -> None:
+        now = self.sim.now
+        executor.start_task(task.task_id)
+        attempt = _Attempt(task, executor, speculative, now)
+        self._attempts.setdefault(task.task_id, []).append(attempt)
+        if not speculative:
+            task.started_at = now
+            task.executor_id = executor.executor_id
+            task.node_id = executor.node_id
+        if self.timeline is not None:
+            self.timeline.record(
+                "task.speculate" if speculative else "task.start",
+                task.task_id,
+                app=self.app_id,
+                executor=executor.executor_id,
+                node=executor.node_id,
+            )
+        attempt.process = Process(
+            self.sim,
+            self._attempt_proc(attempt),
+            name=f"run:{task.task_id}@{executor.executor_id}",
+        )
+
+    def _kill_attempt(self, attempt: _Attempt) -> None:
+        """Kill an attempt, releasing its slot before returning.
+
+        The immediate interrupt runs the attempt generator's cleanup
+        (cancel in-flight transfer, free the executor slot) synchronously;
+        if the process has not reached its first yield yet the slot is
+        freed here and the late interrupt lands harmlessly.
+        """
+        attempts = self._attempts.get(attempt.task.task_id)
+        if attempts and attempt in attempts:
+            attempts.remove(attempt)
+        if attempt.process is not None and attempt.process.alive:
+            attempt.process.interrupt("killed", immediate=True)
+        if attempt.task.task_id in attempt.executor.running_tasks:
+            attempt.executor.finish_task(attempt.task.task_id)
+
+    # -------------------------------------------------------------- execution
+    def _attempt_proc(self, attempt: _Attempt):
+        task, executor = attempt.task, attempt.executor
+        node = executor.node
+        transfers: List = []
+        read_started = self.sim.now
+        try:
+            was_local: Optional[bool] = None
+            if task.is_input:
+                assert task.block is not None
+                if self.hdfs.can_serve_locally(task.block.block_id, node.node_id):
+                    was_local = True
+                    yield Timeout(self.hdfs.local_read_time(task.block, node.node_id))
+                else:
+                    was_local = False
+                    src = self.hdfs.namenode.pick_source(
+                        task.block.block_id, node.node_id
+                    )
+                    transfers.append(
+                        self.fabric.start_transfer(src, node.node_id, task.block.size)
+                    )
+                    yield transfers[0].done
+                    transfers.clear()
+                    # Cache-on-remote-read: later scans of this hot dataset
+                    # become local (§II, §VII).
+                    if self.hdfs.caching_enabled:
+                        self.hdfs.cache_block(node.node_id, task.block)
+            elif task.shuffle_bytes > 0:
+                sources = self._shuffle_sources(task)
+                if not sources:
+                    yield Timeout(node.local_read_time(task.shuffle_bytes))
+                else:
+                    per_source = task.shuffle_bytes / len(sources)
+                    waits: List = []
+                    for src in sources:
+                        if src == node.node_id:
+                            waits.append(Timeout(node.local_read_time(per_source)))
+                        else:
+                            transfer = self.fabric.start_transfer(
+                                src, node.node_id, per_source
+                            )
+                            transfers.append(transfer)
+                            waits.append(transfer.done)
+                    yield AllOf(waits)
+                    transfers.clear()
+            read_time = self.sim.now - read_started
+            cpu = task.cpu_time * self._cpu_factor(node.node_id)
+            if cpu > 0:
+                yield Timeout(cpu)
+        except Interrupt:
+            for transfer in transfers:
+                self.fabric.cancel_transfer(transfer)
+            executor.finish_task(task.task_id)
+            return
+        self._finish_attempt(attempt, was_local, read_time)
+
+    def _cpu_factor(self, node_id: str) -> float:
+        if self.fault_injector is None:
+            return 1.0
+        return self.fault_injector.cpu_factor(node_id)
+
+    def _remote_locality_level(self, task: Task, executor: Executor) -> str:
+        """Rack-level classification of a non-node-local input task."""
+        assert task.block is not None
+        topology = self.cluster.topology
+        rack = topology.rack_of(executor.node_id)
+        holders = self.hdfs.namenode.serving_locations(task.block.block_id)
+        if any(topology.rack_of(h) == rack for h in holders):
+            return "rack"
+        return "any"
+
+    def _shuffle_sources(self, task: Task) -> List[str]:
+        """Source nodes for one shuffle fetch.
+
+        Deterministic rotation over the nodes that ran the upstream stage,
+        taking up to ``shuffle_fanout`` *distinct* nodes per fetch.  Fan-out
+        1 (default) reproduces the single-aggregate-flow model; higher
+        values approach the real all-to-all fetch at proportional event
+        cost.
+        """
+        key = (task.job_id, task.stage_index - 1)
+        upstream = self._stage_nodes.get(key)
+        if not upstream:
+            return []
+        distinct: List[str] = []
+        for node in upstream:
+            if node not in distinct:
+                distinct.append(node)
+        take = min(self.shuffle_fanout, len(distinct))
+        idx = self._shuffle_rotation.get(key, 0)
+        self._shuffle_rotation[key] = idx + take
+        return [distinct[(idx + i) % len(distinct)] for i in range(take)]
+
+    def _finish_attempt(
+        self, attempt: _Attempt, was_local: Optional[bool], read_time: float
+    ) -> None:
+        task, executor = attempt.task, attempt.executor
+        now = self.sim.now
+        executor.finish_task(task.task_id)
+        attempts = self._attempts.pop(task.task_id, [])
+        if attempt in attempts:
+            attempts.remove(attempt)
+        for loser in attempts:
+            self._kill_attempt(loser)
+        if attempt.speculative:
+            self.speculative_wins += 1
+        # The winning attempt defines the task's recorded outcome.
+        task.finished_at = now
+        task.executor_id = executor.executor_id
+        task.node_id = executor.node_id
+        task.was_local = was_local
+        task.read_time = read_time
+        if task.is_input and was_local is not None:
+            task.locality_level = (
+                "node" if was_local else self._remote_locality_level(task, executor)
+            )
+        if self.timeline is not None:
+            self.timeline.record(
+                "task.finish",
+                task.task_id,
+                app=self.app_id,
+                local=task.was_local,
+                duration=task.duration,
+                speculative=attempt.speculative,
+            )
+        job = self._jobs[task.job_id]
+        key = (task.job_id, task.stage_index)
+        self._stage_nodes[key].append(executor.node_id)
+        self._stage_durations[key].append(now - attempt.started_at)
+        self._stage_remaining[key] -= 1
+        if self._stage_remaining[key] == 0:
+            if task.stage_index == 0 and job.input_quorum < job.num_input_tasks:
+                self._cancel_surplus_inputs(job)
+            self._on_stage_done(job, task.stage_index)
+        # The stage-done hook above may have triggered a reallocation that
+        # already revoked (and even re-granted) this executor; only report
+        # idleness while we still own it.
+        if (
+            not executor.running_tasks
+            and executor.owner == self.app_id
+            and self.manager is not None
+        ):
+            self.manager.on_executor_idle(self, executor)
+        self._dispatch()
+
+    def _cancel_surplus_inputs(self, job: Job) -> None:
+        """KMN: the quorum is met — cancel this job's surplus input tasks."""
+        for task in job.input_tasks:
+            if task.finished_at is not None or task.cancelled:
+                continue
+            attempts = self._attempts.pop(task.task_id, None)
+            if attempts:
+                for attempt in list(attempts):
+                    self._kill_attempt(attempt)
+            elif task in self._runnable:
+                self._runnable.remove(task)
+            task.cancelled = True
+            if self.timeline is not None:
+                self.timeline.record("task.cancel", task.task_id, app=self.app_id)
+
+    def _on_stage_done(self, job: Job, stage_index: int) -> None:
+        if stage_index + 1 < len(job.stages):
+            self._enqueue_stage(job, stage_index + 1)
+            return
+        job.finished_at = self.sim.now
+        if self.timeline is not None:
+            self.timeline.record(
+                "job.finish",
+                job.job_id,
+                app=self.app_id,
+                jct=job.completion_time,
+                local_job=job.is_local_job,
+            )
+        if self.manager is not None:
+            self.manager.on_job_finished(self, job)

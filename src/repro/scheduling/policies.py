@@ -1,0 +1,246 @@
+"""Task scheduling policies: which runnable task takes a free slot.
+
+The scheduler answers one question, posed by the driver each time a slot on
+executor *E* becomes available: *which runnable task (if any) should run on
+E right now?*  Returning None leaves the slot idle — the delay-scheduling
+bet that a local task will claim it soon.
+
+Policies also expose :meth:`next_wakeup`, the earliest future time at which
+a currently-ineligible task would become eligible (its locality wait
+expiring), so the driver can re-dispatch exactly then.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from repro.cluster.topology import Topology
+from repro.hdfs.namenode import NameNode
+from repro.workload.task import Task
+
+__all__ = [
+    "TaskScheduler",
+    "DelayScheduler",
+    "HintedDelayScheduler",
+    "LocalityFirstScheduler",
+    "FifoScheduler",
+]
+
+
+class TaskScheduler(abc.ABC):
+    """Strategy interface for in-application task placement."""
+
+    @abc.abstractmethod
+    def pick_task(
+        self,
+        runnable: Sequence[Task],
+        node_id: str,
+        now: float,
+        namenode: NameNode,
+        executor_id: Optional[str] = None,
+    ) -> Optional[Task]:
+        """Choose the task to launch on a free slot at ``node_id``, or None.
+
+        ``executor_id`` identifies the specific executor offering the slot —
+        only hint-aware policies use it; locality is node-level.
+        """
+
+    def next_wakeup(
+        self, runnable: Sequence[Task], now: float
+    ) -> Optional[float]:
+        """Earliest future time a scheduling decision could change, or None."""
+        return None
+
+    def accepts_offer(
+        self,
+        runnable: Sequence[Task],
+        node_id: str,
+        now: float,
+        namenode: NameNode,
+    ) -> bool:
+        """Offer-model hook (Mesos): would this app use a slot on ``node_id``?"""
+        return self.pick_task(runnable, node_id, now, namenode) is not None
+
+
+def _is_local(task: Task, node_id: str, namenode: NameNode) -> bool:
+    """Node-level locality test for an input task (disk or cached copy)."""
+    assert task.block is not None
+    return node_id in namenode.serving_locations(task.block.block_id)
+
+
+class DelayScheduler(TaskScheduler):
+    """Delay scheduling [22] with Spark's locality-wait ladder.
+
+    FIFO over runnable tasks.  An input task prefers a **node-local** slot;
+    with ``rack_wait`` and a topology configured it accepts a **rack-local**
+    slot after waiting ``wait`` seconds since submission, and **any** slot
+    after ``wait + rack_wait``.  Without a topology the ladder collapses to
+    the two-level node→any scheme (any slot after ``wait``).  Shuffle tasks
+    carry no locality preference and run anywhere immediately.  ``wait``
+    defaults to 3 s — Spark's ``spark.locality.wait``.
+    """
+
+    def __init__(
+        self,
+        wait: float = 3.0,
+        *,
+        rack_wait: Optional[float] = None,
+        topology: Optional[Topology] = None,
+    ):
+        if wait < 0:
+            raise ValueError(f"wait must be >= 0, got {wait}")
+        if rack_wait is not None and rack_wait < 0:
+            raise ValueError(f"rack_wait must be >= 0, got {rack_wait}")
+        if rack_wait is not None and topology is None:
+            raise ValueError("rack_wait requires a topology")
+        self.wait = wait
+        self.rack_wait = rack_wait
+        self.topology = topology
+
+    def _is_rack_local(self, task: Task, node_id: str, namenode: NameNode) -> bool:
+        assert task.block is not None and self.topology is not None
+        rack = self.topology.rack_of(node_id)
+        return any(
+            self.topology.rack_of(holder) == rack
+            for holder in namenode.serving_locations(task.block.block_id)
+        )
+
+    def pick_task(
+        self,
+        runnable: Sequence[Task],
+        node_id: str,
+        now: float,
+        namenode: NameNode,
+        executor_id: Optional[str] = None,
+    ) -> Optional[Task]:
+        rack_fallback: Optional[Task] = None
+        any_fallback: Optional[Task] = None
+        laddered = self.rack_wait is not None and self.topology is not None
+        for task in runnable:
+            if not task.is_input:
+                if any_fallback is None:
+                    any_fallback = task
+                continue
+            if _is_local(task, node_id, namenode):
+                return task
+            if task.submitted_at is None:
+                continue
+            waited = now - task.submitted_at
+            if laddered:
+                if (
+                    rack_fallback is None
+                    and waited >= self.wait
+                    and self._is_rack_local(task, node_id, namenode)
+                ):
+                    rack_fallback = task
+                if any_fallback is None and waited >= self.wait + self.rack_wait:
+                    any_fallback = task
+            elif any_fallback is None and waited >= self.wait:
+                any_fallback = task
+        return rack_fallback if rack_fallback is not None else any_fallback
+
+    def next_wakeup(self, runnable: Sequence[Task], now: float) -> Optional[float]:
+        laddered = self.rack_wait is not None and self.topology is not None
+        earliest: Optional[float] = None
+        for task in runnable:
+            if task.is_input and task.submitted_at is not None:
+                for expiry in (
+                    task.submitted_at + self.wait,
+                    task.submitted_at + self.wait + (self.rack_wait or 0.0)
+                    if laddered
+                    else None,
+                ):
+                    if expiry is not None and expiry > now:
+                        if earliest is None or expiry < earliest:
+                            earliest = expiry
+        return earliest
+
+
+class LocalityFirstScheduler(TaskScheduler):
+    """Hard locality constraint: input tasks only ever run locally.
+
+    The Sparrow-style [23] constraint policy; used in ablations to measure
+    the best locality any scheduler could reach on a given executor set (it
+    may deadlock a job whose data the app's executors simply do not hold, so
+    production use pairs it with a manager that guarantees coverage).
+    """
+
+    def pick_task(
+        self,
+        runnable: Sequence[Task],
+        node_id: str,
+        now: float,
+        namenode: NameNode,
+        executor_id: Optional[str] = None,
+    ) -> Optional[Task]:
+        for task in runnable:
+            if not task.is_input or _is_local(task, node_id, namenode):
+                return task
+        return None
+
+
+class HintedDelayScheduler(DelayScheduler):
+    """Delay scheduling that honours Custody's per-task executor hints.
+
+    Custody's allocator knows which executor it granted *for* which task
+    (the z^u_ijk assignments); §V notes the suggestions could be submitted
+    alongside the executor list.  This policy enforces them: a task hinted
+    to executor *E* runs on E when E offers a slot, and other executors
+    leave it alone until its delay wait expires (the hint acts as a
+    reservation with the usual delay-scheduling escape hatch).
+    """
+
+    def __init__(
+        self,
+        wait: float = 3.0,
+        *,
+        rack_wait: Optional[float] = None,
+        topology: Optional[Topology] = None,
+    ):
+        super().__init__(wait, rack_wait=rack_wait, topology=topology)
+        self.hints: dict = {}
+
+    def set_hints(self, mapping: dict) -> None:
+        """Merge task-id → executor-id hints from the latest allocation."""
+        self.hints.update(mapping)
+
+    def _reserved_elsewhere(self, task: Task, executor_id: Optional[str], now: float) -> bool:
+        hint = self.hints.get(task.task_id)
+        if hint is None or hint == executor_id:
+            return False
+        # Reserved for another executor; the reservation lapses with the wait.
+        if task.submitted_at is None:
+            return True
+        return now - task.submitted_at < self.wait
+
+    def pick_task(
+        self,
+        runnable: Sequence[Task],
+        node_id: str,
+        now: float,
+        namenode: NameNode,
+        executor_id: Optional[str] = None,
+    ) -> Optional[Task]:
+        if executor_id is not None:
+            for task in runnable:
+                if self.hints.get(task.task_id) == executor_id:
+                    return task
+        eligible = [
+            t for t in runnable if not self._reserved_elsewhere(t, executor_id, now)
+        ]
+        return super().pick_task(eligible, node_id, now, namenode, executor_id)
+
+
+class FifoScheduler(TaskScheduler):
+    """Zero-wait FIFO: take the oldest runnable task, locality be damned."""
+
+    def pick_task(
+        self,
+        runnable: Sequence[Task],
+        node_id: str,
+        now: float,
+        namenode: NameNode,
+        executor_id: Optional[str] = None,
+    ) -> Optional[Task]:
+        return runnable[0] if runnable else None

@@ -1,0 +1,167 @@
+"""The event loop: a virtual clock driving a binary-heap event queue.
+
+The engine is intentionally minimal — time, ordered callbacks, cancellation —
+with the process/wait machinery layered on top in :mod:`repro.simulation.process`.
+Determinism is absolute: events at equal times fire in scheduling order
+(monotone sequence numbers break ties), and nothing reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import SimulationError
+
+__all__ = ["EventHandle", "Simulation"]
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Instances are created by :meth:`Simulation.schedule`; user code only ever
+    cancels or inspects them.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[..., Any]] = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> bool:
+        """Prevent the callback from running.  Returns False if it already ran."""
+        if self.fired:
+            return False
+        self.cancelled = True
+        self.callback = None  # free references early
+        self.args = ()
+        return True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is queued and will still fire."""
+        return not self.fired and not self.cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<EventHandle t={self.time:.6g} seq={self.seq} {state}>"
+
+
+class Simulation:
+    """Virtual-time event loop.
+
+    >>> sim = Simulation()
+    >>> out = []
+    >>> _ = sim.schedule(2.0, out.append, "b")
+    >>> _ = sim.schedule(1.0, out.append, "a")
+    >>> sim.run()
+    >>> out, sim.now
+    (['a', 'b'], 2.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[EventHandle] = []
+        self._running = False
+        self._finished = False
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulation t={self._now:.6g} pending={len(self._queue)}>"
+
+    # -------------------------------------------------------------- scheduling
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6g}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6g} (now is t={self._now:.6g})"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``callback`` at the current time, after already-queued events
+        at this time."""
+        return self.schedule(0.0, callback, *args)
+
+    # ---------------------------------------------------------------- stepping
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None when the queue is empty."""
+        self._drop_dead_events()
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False when nothing is pending."""
+        self._drop_dead_events()
+        if not self._queue:
+            return False
+        handle = heapq.heappop(self._queue)
+        self._now = handle.time
+        handle.fired = True
+        callback, args = handle.callback, handle.args
+        handle.callback, handle.args = None, ()
+        assert callback is not None
+        callback(*args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue, optionally stopping the clock at ``until``.
+
+        Returns the final virtual time.  With ``until`` given, all events at
+        ``t <= until`` fire and the clock is then advanced to exactly
+        ``until`` even if the queue drained earlier, so repeated
+        ``run(until=...)`` calls compose.
+        """
+        if self._running:
+            raise SimulationError("simulation is already running (re-entrant run())")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until:.6g}, already at t={self._now:.6g}"
+            )
+        self._running = True
+        try:
+            while True:
+                nxt = self.peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    break
+                self.step()
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled, unfired) events in the queue."""
+        return sum(1 for h in self._queue if h.pending)
+
+    def _drop_dead_events(self) -> None:
+        """Pop cancelled events off the top of the heap."""
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)

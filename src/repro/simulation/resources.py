@@ -1,0 +1,133 @@
+"""Queued hand-off and counted-capacity primitives for processes.
+
+:class:`Store` is an unbounded FIFO mailbox (producer/consumer hand-off, used
+for driver inboxes and offer queues).  :class:`CountingResource` is a counted
+semaphore with FIFO waiters (used for CPU-core slots and admission control).
+Both return :class:`~repro.simulation.process.Signal` objects so processes
+simply ``yield store.get()``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.common.errors import CapacityError, SimulationError
+from repro.simulation.engine import Simulation
+from repro.simulation.process import Signal
+
+__all__ = ["Store", "CountingResource"]
+
+
+class Store:
+    """Unbounded FIFO store of items with signal-based ``get``.
+
+    Items put while getters are waiting are handed to the longest-waiting
+    getter; otherwise they queue.  ``get`` order is strictly FIFO, which the
+    determinism tests rely on.
+    """
+
+    def __init__(self, sim: Simulation, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of processes blocked in :meth:`get`."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:  # skip abandoned waits
+                getter.trigger(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Signal:
+        """A signal that resolves with the next item (immediately if queued)."""
+        signal = Signal(self.sim, name=f"{self.name}.get")
+        if self._items:
+            signal.trigger(self._items.popleft())
+        else:
+            self._getters.append(signal)
+        return signal
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: the next item, or None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def drain(self) -> list:
+        """Remove and return all queued items (does not touch waiters)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class CountingResource:
+    """``capacity`` identical units with FIFO acquisition.
+
+    >>> sim = Simulation()
+    >>> cores = CountingResource(sim, capacity=2, name="cores")
+    >>> grant = cores.acquire()     # Signal; triggers when a unit is free
+    """
+
+    def __init__(self, sim: Simulation, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise CapacityError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Signal] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units free for immediate acquisition."""
+        return self.capacity - self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Processes waiting for a unit."""
+        return len(self._waiters)
+
+    def acquire(self) -> Signal:
+        """A signal that resolves (with this resource) once a unit is held."""
+        signal = Signal(self.sim, name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            signal.trigger(self)
+        else:
+            self._waiters.append(signal)
+        return signal
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire. True on success."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return one unit, granting it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.trigger(self)  # unit passes directly to the waiter
+                return
+        self._in_use -= 1

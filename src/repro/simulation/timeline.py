@@ -1,0 +1,102 @@
+"""Append-only trace of simulation events.
+
+Components record `(time, kind, subject, detail)` tuples as the simulation
+runs.  The timeline serves three purposes:
+
+1. **Determinism tests** — two runs from the same seed must produce
+   byte-identical timelines (hypothesis property in
+   ``tests/property/test_determinism.py``).
+2. **Metrics** — the metrics collector derives locality and timing figures
+   from timeline records rather than by instrumenting every component twice.
+3. **Debugging** — ``timeline.tail()`` gives a readable account of what the
+   cluster did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TimelineRecord", "Timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineRecord:
+    """One event in the trace."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up a detail field by name."""
+        for k, v in self.detail:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Record as a flat dict (for reporting)."""
+        d: Dict[str, Any] = {"time": self.time, "kind": self.kind, "subject": self.subject}
+        d.update(self.detail)
+        return d
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.detail)
+        return f"[{self.time:12.4f}] {self.kind:<24} {self.subject} {fields}".rstrip()
+
+
+class Timeline:
+    """Ordered collection of :class:`TimelineRecord`.
+
+    Recording can be disabled (``enabled=False``) for large benchmark sweeps
+    where only the aggregated metrics matter; the ``record`` call then costs
+    one attribute check.
+    """
+
+    def __init__(self, clock: Callable[[], float], enabled: bool = True):
+        self._clock = clock
+        self.enabled = enabled
+        self._records: List[TimelineRecord] = []
+
+    def record(self, kind: str, subject: str, **detail: Any) -> None:
+        """Append a record stamped with the current virtual time."""
+        if not self.enabled:
+            return
+        self._records.append(
+            TimelineRecord(self._clock(), kind, subject, tuple(sorted(detail.items())))
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TimelineRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TimelineRecord:
+        return self._records[index]
+
+    def of_kind(self, *kinds: str) -> List[TimelineRecord]:
+        """All records whose kind is one of ``kinds``, in time order."""
+        wanted = set(kinds)
+        return [r for r in self._records if r.kind in wanted]
+
+    def about(self, subject: str) -> List[TimelineRecord]:
+        """All records concerning ``subject``."""
+        return [r for r in self._records if r.subject == subject]
+
+    def first(self, kind: str, subject: Optional[str] = None) -> Optional[TimelineRecord]:
+        """Earliest record of ``kind`` (optionally for ``subject``)."""
+        for r in self._records:
+            if r.kind == kind and (subject is None or r.subject == subject):
+                return r
+        return None
+
+    def tail(self, n: int = 20) -> str:
+        """The last ``n`` records rendered for humans."""
+        return "\n".join(str(r) for r in self._records[-n:])
+
+    def fingerprint(self) -> int:
+        """Order-sensitive hash of the whole trace (determinism checks)."""
+        return hash(tuple(self._records))

@@ -1,0 +1,44 @@
+"""Workload model: applications, jobs, stages, tasks, generators, traces.
+
+The paper's evaluation (§VI-A2) drives the cluster with three workloads —
+PageRank (network-heavy, iterative, 1 GB inputs), WordCount (network-light,
+4–8 GB inputs) and Sort (compute- and network-heavy, 1–8 GB inputs) — with
+job inter-arrival times roughly exponential with a 14 s mean (Facebook
+trace [22]), 4 applications x 30 jobs each, and a common submission schedule
+shared by every compared policy.
+
+Structure mirrors Spark: an *application* owns a sequence of *jobs*; each
+job is a DAG of *stages*; the first stage's tasks are *input tasks*, one per
+HDFS block; downstream stages read shuffle output over the network and are
+deliberately excluded from locality accounting (§III-A).
+"""
+
+from repro.workload.application import Application
+from repro.workload.job import Job, Stage
+from repro.workload.task import Task, TaskKind
+from repro.workload.generators import (
+    PAGERANK,
+    SORT,
+    WORDCOUNT,
+    JobFactory,
+    WorkloadProfile,
+    profile_by_name,
+)
+from repro.workload.trace import SubmissionEvent, SubmissionTrace, common_schedule
+
+__all__ = [
+    "Application",
+    "Job",
+    "JobFactory",
+    "PAGERANK",
+    "SORT",
+    "Stage",
+    "SubmissionEvent",
+    "SubmissionTrace",
+    "Task",
+    "TaskKind",
+    "WORDCOUNT",
+    "WorkloadProfile",
+    "common_schedule",
+    "profile_by_name",
+]

@@ -1,0 +1,92 @@
+"""Application: a long-lived framework instance submitting jobs over time.
+
+Carries the locality bookkeeping Algorithm 1 sorts on: the percentage of
+local *jobs* (primary key) and local *tasks* (tie-breaker) the application
+has achieved so far.  The definition follows §IV-A: percentages are over
+jobs/tasks whose locality outcome is already decided; applications with no
+decided jobs rank as 0% local so newcomers get executors first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workload.job import Job
+from repro.workload.task import Task
+
+__all__ = ["Application"]
+
+
+class Application:
+    """A named tenant owning a sequence of jobs."""
+
+    def __init__(self, app_id: str, *, executor_quota: Optional[int] = None):
+        self.app_id = app_id
+        #: σ_i — the cap on simultaneously-held executors (None = unlimited).
+        self.executor_quota = executor_quota
+        self.jobs: List[Job] = []
+
+    def add_job(self, job: Job) -> None:
+        """Attach a job (its ``app_id`` must match)."""
+        if job.app_id != self.app_id:
+            raise ValueError(
+                f"job {job.job_id} belongs to {job.app_id!r}, not {self.app_id!r}"
+            )
+        self.jobs.append(job)
+
+    # -------------------------------------------------------------- structure
+    @property
+    def num_jobs(self) -> int:
+        """ρ_i — total jobs submitted so far."""
+        return len(self.jobs)
+
+    @property
+    def input_tasks(self) -> List[Task]:
+        """τ_i's members: every input task of every job."""
+        return [t for job in self.jobs for t in job.input_tasks]
+
+    @property
+    def active_jobs(self) -> List[Job]:
+        """Jobs submitted but not yet finished."""
+        return [j for j in self.jobs if j.submitted_at is not None and not j.finished]
+
+    @property
+    def pending_jobs(self) -> List[Job]:
+        """Jobs not yet submitted."""
+        return [j for j in self.jobs if j.submitted_at is None]
+
+    # ---------------------------------------------------------------- locality
+    @property
+    def local_job_fraction(self) -> float:
+        """Percentage of decided jobs that achieved perfect locality.
+
+        Algorithm 1's primary sort key.  Jobs whose input tasks have not all
+        run yet are excluded; an application with nothing decided scores 0.
+        """
+        decided = [j for j in self.jobs if j.is_local_job is not None]
+        if not decided:
+            return 0.0
+        return sum(1 for j in decided if j.is_local_job) / len(decided)
+
+    @property
+    def local_task_fraction(self) -> float:
+        """Percentage of decided input tasks that ran locally (tie-breaker)."""
+        decided = [t for t in self.input_tasks if t.was_local is not None]
+        if not decided:
+            return 0.0
+        return sum(1 for t in decided if t.was_local) / len(decided)
+
+    def locality_key(self) -> tuple:
+        """Sort key for Algorithm 1: (local-job %, local-task %, app id).
+
+        The app id makes ordering total and deterministic.
+        """
+        return (self.local_job_fraction, self.local_task_fraction, self.app_id)
+
+    def reset_runtime(self) -> None:
+        """Clear runtime state on all jobs (policy-comparison replays)."""
+        for job in self.jobs:
+            job.reset_runtime()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Application {self.app_id} jobs={len(self.jobs)}>"

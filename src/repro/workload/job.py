@@ -1,0 +1,191 @@
+"""Job and Stage: the DAG a user request compiles into.
+
+A job is a linear chain of stages (sufficient for the paper's three
+workloads: map → [shuffle]*; PageRank's iterations become successive shuffle
+stages).  Stage *k+1* becomes runnable when every task of stage *k* has
+finished — the synchronous stage barrier of the BSP execution model, and the
+reason a single straggler delays the whole job (§III-C).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workload.task import Task, TaskKind
+
+__all__ = ["Job", "Stage"]
+
+
+class Stage:
+    """A set of independent tasks with a barrier at the end."""
+
+    def __init__(self, index: int, tasks: List[Task]):
+        if not tasks:
+            raise ValueError(f"stage {index} has no tasks")
+        self.index = index
+        self.tasks = tasks
+
+    @property
+    def is_input_stage(self) -> bool:
+        """True when every task reads an HDFS block."""
+        return all(t.kind is TaskKind.INPUT for t in self.tasks)
+
+    @property
+    def finished(self) -> bool:
+        """True once every task has completed or been cancelled (KMN)."""
+        return all(t.finished or t.cancelled for t in self.tasks) and any(
+            t.finished for t in self.tasks
+        )
+
+    @property
+    def finish_time(self) -> Optional[float]:
+        """Barrier time: the last non-cancelled task's completion."""
+        if not self.finished:
+            return None
+        return max(t.finished_at for t in self.tasks if t.finished_at is not None)
+
+    @property
+    def start_time(self) -> Optional[float]:
+        """Earliest task launch in the stage."""
+        starts = [t.started_at for t in self.tasks if t.started_at is not None]
+        return min(starts) if starts else None
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "input" if self.is_input_stage else "shuffle"
+        return f"<Stage {self.index} {kind} tasks={len(self.tasks)}>"
+
+
+class Job:
+    """A user request: a chain of stages, submitted at a point in time.
+
+    ``required_inputs`` enables KMN-style approximation analytics ([10] in
+    the paper): the input stage completes once any *K* of its N tasks have
+    finished and the rest are cancelled.  None (default) requires all.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        app_id: str,
+        stages: List[Stage],
+        *,
+        workload: str = "",
+        required_inputs: Optional[int] = None,
+    ):
+        if not stages:
+            raise ValueError(f"job {job_id} has no stages")
+        if not stages[0].is_input_stage:
+            raise ValueError(f"job {job_id}: stage 0 must be the input stage")
+        if required_inputs is not None and not (
+            1 <= required_inputs <= len(stages[0].tasks)
+        ):
+            raise ValueError(
+                f"job {job_id}: required_inputs={required_inputs} out of range "
+                f"[1, {len(stages[0].tasks)}]"
+            )
+        self.job_id = job_id
+        self.app_id = app_id
+        self.stages = stages
+        self.workload = workload
+        self.required_inputs = required_inputs
+        self.submitted_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # -------------------------------------------------------------- structure
+    @property
+    def input_stage(self) -> Stage:
+        """The first stage (one task per HDFS block)."""
+        return self.stages[0]
+
+    @property
+    def input_tasks(self) -> List[Task]:
+        """All input tasks — the µ_ij tasks of the paper's formulation."""
+        return list(self.input_stage.tasks)
+
+    @property
+    def all_tasks(self) -> List[Task]:
+        """Every task in every stage."""
+        return [t for stage in self.stages for t in stage.tasks]
+
+    @property
+    def num_input_tasks(self) -> int:
+        """µ_ij — the job's input-task count."""
+        return len(self.input_stage.tasks)
+
+    @property
+    def input_quorum(self) -> int:
+        """Input tasks that must finish for the stage barrier (K of N)."""
+        return self.required_inputs or self.num_input_tasks
+
+    # ---------------------------------------------------------------- locality
+    @property
+    def unsatisfied_input_tasks(self) -> List[Task]:
+        """Input tasks not yet guaranteed locality (Algorithm 2's sort key).
+
+        Before execution this is "tasks without a promised local executor";
+        the allocator tracks promises separately, so here it means input
+        tasks that have not yet *run locally* — used for post-hoc accounting.
+        """
+        return [t for t in self.input_tasks if t.was_local is not True]
+
+    @property
+    def local_input_fraction(self) -> Optional[float]:
+        """Fraction of finished input tasks that ran locally (None if unrun)."""
+        done = [t for t in self.input_tasks if t.was_local is not None]
+        if not done:
+            return None
+        return sum(1 for t in done if t.was_local) / len(done)
+
+    @property
+    def is_local_job(self) -> Optional[bool]:
+        """U_ij — True when *every counted* input task achieved locality.
+
+        For a full job that is all N input tasks (§III-C).  For a KMN job
+        (``required_inputs`` = K) the job is local when at least K input
+        tasks ran locally — the remaining tasks were cancelled by design.
+        """
+        decided = [t for t in self.input_tasks if t.was_local is not None]
+        if self.required_inputs is not None:
+            if len(decided) < self.required_inputs:
+                return None
+            return sum(1 for t in decided if t.was_local) >= self.required_inputs
+        if len(decided) < self.num_input_tasks:
+            return None
+        return all(t.was_local for t in decided)
+
+    # ------------------------------------------------------------------ timing
+    @property
+    def finished(self) -> bool:
+        """True when all stages are complete."""
+        return self.finished_at is not None
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Submission-to-finish duration — the paper's JCT metric (Fig. 8)."""
+        if self.submitted_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def input_stage_time(self) -> Optional[float]:
+        """Input-stage start-to-barrier duration — Fig. 9's metric."""
+        stage = self.input_stage
+        if stage.start_time is None or stage.finish_time is None:
+            return None
+        return stage.finish_time - stage.start_time
+
+    def reset_runtime(self) -> None:
+        """Clear all runtime state for replay under a different policy."""
+        self.submitted_at = None
+        self.finished_at = None
+        for task in self.all_tasks:
+            task.reset_runtime()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Job {self.job_id} app={self.app_id} stages={len(self.stages)} "
+            f"inputs={self.num_input_tasks}>"
+        )

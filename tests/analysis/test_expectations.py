@@ -1,0 +1,141 @@
+"""Closed-form expectations: exactness, Monte-Carlo agreement, simulator
+convergence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expectations import (
+    expected_node_coverage,
+    expected_random_allocation_locality,
+    prob_block_covered,
+    uncontended_read_time,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestProbBlockCovered:
+    def test_trivial_cases(self):
+        assert prob_block_covered(10, 0, 3) == 0.0
+        assert prob_block_covered(10, 10, 3) == 1.0
+
+    def test_pigeonhole(self):
+        # 8 uncovered nodes cannot host 9 replicas: coverage certain.
+        assert prob_block_covered(10, 2, 9) == 1.0
+
+    def test_single_replica_is_coverage_fraction(self):
+        assert prob_block_covered(10, 4, 1) == pytest.approx(0.4)
+
+    def test_exact_small_case(self):
+        # N=4, c=2, r=2: uncovered pairs C(2,2)=1 of C(4,2)=6 -> 5/6.
+        assert prob_block_covered(4, 2, 2) == pytest.approx(5 / 6)
+
+    def test_monotone_in_coverage(self):
+        probs = [prob_block_covered(50, c, 3) for c in range(0, 51, 5)]
+        assert probs == sorted(probs)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(0)
+        n, c, r = 20, 7, 3
+        covered = set(range(c))
+        hits = 0
+        trials = 20000
+        for _ in range(trials):
+            replicas = rng.choice(n, size=r, replace=False)
+            hits += bool(covered.intersection(replicas))
+        assert hits / trials == pytest.approx(prob_block_covered(n, c, r), abs=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            prob_block_covered(10, 11, 3)
+        with pytest.raises(ConfigurationError):
+            prob_block_covered(10, 5, 0)
+
+
+class TestExpectedNodeCoverage:
+    def test_picking_everything_covers_everything(self):
+        assert expected_node_coverage(10, 2, 20) == 10.0
+
+    def test_picking_nothing_covers_nothing(self):
+        assert expected_node_coverage(10, 2, 0) == 0.0
+
+    def test_single_executor_per_node(self):
+        # e=1: picking q of N executors covers exactly q nodes.
+        assert expected_node_coverage(10, 1, 4) == pytest.approx(4.0)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(1)
+        n, e, q = 12, 2, 8
+        total = n * e
+        samples = []
+        for _ in range(20000):
+            picks = rng.choice(total, size=q, replace=False)
+            samples.append(len({p // e for p in picks}))
+        assert np.mean(samples) == pytest.approx(
+            expected_node_coverage(n, e, q), abs=0.05
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            expected_node_coverage(10, 2, 21)
+
+
+class TestSimulatorConvergence:
+    def test_baseline_locality_bounded_by_closed_form(self):
+        """Measured standalone locality never beats the coverage bound."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        config = ExperimentConfig(
+            manager="standalone", workload="wordcount", num_nodes=20,
+            num_apps=2, jobs_per_app=3, seed=2,
+        )
+        result = run_experiment(config)
+        bound = expected_random_allocation_locality(
+            num_nodes=config.num_nodes,
+            executors_per_node=config.executors_per_node,
+            quota=config.num_nodes * config.executors_per_node // config.num_apps,
+            replication=config.replication,
+        )
+        # Allow a small epsilon: coverage is randomised per run while the
+        # bound uses the rounded expectation.
+        assert result.metrics.locality_mean <= bound + 0.05
+
+    def test_baseline_locality_approaches_bound_under_light_load(self):
+        """With long delay waits and few jobs, the bound is nearly achieved."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        config = ExperimentConfig(
+            manager="standalone", workload="pagerank", num_nodes=20,
+            num_apps=2, jobs_per_app=2, seed=3, delay_wait=30.0,
+            mean_interarrival=60.0,
+        )
+        result = run_experiment(config)
+        bound = expected_random_allocation_locality(
+            num_nodes=20, executors_per_node=2, quota=20, replication=3
+        )
+        assert result.metrics.locality_mean >= bound - 0.15
+
+
+class TestUncontendedReadTime:
+    def test_bottleneck_is_min_nic(self):
+        assert uncontended_read_time(100.0, 10.0, 40.0) == pytest.approx(10.0)
+        assert uncontended_read_time(100.0, 40.0, 10.0) == pytest.approx(10.0)
+
+    def test_matches_fabric(self, sim):
+        from repro.network.fabric import NetworkFabric
+
+        fabric = NetworkFabric(sim)
+        fabric.add_node("a", uplink=8.0, downlink=100.0)
+        fabric.add_node("b", uplink=100.0, downlink=50.0)
+        transfer = fabric.start_transfer("a", "b", size=64.0)
+        sim.run()
+        assert transfer.duration == pytest.approx(
+            uncontended_read_time(64.0, 8.0, 50.0)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            uncontended_read_time(-1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            uncontended_read_time(1.0, 0.0, 1.0)

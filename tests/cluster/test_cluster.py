@@ -1,0 +1,100 @@
+"""Cluster assembly from ClusterConfig."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, GBPS, MB
+from repro.network.fabric import NetworkFabric
+from repro.simulation.engine import Simulation
+
+
+class TestClusterConfig:
+    def test_paper_defaults(self):
+        config = ClusterConfig()
+        assert config.num_nodes == 100
+        assert config.cores_per_node == 8
+        assert config.memory_per_node == 16 * GB
+        assert config.uplink == 2 * GBPS
+        assert config.downlink == 40 * GBPS
+        assert config.executors_per_node == 2
+        assert config.total_executors == 200
+
+    def test_total_slots(self):
+        config = ClusterConfig(num_nodes=10, executors_per_node=2, executor_slots=4)
+        assert config.total_slots == 80
+
+    def test_slot_overcommit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(cores_per_node=4, executors_per_node=2, executor_slots=3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"executors_per_node": 0},
+            {"executor_slots": 0},
+            {"nodes_per_rack": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(**kwargs)
+
+
+class TestClusterBuild:
+    @pytest.fixture
+    def cluster(self):
+        return Cluster(ClusterConfig(num_nodes=5, executors_per_node=2, executor_slots=4))
+
+    def test_node_and_executor_counts(self, cluster):
+        assert len(cluster.nodes) == 5
+        assert len(cluster.executors) == 10
+
+    def test_deterministic_ids(self, cluster):
+        assert cluster.node_ids[0] == "worker-000"
+        assert cluster.executors[0].executor_id == "executor-000"
+
+    def test_executors_on_node(self, cluster):
+        execs = cluster.executors_on("worker-002")
+        assert len(execs) == 2
+        assert all(e.node_id == "worker-002" for e in execs)
+
+    def test_lookup_errors(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.node("ghost")
+        with pytest.raises(ConfigurationError):
+            cluster.executor("ghost")
+
+    def test_free_and_owned_executors(self, cluster):
+        assert len(cluster.free_executors()) == 10
+        cluster.executors[0].allocate("app-1")
+        cluster.executors[3].allocate("app-1")
+        assert len(cluster.free_executors()) == 8
+        assert [e.executor_id for e in cluster.executors_of("app-1")] == [
+            "executor-000",
+            "executor-003",
+        ]
+
+    def test_rack_assignment_round_robin(self):
+        cluster = Cluster(ClusterConfig(num_nodes=5, nodes_per_rack=2))
+        topo = cluster.topology
+        assert topo.rack_of("worker-000") == "rack-000"
+        assert topo.rack_of("worker-001") == "rack-000"
+        assert topo.rack_of("worker-002") == "rack-001"
+        assert topo.rack_of("worker-004") == "rack-002"
+
+    def test_fabric_registration(self):
+        sim = Simulation()
+        fabric = NetworkFabric(sim)
+        Cluster(ClusterConfig(num_nodes=3), fabric=fabric)
+        # A transfer between registered nodes must be admissible.
+        fabric.start_transfer("worker-000", "worker-002", size=1.0)
+
+    def test_identical_configs_build_identical_clusters(self):
+        a = Cluster(ClusterConfig(num_nodes=4))
+        b = Cluster(ClusterConfig(num_nodes=4))
+        assert a.node_ids == b.node_ids
+        assert [e.executor_id for e in a.executors] == [
+            e.executor_id for e in b.executors
+        ]

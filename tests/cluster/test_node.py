@@ -1,0 +1,68 @@
+"""WorkerNode: capacity checks and disk model."""
+
+import pytest
+
+from repro.cluster.executor import Executor
+from repro.cluster.node import WorkerNode
+from repro.common.errors import CapacityError, ConfigurationError
+
+
+def make_node(cores=4, disk=100.0):
+    return WorkerNode(
+        "w-0",
+        cores=cores,
+        memory=1024.0,
+        disk_bandwidth=disk,
+        uplink=10.0,
+        downlink=10.0,
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        node = make_node()
+        assert node.node_id == "w-0"
+        assert node.executors == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"memory": 0},
+            {"disk_bandwidth": -1},
+            {"uplink": 0},
+            {"downlink": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        base = dict(cores=4, memory=1024.0, disk_bandwidth=100.0, uplink=10.0, downlink=10.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            WorkerNode("w-0", **base)
+
+
+class TestExecutorHosting:
+    def test_attach_within_cores(self):
+        node = make_node(cores=4)
+        Executor("e-0", node, slots=2)
+        Executor("e-1", node, slots=2)
+        assert len(node.executors) == 2
+
+    def test_attach_beyond_cores_rejected(self):
+        node = make_node(cores=2)
+        Executor("e-0", node, slots=2)
+        with pytest.raises(CapacityError):
+            Executor("e-1", node, slots=1)
+
+
+class TestDisk:
+    def test_local_read_time(self):
+        node = make_node(disk=50.0)
+        assert node.local_read_time(100.0) == pytest.approx(2.0)
+
+    def test_zero_size_reads_instantly(self):
+        assert make_node().local_read_time(0.0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_node().local_read_time(-1.0)

@@ -1,0 +1,52 @@
+"""Rack topology queries."""
+
+import pytest
+
+from repro.cluster.topology import Topology
+from repro.common.errors import ConfigurationError
+
+
+@pytest.fixture
+def topo():
+    t = Topology()
+    for i in range(6):
+        t.add_node(f"n{i}", f"rack-{i // 3}")
+    return t
+
+
+def test_rack_of(topo):
+    assert topo.rack_of("n0") == "rack-0"
+    assert topo.rack_of("n5") == "rack-1"
+
+
+def test_same_rack(topo):
+    assert topo.same_rack("n0", "n2")
+    assert not topo.same_rack("n0", "n3")
+
+
+def test_nodes_in(topo):
+    assert topo.nodes_in("rack-0") == ["n0", "n1", "n2"]
+
+
+def test_nodes_outside(topo):
+    assert topo.nodes_outside("rack-0") == ["n3", "n4", "n5"]
+
+
+def test_racks_listing(topo):
+    assert [r.rack_id for r in topo.racks] == ["rack-0", "rack-1"]
+    assert len(topo.racks[0]) == 3
+
+
+def test_duplicate_node_rejected(topo):
+    with pytest.raises(ConfigurationError):
+        topo.add_node("n0", "rack-9")
+
+
+def test_unknown_node_rejected(topo):
+    with pytest.raises(ConfigurationError):
+        topo.rack_of("ghost")
+
+
+def test_unknown_rack_rejected(topo):
+    with pytest.raises(ConfigurationError):
+        topo.nodes_in("ghost")

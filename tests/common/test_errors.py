@@ -1,0 +1,29 @@
+"""Exception hierarchy contracts."""
+
+from repro.common.errors import (
+    AllocationError,
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+
+
+def test_all_inherit_root():
+    for exc in (ConfigurationError, SimulationError, AllocationError, CapacityError):
+        assert issubclass(exc, ReproError)
+
+
+def test_capacity_is_allocation_error():
+    assert issubclass(CapacityError, AllocationError)
+
+
+def test_root_is_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_catching_root_catches_all():
+    try:
+        raise CapacityError("node full")
+    except ReproError as exc:
+        assert "node full" in str(exc)

@@ -1,0 +1,61 @@
+"""IdFactory: deterministic per-prefix counters."""
+
+import pytest
+
+from repro.common.ids import IdFactory
+
+
+def test_sequential_per_prefix():
+    ids = IdFactory()
+    assert ids.next("worker") == "worker-000"
+    assert ids.next("worker") == "worker-001"
+    assert ids.next("block") == "block-000"
+    assert ids.next("worker") == "worker-002"
+
+
+def test_count_tracks_minted_ids():
+    ids = IdFactory()
+    assert ids.count("x") == 0
+    ids.next("x")
+    ids.next("x")
+    assert ids.count("x") == 2
+    assert ids.count("unrelated") == 0
+
+
+def test_custom_width():
+    ids = IdFactory(width=6)
+    assert ids.next("xfer") == "xfer-000000"
+
+
+def test_width_must_be_positive():
+    with pytest.raises(ValueError):
+        IdFactory(width=0)
+
+
+def test_empty_prefix_rejected():
+    with pytest.raises(ValueError):
+        IdFactory().next("")
+
+
+def test_reset_single_prefix():
+    ids = IdFactory()
+    ids.next("a")
+    ids.next("b")
+    ids.reset("a")
+    assert ids.next("a") == "a-000"
+    assert ids.next("b") == "b-001"
+
+
+def test_reset_all():
+    ids = IdFactory()
+    ids.next("a")
+    ids.next("b")
+    ids.reset()
+    assert ids.next("a") == "a-000"
+    assert ids.next("b") == "b-000"
+
+
+def test_two_factories_are_independent():
+    a, b = IdFactory(), IdFactory()
+    a.next("n")
+    assert b.next("n") == "n-000"

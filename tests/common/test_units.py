@@ -1,0 +1,110 @@
+"""Units: byte/bandwidth constants, pretty printers, BlockSpec."""
+
+import pytest
+
+from repro.common.units import (
+    GB,
+    GBPS,
+    KB,
+    MB,
+    MBPS,
+    TB,
+    BlockSpec,
+    gb,
+    gbps,
+    mb,
+    mbps,
+    pretty_bytes,
+    pretty_seconds,
+)
+
+
+class TestConstants:
+    def test_binary_ladder(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_network_constants_are_decimal_bits(self):
+        assert GBPS == 1e9 / 8
+        assert MBPS == 1e6 / 8
+
+    def test_helpers_scale(self):
+        assert mb(2) == 2 * MB
+        assert gb(0.5) == 0.5 * GB
+        assert gbps(2) == 2 * GBPS
+        assert mbps(100) == 100 * MBPS
+
+    def test_paper_uplink_in_bytes(self):
+        # 2 Gbps uplink moves 250 MB (decimal) per second.
+        assert gbps(2) == pytest.approx(250e6)
+
+
+class TestPrettyBytes:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1024, "1.0 KB"),
+            (128 * MB, "128.0 MB"),
+            (1.5 * GB, "1.5 GB"),
+            (2 * TB, "2.0 TB"),
+        ],
+    )
+    def test_rendering(self, size, expected):
+        assert pretty_bytes(size) == expected
+
+    def test_negative(self):
+        assert pretty_bytes(-1024) == "-1.0 KB"
+
+
+class TestPrettySeconds:
+    def test_millis(self):
+        assert pretty_seconds(0.0123) == "12.3 ms"
+
+    def test_seconds(self):
+        assert pretty_seconds(12.34) == "12.34 s"
+
+    def test_minutes(self):
+        assert pretty_seconds(123.4) == "2m03.4s"
+
+    def test_hours(self):
+        assert pretty_seconds(3723.0) == "1h02m03.0s"
+
+    def test_negative(self):
+        assert pretty_seconds(-2.0) == "-2.00 s"
+
+
+class TestBlockSpec:
+    def test_defaults_match_paper(self):
+        spec = BlockSpec()
+        assert spec.size == 128 * MB
+        assert spec.replication == 3
+
+    def test_blocks_for_exact_multiple(self):
+        spec = BlockSpec(size=10 * MB)
+        assert spec.blocks_for(100 * MB) == 10
+
+    def test_blocks_for_rounds_up(self):
+        spec = BlockSpec(size=10 * MB)
+        assert spec.blocks_for(101 * MB) == 11
+
+    def test_blocks_for_zero(self):
+        assert BlockSpec().blocks_for(0) == 0
+
+    def test_blocks_for_tiny_file(self):
+        assert BlockSpec(size=128 * MB).blocks_for(1) == 1
+
+    def test_rejects_negative_file(self):
+        with pytest.raises(ValueError):
+            BlockSpec().blocks_for(-1)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            BlockSpec(size=0)
+
+    def test_rejects_bad_replication(self):
+        with pytest.raises(ValueError):
+            BlockSpec(replication=0)

@@ -1,0 +1,187 @@
+"""The two-level allocation procedure (Algorithms 1 + 2 combined)."""
+
+import pytest
+
+from repro.core.allocation import DataAwareAllocator, two_level_allocate
+from repro.core.demand import AppDemand, JobDemand, TaskDemand, validate_plan
+
+
+def task(tid, *cands):
+    return TaskDemand.of(tid, cands)
+
+
+def app(app_id, jobs, quota=4, **kw):
+    return AppDemand(app_id=app_id, jobs=tuple(jobs), quota=quota, **kw)
+
+
+class TestLocalityPhase:
+    def test_fig1_allocation(self):
+        """Each app receives the executors storing its own blocks."""
+        a1 = app("A1", [JobDemand("J1", (task("t11", "E1"), task("t12", "E2")))], quota=2)
+        a2 = app("A2", [JobDemand("J2", (task("t21", "E3"), task("t22", "E4")))], quota=2)
+        plan = two_level_allocate([a1, a2], ["E1", "E2", "E3", "E4"])
+        assert sorted(plan.executors_of("A1")) == ["E1", "E2"]
+        assert sorted(plan.executors_of("A2")) == ["E3", "E4"]
+        assert len(plan.assignment) == 4
+
+    def test_fig3_maxmin_fairness_on_contested_executors(self):
+        """Both apps want only E1/E2: each must get exactly one."""
+
+        def contested(app_id):
+            return app(
+                app_id,
+                [
+                    JobDemand(f"{app_id}-J1", (task(f"{app_id}-t1", "E1"),)),
+                    JobDemand(f"{app_id}-J2", (task(f"{app_id}-t2", "E2"),)),
+                ],
+                quota=2,
+            )
+
+        plan = two_level_allocate(
+            [contested("A3"), contested("A4")], ["E1", "E2", "E3", "E4"], fill=False
+        )
+        hot_a3 = set(plan.executors_of("A3")) & {"E1", "E2"}
+        hot_a4 = set(plan.executors_of("A4")) & {"E1", "E2"}
+        assert len(hot_a3) == 1
+        assert len(hot_a4) == 1
+
+    def test_historical_locality_prioritises_the_starved_app(self):
+        rich = app(
+            "rich",
+            [JobDemand("rj", (task("rt", "E1"),))],
+            quota=2,
+            local_jobs=9,
+            decided_jobs=10,
+            local_tasks=9,
+            decided_tasks=10,
+        )
+        poor = app(
+            "poor",
+            [JobDemand("pj", (task("pt", "E1"),))],
+            quota=2,
+            local_jobs=0,
+            decided_jobs=10,
+            decided_tasks=10,
+        )
+        plan = two_level_allocate([rich, poor], ["E1"], fill=False)
+        assert plan.executors_of("poor") == ["E1"]
+        assert plan.executors_of("rich") == []
+
+    def test_quota_is_a_hard_cap(self):
+        a = app(
+            "A",
+            [JobDemand("J", tuple(task(f"t{i}", f"E{i}") for i in range(5)))],
+            quota=2,
+        )
+        plan = two_level_allocate([a], [f"E{i}" for i in range(5)], fill=True)
+        assert plan.total_granted == 2
+
+    def test_held_executors_reduce_budget(self):
+        a = app(
+            "A",
+            [JobDemand("J", (task("t0", "E0"), task("t1", "E1")))],
+            quota=2,
+            held=1,
+        )
+        plan = two_level_allocate([a], ["E0", "E1"], fill=False)
+        assert plan.total_granted == 1
+
+    def test_empty_demands_grant_nothing_without_fill(self):
+        a = app("A", [], quota=4)
+        plan = two_level_allocate([a], ["E0", "E1"], fill=False)
+        assert plan.total_granted == 0
+
+    def test_plan_always_validates(self):
+        apps = [
+            app("A1", [JobDemand("J1", (task("t1", "E1", "E2"), task("t2", "E2")))], quota=2),
+            app("A2", [JobDemand("J2", (task("t3", "E1"),))], quota=1),
+        ]
+        idle = ["E1", "E2", "E3"]
+        plan = two_level_allocate(apps, idle)
+        validate_plan(plan, apps, idle)
+
+
+class TestExecutorCapacity:
+    def test_multislot_executor_absorbs_colocated_tasks(self):
+        a = app(
+            "A",
+            [JobDemand("J", (task("t0", "E0"), task("t1", "E0"), task("t2", "E0")))],
+            quota=1,
+        )
+        plan = two_level_allocate([a], ["E0"], executor_capacity=4)
+        assert plan.executors_of("A") == ["E0"]
+        assert len(plan.assignment) == 3
+
+    def test_capacity_one_keeps_paper_semantics(self):
+        a = app(
+            "A",
+            [JobDemand("J", (task("t0", "E0"), task("t1", "E0")))],
+            quota=2,
+        )
+        plan = two_level_allocate([a], ["E0"], executor_capacity=1)
+        assert len(plan.assignment) == 1
+
+    def test_capacity_validates(self):
+        a = app(
+            "A",
+            [JobDemand("J", (task("t0", "E0"), task("t1", "E0")))],
+            quota=1,
+        )
+        plan = two_level_allocate([a], ["E0"], executor_capacity=2)
+        validate_plan(plan, [a], ["E0"], executor_capacity=2)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            two_level_allocate([], [], executor_capacity=0)
+
+
+class TestFillPhase:
+    def test_fill_distributes_leftovers(self):
+        a1 = app("A1", [JobDemand("J1", (task("t1", "E0"),))], quota=3)
+        a2 = app("A2", [], quota=3)
+        plan = two_level_allocate(
+            [a1, a2], ["E0", "E1", "E2", "E3"], fill=True,
+            fill_limits={"A1": 2, "A2": 1},
+        )
+        # Fill limits cap the round's total take: A1's locality grant counts
+        # against its limit of 2, so it gets exactly one filler on top.
+        assert len(plan.executors_of("A1")) == 2
+        assert len(plan.executors_of("A2")) == 1
+
+    def test_fill_limit_zero_blocks_filler(self):
+        a = app("A", [], quota=4)
+        plan = two_level_allocate([a], ["E0", "E1"], fill=True, fill_limits={"A": 0})
+        assert plan.total_granted == 0
+
+    def test_fill_without_limits_fills_to_quota(self):
+        a = app("A", [], quota=2)
+        plan = two_level_allocate([a], ["E0", "E1", "E2"], fill=True)
+        assert plan.total_granted == 2
+
+
+class TestJobPriorityInsideApp:
+    def test_small_job_first_under_scarcity(self):
+        small = JobDemand("S", (task("s1", "E1"),))
+        big = JobDemand("B", (task("b1", "E1"), task("b2", "E1")))
+        a = app("A", [big, small], quota=1)
+        plan = two_level_allocate([a], ["E1"], fill=False)
+        assert plan.assignment == {"s1": "E1"}
+
+    def test_whole_job_before_next_job(self):
+        j1 = JobDemand("J1", (task("a1", "E1"), task("a2", "E2")))
+        j2 = JobDemand("J2", (task("b1", "E3"), task("b2", "E4")))
+        a = app("A", [j1, j2], quota=2)
+        plan = two_level_allocate([a], ["E1", "E2", "E3", "E4"], fill=False)
+        satisfied = set(plan.assignment)
+        assert satisfied == {"a1", "a2"}  # J1 fully, J2 untouched
+
+
+class TestAllocatorFacade:
+    def test_facade_forwards_settings(self):
+        a = app(
+            "A", [JobDemand("J", (task("t0", "E0"), task("t1", "E0")))], quota=1
+        )
+        allocator = DataAwareAllocator(fill=False, executor_capacity=2)
+        plan = allocator.allocate([a], ["E0", "E1"])
+        assert len(plan.assignment) == 2
+        assert plan.total_granted == 1

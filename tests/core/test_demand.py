@@ -1,0 +1,174 @@
+"""Demand model and plan validation (Eq. 2–5 feasibility)."""
+
+import pytest
+
+from repro.common.errors import AllocationError, ConfigurationError
+from repro.core.demand import (
+    AllocationPlan,
+    AppDemand,
+    JobDemand,
+    TaskDemand,
+    validate_plan,
+)
+
+
+def task(tid, *cands):
+    return TaskDemand.of(tid, cands)
+
+
+def app(app_id="a", jobs=(), quota=4, held=0, **kw):
+    return AppDemand(app_id=app_id, jobs=tuple(jobs), quota=quota, held=held, **kw)
+
+
+class TestTaskDemand:
+    def test_candidates_frozen(self):
+        t = task("t0", "e1", "e2")
+        assert t.candidates == frozenset({"e1", "e2"})
+
+    def test_empty_candidates_legal(self):
+        assert task("t0").candidates == frozenset()
+
+
+class TestJobDemand:
+    def test_total_defaults_to_unsatisfied(self):
+        j = JobDemand("j", (task("t0"), task("t1")))
+        assert j.total_tasks == 2
+        assert j.unsatisfied == 2
+
+    def test_total_may_exceed_unsatisfied(self):
+        j = JobDemand("j", (task("t0"),), total_tasks=5)
+        assert j.total_tasks == 5
+        assert j.unsatisfied == 1
+
+    def test_total_below_unsatisfied_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobDemand("j", (task("t0"), task("t1")), total_tasks=1)
+
+
+class TestAppDemand:
+    def test_budget(self):
+        a = app(quota=5, held=2)
+        assert a.budget == 3
+
+    def test_held_above_quota_rejected(self):
+        with pytest.raises(ConfigurationError):
+            app(quota=2, held=3)
+
+    def test_duplicate_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            app(jobs=[JobDemand("j", (task("t0"),)), JobDemand("j", (task("t1"),))])
+
+    def test_inconsistent_locality_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            app(local_jobs=3, decided_jobs=2)
+
+    def test_total_unsatisfied(self):
+        a = app(jobs=[JobDemand("j1", (task("t0"),)), JobDemand("j2", (task("t1"), task("t2")))])
+        assert a.total_unsatisfied == 3
+
+
+class TestAllocationPlan:
+    def test_grant_and_assign(self):
+        plan = AllocationPlan()
+        plan.grant("a", "e1")
+        plan.assign("t0", "e1")
+        assert plan.executors_of("a") == ["e1"]
+        assert plan.total_granted == 1
+        assert plan.satisfied_tasks() == {"t0"}
+
+    def test_double_assignment_rejected(self):
+        plan = AllocationPlan()
+        plan.assign("t0", "e1")
+        with pytest.raises(AllocationError):
+            plan.assign("t0", "e2")
+
+
+class TestValidatePlan:
+    def make_apps(self):
+        return [
+            app("a1", jobs=[JobDemand("j1", (task("t1", "e1"), task("t2", "e2")))], quota=2),
+            app("a2", jobs=[JobDemand("j2", (task("t3", "e2"),))], quota=2),
+        ]
+
+    def test_valid_plan_passes(self):
+        plan = AllocationPlan()
+        plan.grant("a1", "e1")
+        plan.assign("t1", "e1")
+        validate_plan(plan, self.make_apps(), ["e1", "e2"])
+
+    def test_double_grant_rejected(self):
+        plan = AllocationPlan()
+        plan.grant("a1", "e1")
+        plan.grant("a2", "e1")
+        with pytest.raises(AllocationError, match="granted twice"):
+            validate_plan(plan, self.make_apps(), ["e1", "e2"])
+
+    def test_grant_of_non_idle_rejected(self):
+        plan = AllocationPlan()
+        plan.grant("a1", "e9")
+        with pytest.raises(AllocationError, match="not idle"):
+            validate_plan(plan, self.make_apps(), ["e1"])
+
+    def test_assignment_to_non_candidate_rejected(self):
+        plan = AllocationPlan()
+        plan.grant("a1", "e2")
+        plan.assign("t1", "e2")  # t1's only candidate is e1
+        with pytest.raises(AllocationError, match="non-candidate"):
+            validate_plan(plan, self.make_apps(), ["e1", "e2"])
+
+    def test_assignment_without_grant_rejected(self):
+        plan = AllocationPlan()
+        plan.grant("a2", "e2")
+        plan.assign("t1", "e1")  # e1 never granted to a1
+        with pytest.raises(AllocationError, match="not granted"):
+            validate_plan(plan, self.make_apps(), ["e1", "e2"])
+
+    def test_executor_capacity_enforced(self):
+        apps = [
+            app(
+                "a1",
+                jobs=[JobDemand("j1", (task("t1", "e1"), task("t2", "e1")))],
+                quota=1,
+            )
+        ]
+        plan = AllocationPlan()
+        plan.grant("a1", "e1")
+        plan.assign("t1", "e1")
+        plan.assign("t2", "e1")
+        with pytest.raises(AllocationError, match="capacity"):
+            validate_plan(plan, apps, ["e1"], executor_capacity=1)
+        validate_plan(plan, apps, ["e1"], executor_capacity=2)  # ok with slots
+
+    def test_quota_enforced(self):
+        apps = [app("a1", jobs=[JobDemand("j1", (task("t1", "e1"),))], quota=1, held=1)]
+        plan = AllocationPlan()
+        plan.grant("a1", "e1")
+        with pytest.raises(AllocationError, match="quota"):
+            validate_plan(plan, apps, ["e1"])
+
+    def test_release_offsets_quota(self):
+        apps = [app("a1", jobs=[JobDemand("j1", (task("t1", "e1"),))], quota=1, held=1)]
+        plan = AllocationPlan()
+        plan.grant("a1", "e1")
+        plan.release("a1", "e0")
+        validate_plan(plan, apps, ["e1"], held_executors={"a1": ["e0"]})
+
+    def test_release_of_unheld_executor_rejected(self):
+        apps = [app("a1", quota=2, held=1)]
+        plan = AllocationPlan()
+        plan.release("a1", "e9")
+        with pytest.raises(AllocationError, match="does not hold"):
+            validate_plan(plan, apps, [], held_executors={"a1": ["e0"]})
+
+    def test_grant_to_unknown_app_rejected(self):
+        plan = AllocationPlan()
+        plan.grant("ghost", "e1")
+        with pytest.raises(AllocationError, match="unknown app"):
+            validate_plan(plan, self.make_apps(), ["e1"])
+
+    def test_assignment_of_unknown_task_rejected(self):
+        plan = AllocationPlan()
+        plan.grant("a1", "e1")
+        plan.assign("ghost", "e1")
+        with pytest.raises(AllocationError, match="unknown task"):
+            validate_plan(plan, self.make_apps(), ["e1"])

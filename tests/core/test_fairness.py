@@ -1,0 +1,64 @@
+"""Max-min fairness predicates and Jain's index."""
+
+import pytest
+
+from repro.core.fairness import is_maxmin_fair_improvement, jains_index, lexmin_key
+
+
+class TestLexminKey:
+    def test_sorted_ascending(self):
+        assert lexmin_key([0.5, 0.1, 0.9]) == (0.1, 0.5, 0.9)
+
+    def test_comparison_raises_the_minimum_first(self):
+        worse = [0.0, 1.0]
+        better = [0.4, 0.5]
+        assert lexmin_key(better) > lexmin_key(worse)
+
+    def test_second_minimum_breaks_ties(self):
+        a = [0.3, 0.5]
+        b = [0.3, 0.9]
+        assert lexmin_key(b) > lexmin_key(a)
+
+
+class TestImprovement:
+    def test_fig3_scenario(self):
+        naive = [1.0, 0.0]  # A3 both jobs local, A4 none
+        custody = [0.5, 0.5]
+        assert is_maxmin_fair_improvement(custody, naive)
+        assert not is_maxmin_fair_improvement(naive, custody)
+
+    def test_equal_vectors_are_not_improvements(self):
+        assert not is_maxmin_fair_improvement([0.5, 0.5], [0.5, 0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            is_maxmin_fair_improvement([1.0], [1.0, 2.0])
+
+    def test_permutation_invariance(self):
+        assert not is_maxmin_fair_improvement([0.2, 0.8], [0.8, 0.2])
+
+
+class TestJainsIndex:
+    def test_perfectly_even(self):
+        assert jains_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_user_hogging(self):
+        # One of n users gets everything: index = 1/n.
+        assert jains_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        assert 0.0 < jains_index([0.1, 0.9]) <= 1.0
+
+    def test_scale_invariant(self):
+        assert jains_index([1.0, 2.0]) == pytest.approx(jains_index([10.0, 20.0]))
+
+    def test_all_zero_defined_fair(self):
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jains_index([-1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jains_index([])

@@ -1,0 +1,152 @@
+"""Flow-network theory: Fig. 2 construction, LP bound, brute-force optimum."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.allocation import two_level_allocate
+from repro.core.demand import AppDemand, JobDemand, TaskDemand
+from repro.core.flownetwork import (
+    ConcurrentFlowInstance,
+    brute_force_optimum,
+    build_flow_network,
+    lp_concurrent_flow_bound,
+)
+
+
+def task(tid, *cands):
+    return TaskDemand.of(tid, cands)
+
+
+def app(app_id, jobs, quota=10):
+    return AppDemand(app_id=app_id, jobs=tuple(jobs), quota=quota)
+
+
+def fig2_instance():
+    """The paper's Fig. 2: A1 with T1, T2; A2 with T21; executors E1..E3."""
+    a1 = app("A1", [JobDemand("J1", (task("T1", "E1"), task("T2", "E1", "E2")))])
+    a2 = app("A2", [JobDemand("J2", (task("T21", "E2", "E3"),))])
+    return ConcurrentFlowInstance.of([a1, a2], ["E1", "E2", "E3"])
+
+
+class TestInstance:
+    def test_demands(self):
+        inst = fig2_instance()
+        assert inst.demands == {"A1": 2, "A2": 1}
+
+    def test_unknown_candidate_rejected(self):
+        a = app("A", [JobDemand("J", (task("T", "E9"),))])
+        with pytest.raises(ConfigurationError):
+            ConcurrentFlowInstance.of([a], ["E1"])
+
+
+class TestBuildFlowNetwork:
+    def test_fig2_topology(self):
+        g = build_flow_network(fig2_instance())
+        assert g.has_node(("source", "A1"))
+        assert g.has_node("sink")
+        assert g.has_edge(("source", "A1"), ("task", "T1"))
+        assert g.has_edge(("task", "T1"), ("executor", "E1"))
+        assert g.has_edge(("task", "T2"), ("executor", "E2"))
+        assert g.has_edge(("task", "T21"), ("executor", "E3"))
+        assert g.has_edge(("executor", "E1"), "sink")
+        assert not g.has_edge(("task", "T1"), ("executor", "E3"))
+
+    def test_unit_capacities(self):
+        g = build_flow_network(fig2_instance())
+        for _u, _v, data in g.edges(data=True):
+            assert data["capacity"] == 1
+
+    def test_source_demand_attribute(self):
+        g = build_flow_network(fig2_instance())
+        assert g.nodes[("source", "A1")]["demand"] == 2
+        assert g.nodes[("source", "A2")]["demand"] == 1
+
+
+class TestLpBound:
+    def test_fig2_is_fully_satisfiable(self):
+        # E1->T1, E2->T2, E3->T21 gives lambda = 1.
+        assert lp_concurrent_flow_bound(fig2_instance()) == pytest.approx(1.0)
+
+    def test_contention_halves_lambda(self):
+        # Two single-task apps both only want E1: best min ratio is 0 for
+        # one of them integrally, but fractionally each gets half.
+        a1 = app("A1", [JobDemand("J1", (task("t1", "E1"),))])
+        a2 = app("A2", [JobDemand("J2", (task("t2", "E1"),))])
+        inst = ConcurrentFlowInstance.of([a1, a2], ["E1"])
+        assert lp_concurrent_flow_bound(inst) == pytest.approx(0.5)
+
+    def test_no_tasks_gives_one(self):
+        inst = ConcurrentFlowInstance.of([app("A", [])], ["E1"])
+        assert lp_concurrent_flow_bound(inst) == 1.0
+
+    def test_lp_upper_bounds_integral_optimum(self):
+        inst = fig2_instance()
+        lp = lp_concurrent_flow_bound(inst)
+        opt, _ = brute_force_optimum(inst)
+        assert lp >= opt - 1e-9
+
+    def test_lp_upper_bounds_two_level_heuristic(self):
+        apps = [
+            app("A1", [JobDemand("J1", (task("t1", "E1"), task("t2", "E2")))], quota=2),
+            app("A2", [JobDemand("J2", (task("t3", "E1"), task("t4", "E3")))], quota=2),
+        ]
+        executors = ["E1", "E2", "E3"]
+        inst = ConcurrentFlowInstance.of(apps, executors)
+        lp = lp_concurrent_flow_bound(inst)
+        plan = two_level_allocate(apps, executors, fill=False)
+        # Heuristic's achieved min-locality fraction:
+        fractions = []
+        for a in apps:
+            satisfied = sum(
+                1 for j in a.jobs for t in j.tasks if t.task_id in plan.assignment
+            )
+            fractions.append(satisfied / a.total_unsatisfied)
+        assert lp >= min(fractions) - 1e-9
+
+
+class TestBruteForce:
+    def test_fig2_optimum_is_perfect(self):
+        opt, ownership = brute_force_optimum(fig2_instance())
+        assert opt == pytest.approx(1.0)
+        assert ownership.get("E1") == "A1"
+
+    def test_contended_single_executor(self):
+        a1 = app("A1", [JobDemand("J1", (task("t1", "E1"),))])
+        a2 = app("A2", [JobDemand("J2", (task("t2", "E1"),))])
+        inst = ConcurrentFlowInstance.of([a1, a2], ["E1"])
+        opt, _ = brute_force_optimum(inst)
+        assert opt == pytest.approx(0.0)  # somebody gets nothing
+
+    def test_quota_constrains_optimum(self):
+        a = AppDemand(
+            app_id="A",
+            jobs=(JobDemand("J", (task("t1", "E1"), task("t2", "E2"))),),
+            quota=1,
+        )
+        inst = ConcurrentFlowInstance.of([a], ["E1", "E2"])
+        opt, _ = brute_force_optimum(inst)
+        assert opt == pytest.approx(0.5)
+
+    def test_state_limit_guard(self):
+        apps = [
+            app(f"A{i}", [JobDemand(f"J{i}", (task(f"t{i}", "E0"),))])
+            for i in range(4)
+        ]
+        inst = ConcurrentFlowInstance.of(apps, [f"E{i}" for i in range(12)])
+        with pytest.raises(ConfigurationError):
+            brute_force_optimum(inst, max_states=10)
+
+    def test_two_level_heuristic_matches_optimum_on_fig1(self):
+        a1 = app("A1", [JobDemand("J1", (task("t11", "E1"), task("t12", "E2")))], quota=2)
+        a2 = app("A2", [JobDemand("J2", (task("t21", "E3"), task("t22", "E4")))], quota=2)
+        executors = ["E1", "E2", "E3", "E4"]
+        inst = ConcurrentFlowInstance.of([a1, a2], executors)
+        opt, _ = brute_force_optimum(inst)
+        plan = two_level_allocate([a1, a2], executors, fill=False)
+        fractions = []
+        for a in (a1, a2):
+            satisfied = sum(
+                1 for j in a.jobs for t in j.tasks if t.task_id in plan.assignment
+            )
+            fractions.append(satisfied / a.total_unsatisfied)
+        assert min(fractions) == pytest.approx(opt) == pytest.approx(1.0)

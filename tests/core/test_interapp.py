@@ -1,0 +1,37 @@
+"""Algorithm 1: MINLOCALITY ordering."""
+
+from repro.core.interapp import min_locality_order, pick_min_locality
+
+
+def test_sorted_by_job_fraction_first():
+    keys = [(0.8, 0.1, "a"), (0.2, 0.9, "b"), (0.5, 0.5, "c")]
+    assert [k[2] for k in min_locality_order(keys)] == ["b", "c", "a"]
+
+
+def test_tie_broken_by_task_fraction():
+    keys = [(0.5, 0.9, "a"), (0.5, 0.1, "b")]
+    assert [k[2] for k in min_locality_order(keys)] == ["b", "a"]
+
+
+def test_final_tie_broken_by_app_id():
+    keys = [(0.5, 0.5, "zeta"), (0.5, 0.5, "alpha")]
+    assert [k[2] for k in min_locality_order(keys)] == ["alpha", "zeta"]
+
+
+def test_pick_returns_least_localized():
+    keys = [(0.9, 0.0, "rich"), (0.1, 0.0, "poor")]
+    assert pick_min_locality(keys) == "poor"
+
+
+def test_pick_skips_ineligible():
+    keys = [(0.1, 0.0, "poor"), (0.9, 0.0, "rich")]
+    assert pick_min_locality(keys, eligible=lambda a: a != "poor") == "rich"
+
+
+def test_pick_returns_none_when_nobody_eligible():
+    keys = [(0.1, 0.0, "a")]
+    assert pick_min_locality(keys, eligible=lambda _: False) is None
+
+
+def test_pick_empty():
+    assert pick_min_locality([]) is None

@@ -1,0 +1,145 @@
+"""Algorithm 2: intra-application priority allocation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.demand import AppDemand, JobDemand, TaskDemand
+from repro.core.intraapp import (
+    greedy_intra_app,
+    job_priority_order,
+    optimal_intra_app,
+    plan_value,
+)
+
+
+def task(tid, *cands):
+    return TaskDemand.of(tid, cands)
+
+
+def make_app(jobs, quota=10, held=0):
+    return AppDemand(app_id="A", jobs=tuple(jobs), quota=quota, held=held)
+
+
+class TestJobPriorityOrder:
+    def test_fewest_unsatisfied_first(self):
+        big = JobDemand("big", (task("b1"), task("b2"), task("b3")))
+        small = JobDemand("small", (task("s1"),))
+        assert [j.job_id for j in job_priority_order([big, small])] == ["small", "big"]
+
+    def test_tie_broken_by_job_id(self):
+        j1 = JobDemand("zz", (task("t1"),))
+        j2 = JobDemand("aa", (task("t2"),))
+        assert [j.job_id for j in job_priority_order([j1, j2])] == ["aa", "zz"]
+
+
+class TestGreedyIntraApp:
+    def test_fig4_priority_choice(self):
+        """The paper's Fig. 4: with budget 2, satisfy job 1 fully (E1+E2)."""
+        j1 = JobDemand("J1", (task("T511", "E1"), task("T512", "E2")))
+        j2 = JobDemand("J2", (task("T521", "E3"), task("T522", "E4")))
+        app = make_app([j1, j2], quota=2)
+        result = greedy_intra_app(app, ["E1", "E2", "E3", "E4"])
+        assert sorted(result.granted) == ["E1", "E2"]
+        assert result.satisfied_jobs == ["J1"]
+        assert result.assignment == {"T511": "E1", "T512": "E2"}
+
+    def test_smaller_job_served_first(self):
+        small = JobDemand("S", (task("s1", "E1"),))
+        big = JobDemand("B", (task("b1", "E1"), task("b2", "E2")))
+        app = make_app([big, small], quota=1)
+        result = greedy_intra_app(app, ["E1", "E2"])
+        assert result.assignment == {"s1": "E1"}
+        assert result.satisfied_jobs == ["S"]
+
+    def test_budget_defaults_to_quota_minus_held(self):
+        j = JobDemand("J", (task("t1", "E1"), task("t2", "E2"), task("t3", "E3")))
+        app = make_app([j], quota=4, held=2)
+        result = greedy_intra_app(app, ["E1", "E2", "E3"])
+        assert len(result.granted) == 2
+
+    def test_task_with_no_available_candidate_skipped(self):
+        j = JobDemand("J", (task("t1", "E9"), task("t2", "E1")))
+        app = make_app([j], quota=2)
+        result = greedy_intra_app(app, ["E1", "E2"])
+        assert result.assignment == {"t2": "E1"}
+        assert result.satisfied_jobs == []  # job not fully satisfied
+
+    def test_fill_grabs_arbitrary_executors(self):
+        j = JobDemand("J", (task("t1", "E1"),))
+        app = make_app([j], quota=3)
+        result = greedy_intra_app(app, ["E1", "E2", "E3"], fill=True)
+        assert sorted(result.granted) == ["E1", "E2", "E3"]
+        assert len(result.assignment) == 1
+
+    def test_fill_limit_caps_extras(self):
+        j = JobDemand("J", (task("t1", "E1"),))
+        app = make_app([j], quota=5)
+        result = greedy_intra_app(app, ["E1", "E2", "E3", "E4"], fill=True, fill_limit=1)
+        assert len(result.granted) == 2
+
+    def test_no_fill_by_default(self):
+        j = JobDemand("J", (task("t1", "E1"),))
+        app = make_app([j], quota=5)
+        result = greedy_intra_app(app, ["E1", "E2", "E3"])
+        assert result.granted == ["E1"]
+
+    def test_negative_budget_rejected(self):
+        app = make_app([], quota=1)
+        with pytest.raises(ConfigurationError):
+            greedy_intra_app(app, [], budget=-1)
+
+    def test_executor_choice_is_deterministic(self):
+        j = JobDemand("J", (task("t1", "E2", "E1"),))
+        app = make_app([j], quota=1)
+        # Picks the candidate earliest in cluster order.
+        result = greedy_intra_app(app, ["E1", "E2"])
+        assert result.assignment == {"t1": "E1"}
+
+
+class TestOptimalIntraApp:
+    def test_matches_greedy_on_fig4(self):
+        j1 = JobDemand("J1", (task("T511", "E1"), task("T512", "E2")))
+        j2 = JobDemand("J2", (task("T521", "E3"), task("T522", "E4")))
+        app = make_app([j1, j2], quota=2)
+        result = optimal_intra_app(app, ["E1", "E2", "E3", "E4"])
+        jobs, credit = plan_value(result.assignment, app)
+        assert credit == pytest.approx(1.0)  # one full job's worth
+
+    def test_optimal_beats_greedy_on_adversarial_instance(self):
+        # Greedy serves the 1-task job with the contested executor E1,
+        # starving the 2-task job; the optimum serves the small job from E1
+        # too but is free to re-route: construct a case where greedy's strict
+        # job order wastes the only flexible executor.
+        j_small = JobDemand("S", (task("s1", "E1"),))
+        j_big = JobDemand("B", (task("b1", "E1"), task("b2", "E2")))
+        app = make_app([j_small, j_big], quota=3)
+        greedy = greedy_intra_app(app, ["E1", "E2"])
+        optimal = optimal_intra_app(app, ["E1", "E2"])
+        g_jobs, g_credit = plan_value(greedy.assignment, app)
+        o_jobs, o_credit = plan_value(optimal.assignment, app)
+        assert o_credit >= g_credit
+
+    def test_budget_respected(self):
+        j = JobDemand("J", (task("t1", "E1"), task("t2", "E2"), task("t3", "E3")))
+        app = make_app([j], quota=9)
+        result = optimal_intra_app(app, ["E1", "E2", "E3"], budget=2)
+        assert len(result.granted) == 2
+
+
+class TestPlanValue:
+    def test_counts_fully_satisfied_jobs(self):
+        j1 = JobDemand("J1", (task("t1", "E1"),))
+        j2 = JobDemand("J2", (task("t2", "E2"), task("t3", "E3")))
+        app = make_app([j1, j2])
+        jobs, credit = plan_value({"t1": "E1", "t2": "E2"}, app)
+        assert jobs == 1
+        assert credit == pytest.approx(1.0 + 0.5)
+
+    def test_total_tasks_weighting(self):
+        # A job with 4 total tasks but only 1 unsatisfied: the single promise
+        # contributes 1/4 credit but completes the job.
+        j = JobDemand("J", (task("t1", "E1"),), total_tasks=4)
+        app = make_app([j])
+        jobs, credit = plan_value({"t1": "E1"}, app)
+        assert jobs == 1
+        assert credit == pytest.approx(0.25)

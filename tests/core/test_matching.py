@@ -1,0 +1,118 @@
+"""Matching solvers: greedy 2-approximation vs exact min-cost-flow optimum."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.matching import (
+    greedy_weighted_matching,
+    max_weight_matching_with_budget,
+)
+from repro.core.matching import matching_weight
+
+
+class TestGreedy:
+    def test_takes_heaviest_edges_first(self):
+        edges = [("t1", "e1", 1.0), ("t2", "e1", 5.0)]
+        assert greedy_weighted_matching(edges) == {"t2": "e1"}
+
+    def test_respects_matching_constraints(self):
+        edges = [("t1", "e1", 3.0), ("t1", "e2", 2.0), ("t2", "e1", 2.0)]
+        # t1 takes e1 (heaviest); t2's only candidate e1 is then used.
+        assert greedy_weighted_matching(edges) == {"t1": "e1"}
+
+    def test_budget_caps_pairs(self):
+        edges = [(f"t{i}", f"e{i}", 1.0) for i in range(5)]
+        m = greedy_weighted_matching(edges, budget=2)
+        assert len(m) == 2
+
+    def test_zero_budget(self):
+        assert greedy_weighted_matching([("t", "e", 1.0)], budget=0) == {}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            greedy_weighted_matching([], budget=-1)
+
+    def test_deterministic_tie_break(self):
+        edges = [("t2", "e2", 1.0), ("t1", "e1", 1.0), ("t1", "e2", 1.0)]
+        m1 = greedy_weighted_matching(edges)
+        m2 = greedy_weighted_matching(list(reversed(edges)))
+        assert m1 == m2 == {"t1": "e1", "t2": "e2"}
+
+    def test_classic_half_approximation_instance(self):
+        # Greedy grabs the heavy middle edge and blocks both ends:
+        # greedy = 2.0, optimum = 1.9 + 1.9 = 3.8 -> ratio just above 1/2.
+        edges = [("t1", "e1", 1.9), ("t1", "e2", 2.0), ("t2", "e2", 1.9)]
+        greedy = greedy_weighted_matching(edges)
+        optimal = max_weight_matching_with_budget(edges)
+        gw = matching_weight(greedy, edges)
+        ow = matching_weight(optimal, edges)
+        assert gw == pytest.approx(2.0)
+        assert ow == pytest.approx(3.8)
+        assert gw >= 0.5 * ow
+
+
+class TestOptimal:
+    def test_finds_true_optimum(self):
+        edges = [("t1", "e1", 1.0), ("t1", "e2", 3.0), ("t2", "e2", 3.0), ("t2", "e1", 1.0)]
+        m = max_weight_matching_with_budget(edges)
+        assert matching_weight(m, edges) == pytest.approx(4.0)
+
+    def test_budget_respected(self):
+        edges = [(f"t{i}", f"e{i}", float(i + 1)) for i in range(4)]
+        m = max_weight_matching_with_budget(edges, budget=2)
+        assert len(m) == 2
+        # Picks the two heaviest independent edges.
+        assert matching_weight(m, edges) == pytest.approx(3.0 + 4.0)
+
+    def test_empty_inputs(self):
+        assert max_weight_matching_with_budget([]) == {}
+        assert max_weight_matching_with_budget([("t", "e", 1.0)], budget=0) == {}
+
+    def test_duplicate_edges_keep_heaviest(self):
+        edges = [("t1", "e1", 1.0), ("t1", "e1", 9.0)]
+        m = max_weight_matching_with_budget(edges)
+        assert matching_weight(m, edges) == pytest.approx(9.0)
+
+    def test_matching_is_feasible(self):
+        edges = [
+            ("t1", "e1", 1.0), ("t1", "e2", 1.0),
+            ("t2", "e1", 1.0), ("t3", "e2", 1.0),
+        ]
+        m = max_weight_matching_with_budget(edges)
+        executors = list(m.values())
+        assert len(executors) == len(set(executors))
+        for t, e in m.items():
+            assert (t, e) in {(a, b) for a, b, _ in edges}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_weight_matching_with_budget([], budget=-2)
+
+
+class TestApproximationGuarantee:
+    def test_greedy_within_half_on_random_instances(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for trial in range(25):
+            n_tasks, n_execs = int(rng.integers(2, 8)), int(rng.integers(2, 8))
+            edges = []
+            for t in range(n_tasks):
+                for e in range(n_execs):
+                    if rng.random() < 0.5:
+                        edges.append((f"t{t}", f"e{e}", float(rng.integers(1, 10))))
+            if not edges:
+                continue
+            budget = int(rng.integers(1, n_tasks + 1))
+            gw = matching_weight(
+                greedy_weighted_matching(edges, budget=budget), edges
+            )
+            ow = matching_weight(
+                max_weight_matching_with_budget(edges, budget=budget), edges
+            )
+            assert gw >= 0.5 * ow - 1e-9, f"trial {trial}: {gw} < 0.5*{ow}"
+
+
+def test_matching_weight_rejects_non_edges():
+    with pytest.raises(ConfigurationError):
+        matching_weight({"t": "e"}, [("t", "other", 1.0)])

@@ -1,0 +1,70 @@
+"""Figure drivers produce the right rows (tiny scale for CI)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure7_locality,
+    figure8_jct,
+    figure9_input_stage,
+    figure10_scheduler_delay,
+    headline_numbers,
+    run_policy_comparison,
+)
+from repro.experiments.config import ExperimentConfig
+
+TINY = dict(jobs_per_app=2, num_apps=2, seed=5)
+
+
+def test_run_policy_comparison_shares_the_trace():
+    base = ExperimentConfig(
+        workload="wordcount", num_nodes=10, manager="custody", **TINY
+    )
+    results = run_policy_comparison(base, policies=("standalone", "custody"))
+    assert set(results) == {"standalone", "custody"}
+    assert (
+        results["standalone"].metrics.finished_jobs
+        == results["custody"].metrics.finished_jobs
+        == 4
+    )
+
+
+def test_figure7_rows_have_expected_shape():
+    rows = figure7_locality(cluster_sizes=(10,), workloads=("pagerank",), **TINY)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["figure"] == "7"
+    assert 0.0 <= row["spark_locality"] <= 1.0
+    assert 0.0 <= row["custody_locality"] <= 1.0
+    assert row["gain"] == pytest.approx(
+        (row["custody_locality"] - row["spark_locality"]) / row["spark_locality"]
+    )
+
+
+def test_figure8_rows(tmp_path):
+    rows = figure8_jct(cluster_sizes=(10,), workloads=("wordcount",), **TINY)
+    row = rows[0]
+    assert row["spark_jct"] > 0
+    assert row["custody_jct"] > 0
+    assert row["reduction"] == pytest.approx(
+        (row["spark_jct"] - row["custody_jct"]) / row["spark_jct"]
+    )
+
+
+def test_figure9_rows():
+    rows = figure9_input_stage(workloads=("sort",), num_nodes=10, **TINY)
+    assert rows[0]["figure"] == "9"
+    assert rows[0]["spark_input_stage"] > 0
+    assert rows[0]["custody_input_stage"] > 0
+
+
+def test_figure10_rows():
+    rows = figure10_scheduler_delay(cluster_sizes=(10,), workload="wordcount", **TINY)
+    assert rows[0]["figure"] == "10"
+    assert rows[0]["spark_delay"] >= 0
+    assert rows[0]["custody_delay"] >= 0
+
+
+def test_headline_numbers_structure():
+    summary = headline_numbers(num_nodes=10, workloads=("wordcount",), **TINY)
+    assert set(summary) >= {"locality_gain_mean", "jct_reduction_mean"}
+    assert len(summary["locality_gains"]) == 1

@@ -1,0 +1,65 @@
+"""JSON persistence of experiment results and timelines."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import (
+    export_timeline,
+    load_result,
+    load_timeline_records,
+    result_to_dict,
+    save_result,
+)
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        manager="custody", workload="pagerank", num_nodes=10,
+        num_apps=2, jobs_per_app=2, seed=2, timeline_enabled=True,
+    )
+    return run_experiment(config)
+
+
+def test_result_to_dict_is_json_serialisable(result):
+    payload = result_to_dict(result)
+    text = json.dumps(payload)
+    assert "custody" in text
+
+
+def test_round_trip(result, tmp_path):
+    path = save_result(result, tmp_path / "result.json")
+    loaded = load_result(path)
+    assert loaded["config"] == result.config
+    assert loaded["metrics"] == result.metrics
+    assert loaded["sim_time"] == result.sim_time
+    assert loaded["allocation_rounds"] == result.allocation_rounds
+
+
+def test_version_check(result, tmp_path):
+    path = save_result(result, tmp_path / "result.json")
+    data = json.loads(path.read_text())
+    data["format_version"] = 99
+    path.write_text(json.dumps(data))
+    with pytest.raises(ConfigurationError):
+        load_result(path)
+
+
+def test_timeline_export_round_trip(result, tmp_path):
+    path = export_timeline(result.timeline, tmp_path / "timeline.jsonl")
+    records = load_timeline_records(path)
+    assert len(records) == len(result.timeline)
+    assert records[0]["kind"] == result.timeline[0].kind
+    kinds = {r["kind"] for r in records}
+    assert "job.finish" in kinds
+
+
+def test_timeline_lines_are_individual_json(result, tmp_path):
+    path = export_timeline(result.timeline, tmp_path / "timeline.jsonl")
+    with path.open() as fh:
+        first = fh.readline()
+    json.loads(first)  # every line parses standalone

@@ -1,0 +1,85 @@
+"""End-to-end experiment runner."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+SMALL = dict(num_nodes=10, num_apps=2, jobs_per_app=2, seed=3, workload="pagerank")
+
+
+@pytest.mark.parametrize("manager", ["standalone", "custody", "yarn", "mesos"])
+def test_all_managers_finish_every_job(manager):
+    result = run_experiment(ExperimentConfig(manager=manager, **SMALL))
+    assert result.metrics.unfinished_jobs == 0
+    assert result.metrics.finished_jobs == 4
+
+
+def test_result_carries_config_and_apps():
+    config = ExperimentConfig(manager="custody", **SMALL)
+    result = run_experiment(config)
+    assert result.config is config
+    assert [a.app_id for a in result.apps] == ["app-00", "app-01"]
+    assert result.sim_time > 0
+
+
+def test_same_seed_reproduces_metrics():
+    config = ExperimentConfig(manager="custody", **SMALL)
+    r1 = run_experiment(config)
+    r2 = run_experiment(config)
+    assert r1.metrics == r2.metrics
+
+
+def test_workload_structures_identical_across_managers():
+    """The common-schedule methodology: same jobs regardless of policy."""
+    base = ExperimentConfig(manager="custody", **SMALL)
+    r_custody = run_experiment(base)
+    r_spark = run_experiment(base.with_manager("standalone"))
+
+    def shape(result):
+        return [
+            (j.job_id, j.num_input_tasks, len(j.stages), round(j.submitted_at, 9))
+            for a in result.apps
+            for j in a.jobs
+        ]
+
+    assert shape(r_custody) == shape(r_spark)
+
+
+def test_timeline_disabled_by_default():
+    result = run_experiment(ExperimentConfig(manager="custody", **SMALL))
+    assert result.timeline is None
+
+
+def test_timeline_enabled_records_events():
+    config = ExperimentConfig(manager="custody", timeline_enabled=True, **SMALL)
+    result = run_experiment(config)
+    assert result.timeline is not None
+    assert len(result.timeline.of_kind("job.finish")) == 4
+
+
+def test_validated_plans_run_clean():
+    config = ExperimentConfig(manager="custody", validate_plans=True, **SMALL)
+    result = run_experiment(config)
+    assert result.metrics.unfinished_jobs == 0
+
+
+def test_fifo_scheduler_variant():
+    config = ExperimentConfig(manager="custody", scheduler="fifo", **SMALL)
+    result = run_experiment(config)
+    assert result.metrics.unfinished_jobs == 0
+
+
+@pytest.mark.parametrize("placement", ["random", "rack-aware", "popularity"])
+def test_placement_variants(placement):
+    config = ExperimentConfig(manager="custody", placement=placement, **SMALL)
+    result = run_experiment(config)
+    assert result.metrics.unfinished_jobs == 0
+
+
+def test_different_seeds_differ():
+    a = run_experiment(ExperimentConfig(manager="standalone", **SMALL))
+    b = run_experiment(
+        ExperimentConfig(manager="standalone", **{**SMALL, "seed": 99})
+    )
+    assert a.metrics != b.metrics

@@ -1,0 +1,50 @@
+"""The paper's worked micro-examples must reproduce exactly."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    fig1_motivating_example,
+    fig3_interapp_example,
+    fig45_intraapp_example,
+)
+
+
+class TestFig1:
+    def test_data_unaware_achieves_half(self):
+        result = fig1_motivating_example()
+        assert result.data_unaware == {"A1": 0.5, "A2": 0.5}
+
+    def test_data_aware_achieves_full_locality(self):
+        result = fig1_motivating_example()
+        assert result.data_aware == {"A1": 1.0, "A2": 1.0}
+
+
+class TestFig3:
+    def test_naive_fairness_starves_one_app(self):
+        result = fig3_interapp_example()
+        assert sorted(result.naive_fair.values()) == [0, 2]
+
+    def test_locality_fairness_gives_one_local_job_each(self):
+        result = fig3_interapp_example()
+        assert result.locality_fair == {"A3": 1, "A4": 1}
+
+
+class TestFig45:
+    def test_fairness_strategy_averages_two_time_units(self):
+        result = fig45_intraapp_example()
+        assert result.fairness_avg == pytest.approx(2.0, abs=1e-6)
+        assert result.fairness_jcts == (
+            pytest.approx(2.0, abs=1e-6),
+            pytest.approx(2.0, abs=1e-6),
+        )
+
+    def test_priority_strategy_averages_one_and_a_quarter(self):
+        result = fig45_intraapp_example()
+        assert result.priority_avg == pytest.approx(1.25, abs=1e-6)
+        assert result.priority_jcts[0] == pytest.approx(0.5, abs=1e-6)
+        assert result.priority_jcts[1] == pytest.approx(2.0, abs=1e-6)
+
+    def test_priority_beats_fairness_without_slowing_job2(self):
+        result = fig45_intraapp_example()
+        assert result.priority_avg < result.fairness_avg
+        assert result.priority_jcts[1] <= result.fairness_jcts[1] + 1e-6

@@ -1,0 +1,83 @@
+"""Parameter sweep utility."""
+
+import csv
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import DEFAULT_EXTRACTORS, rows_to_csv, sweep
+
+BASE = ExperimentConfig(
+    workload="pagerank", num_nodes=10, num_apps=2, jobs_per_app=2, seed=3
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sweep(
+        BASE,
+        grid={"manager": ["standalone", "custody"]},
+        extract={"locality": DEFAULT_EXTRACTORS["locality"]},
+    )
+
+
+def test_one_row_per_grid_point(rows):
+    assert len(rows) == 2
+    assert {r["manager"] for r in rows} == {"standalone", "custody"}
+
+
+def test_rows_carry_parameters_and_metrics(rows):
+    for row in rows:
+        assert 0.0 <= row["locality"] <= 1.0
+        assert row["seed"] == 3
+
+
+def test_cartesian_product():
+    rows = sweep(
+        BASE,
+        grid={"manager": ["standalone", "custody"], "num_nodes": [8, 10]},
+        extract={"jct": DEFAULT_EXTRACTORS["jct"]},
+    )
+    assert len(rows) == 4
+    assert {(r["manager"], r["num_nodes"]) for r in rows} == {
+        ("standalone", 8), ("standalone", 10), ("custody", 8), ("custody", 10),
+    }
+
+
+def test_repeats_vary_seed():
+    rows = sweep(
+        BASE,
+        grid={"manager": ["custody"]},
+        extract={"jct": DEFAULT_EXTRACTORS["jct"]},
+        repeats=2,
+    )
+    assert [r["seed"] for r in rows] == [3, 4]
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ConfigurationError):
+        sweep(BASE, grid={"warp_factor": [9]})
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ConfigurationError):
+        sweep(BASE, grid={})
+
+
+def test_bad_repeats_rejected():
+    with pytest.raises(ConfigurationError):
+        sweep(BASE, grid={"manager": ["custody"]}, repeats=0)
+
+
+def test_csv_round_trip(rows, tmp_path):
+    path = rows_to_csv(rows, tmp_path / "sweep.csv")
+    with path.open() as fh:
+        loaded = list(csv.DictReader(fh))
+    assert len(loaded) == len(rows)
+    assert {r["manager"] for r in loaded} == {"standalone", "custody"}
+
+
+def test_csv_empty_rejected(tmp_path):
+    with pytest.raises(ConfigurationError):
+        rows_to_csv([], tmp_path / "empty.csv")

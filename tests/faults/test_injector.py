@@ -1,0 +1,128 @@
+"""FaultInjector behaviour on the full stack."""
+
+import pytest
+
+from repro.common.units import GB
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults.plan import DiskFailure, ExecutorFailure, FaultPlan, NodeSlowdown
+
+BASE = dict(
+    manager="custody", workload="sort", num_nodes=12, num_apps=2,
+    jobs_per_app=3, seed=6,
+)
+
+
+def run_with(plan, **overrides):
+    return run_experiment(
+        ExperimentConfig(**{**BASE, **overrides}), fault_plan=plan
+    )
+
+
+class TestNodeSlowdown:
+    def test_slowdown_lengthens_jcts(self):
+        healthy = run_with(None)
+        plan = FaultPlan(
+            [
+                NodeSlowdown(at=0.0, node_id=f"worker-{i:03d}", duration=1e6, factor=8.0)
+                for i in range(4)
+            ]
+        )
+        degraded = run_with(plan)
+        assert degraded.metrics.avg_jct > healthy.metrics.avg_jct
+
+    def test_cpu_factor_window(self):
+        plan = FaultPlan([NodeSlowdown(at=5.0, node_id="worker-000", duration=10.0, factor=4.0)])
+        result = run_with(plan)
+        injector = result.fault_injector
+        assert injector is not None
+        assert injector.injected >= 1
+        # After the run the window is over: factor back to 1.
+        assert injector.cpu_factor("worker-000") == 1.0
+
+    def test_overlapping_slowdowns_take_the_max(self):
+        # Two overlapping windows on one node: factor during overlap is max.
+        from repro.cluster.cluster import Cluster, ClusterConfig
+        from repro.faults.injector import FaultInjector
+        from repro.hdfs.filesystem import HDFS
+        from repro.simulation.engine import Simulation
+
+        sim = Simulation()
+        cluster = Cluster(ClusterConfig(num_nodes=2))
+        hdfs = HDFS(cluster)
+        plan = FaultPlan(
+            [
+                NodeSlowdown(at=0.0, node_id="worker-000", duration=10.0, factor=2.0),
+                NodeSlowdown(at=2.0, node_id="worker-000", duration=4.0, factor=5.0),
+            ]
+        )
+        injector = FaultInjector(sim, cluster, hdfs, plan)
+        sim.run(until=3.0)
+        assert injector.cpu_factor("worker-000") == 5.0
+        sim.run(until=7.0)
+        assert injector.cpu_factor("worker-000") == 2.0
+        sim.run(until=11.0)
+        assert injector.cpu_factor("worker-000") == 1.0
+        assert injector.cpu_factor("worker-001") == 1.0
+
+
+class TestExecutorFailure:
+    def test_tasks_requeued_and_jobs_still_finish(self):
+        plan = FaultPlan(
+            [ExecutorFailure(at=5.0, executor_id=f"executor-{i:03d}") for i in range(6)]
+        )
+        result = run_with(plan)
+        assert result.metrics.unfinished_jobs == 0
+        assert result.fault_injector.tasks_requeued >= 0  # may be idle at t=5
+
+    def test_failed_executor_not_reallocated_until_restart(self):
+        # Restart delay beyond the runner's event horizon (1e7 s): the
+        # executor never comes back within the run.
+        plan = FaultPlan(
+            [ExecutorFailure(at=0.5, executor_id="executor-000", restart_delay=2e7)]
+        )
+        result = run_with(plan)
+        assert "executor-000" in result.fault_injector.failed_executor_ids
+        assert result.metrics.unfinished_jobs == 0
+
+    def test_restart_restores_health(self):
+        plan = FaultPlan(
+            [ExecutorFailure(at=0.5, executor_id="executor-000", restart_delay=1.0)]
+        )
+        result = run_with(plan)
+        assert "executor-000" not in result.fault_injector.failed_executor_ids
+
+
+class TestDiskFailure:
+    def test_replicas_lost_and_restored(self):
+        plan = FaultPlan([DiskFailure(at=1.0, node_id="worker-000")])
+        result = run_with(plan)
+        injector = result.fault_injector
+        assert injector.replicas_lost > 0
+        assert injector.replicas_restored == injector.replicas_lost
+        assert result.metrics.unfinished_jobs == 0
+
+    def test_without_re_replication_replicas_stay_lost(self):
+        plan = FaultPlan([DiskFailure(at=1.0, node_id="worker-000", re_replicate=False)])
+        result = run_with(plan)
+        assert result.fault_injector.replicas_restored == 0
+        assert result.metrics.unfinished_jobs == 0
+
+    def test_cached_copies_dropped(self):
+        plan = FaultPlan([DiskFailure(at=30.0, node_id="worker-000")])
+        result = run_with(plan, cache_per_node=2 * GB)
+        assert result.metrics.unfinished_jobs == 0
+
+
+class TestDeterminism:
+    def test_same_plan_same_outcome(self):
+        plan = FaultPlan(
+            [
+                NodeSlowdown(at=3.0, node_id="worker-001", duration=50.0, factor=5.0),
+                ExecutorFailure(at=8.0, executor_id="executor-003"),
+                DiskFailure(at=12.0, node_id="worker-002"),
+            ]
+        )
+        r1 = run_with(plan)
+        r2 = run_with(plan)
+        assert r1.metrics == r2.metrics

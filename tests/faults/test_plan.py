@@ -1,0 +1,73 @@
+"""FaultPlan and fault event validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faults.plan import DiskFailure, ExecutorFailure, FaultPlan, NodeSlowdown
+
+
+class TestEvents:
+    def test_node_slowdown_valid(self):
+        e = NodeSlowdown(at=5.0, node_id="n0", duration=10.0, factor=3.0)
+        assert e.factor == 3.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"at": -1.0},
+            {"node_id": ""},
+            {"duration": 0.0},
+            {"factor": 0.5},
+        ],
+    )
+    def test_node_slowdown_invalid(self, kwargs):
+        base = dict(at=1.0, node_id="n0", duration=5.0, factor=2.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            NodeSlowdown(**base)
+
+    def test_executor_failure_valid(self):
+        e = ExecutorFailure(at=1.0, executor_id="e0", restart_delay=0.0)
+        assert e.restart_delay == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"executor_id": ""}, {"restart_delay": -1.0}]
+    )
+    def test_executor_failure_invalid(self, kwargs):
+        base = dict(at=1.0, executor_id="e0", restart_delay=1.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            ExecutorFailure(**base)
+
+    def test_disk_failure_requires_node(self):
+        with pytest.raises(ConfigurationError):
+            DiskFailure(at=1.0, node_id="")
+
+
+class TestPlan:
+    def test_sorted_by_time(self):
+        plan = FaultPlan(
+            [
+                DiskFailure(at=9.0, node_id="n0"),
+                NodeSlowdown(at=1.0, node_id="n1", duration=2.0),
+            ]
+        )
+        assert [e.at for e in plan] == [1.0, 9.0]
+
+    def test_add_keeps_order(self):
+        plan = FaultPlan()
+        plan.add(DiskFailure(at=5.0, node_id="n0")).add(
+            DiskFailure(at=2.0, node_id="n1")
+        )
+        assert [e.at for e in plan] == [2.0, 5.0]
+        assert len(plan) == 2
+
+    def test_of_type(self):
+        plan = FaultPlan(
+            [
+                DiskFailure(at=1.0, node_id="n0"),
+                NodeSlowdown(at=2.0, node_id="n1", duration=1.0),
+            ]
+        )
+        assert len(plan.of_type(DiskFailure)) == 1
+        assert len(plan.of_type(ExecutorFailure)) == 0

@@ -1,0 +1,34 @@
+"""Block value semantics."""
+
+import pytest
+
+from repro.hdfs.blocks import Block
+
+
+def test_fields():
+    b = Block("b-0", path="/data/f", index=0, size=128.0)
+    assert b.block_id == "b-0"
+    assert str(b) == "b-0"
+
+
+def test_hashable_and_value_equal():
+    a = Block("b-0", path="/f", index=0, size=1.0)
+    b = Block("b-0", path="/f", index=0, size=1.0)
+    assert a == b
+    assert len({a, b}) == 1
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        Block("b", path="/f", index=-1, size=1.0)
+
+
+def test_nonpositive_size_rejected():
+    with pytest.raises(ValueError):
+        Block("b", path="/f", index=0, size=0.0)
+
+
+def test_immutability():
+    b = Block("b-0", path="/f", index=0, size=1.0)
+    with pytest.raises(AttributeError):
+        b.size = 2.0

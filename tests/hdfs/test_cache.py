@@ -1,0 +1,173 @@
+"""BlockCache LRU semantics and HDFS cache integration."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import BlockSpec, MB
+from repro.hdfs.blocks import Block
+from repro.hdfs.cache import BlockCache
+from repro.hdfs.filesystem import HDFS
+
+
+def block(i, size=10.0):
+    return Block(f"b-{i}", path="/f", index=i, size=size)
+
+
+class TestBlockCache:
+    def test_insert_and_hold(self):
+        cache = BlockCache("n0", capacity=100.0)
+        assert cache.insert(block(0)) == []
+        assert cache.holds("b-0")
+        assert cache.used == 10.0
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache("n0", capacity=25.0)
+        cache.insert(block(0))
+        cache.insert(block(1))
+        cache.touch("b-0")  # refresh b-0; b-1 becomes LRU
+        evicted = cache.insert(block(2))
+        assert [b.block_id for b in evicted] == ["b-1"]
+        assert cache.holds("b-0") and cache.holds("b-2")
+
+    def test_oversized_block_refused(self):
+        cache = BlockCache("n0", capacity=5.0)
+        assert cache.insert(block(0, size=10.0)) == []
+        assert not cache.holds("b-0")
+
+    def test_zero_capacity_disables(self):
+        cache = BlockCache("n0", capacity=0.0)
+        cache.insert(block(0))
+        assert cache.block_count == 0
+
+    def test_reinsert_refreshes_without_eviction(self):
+        cache = BlockCache("n0", capacity=20.0)
+        cache.insert(block(0))
+        cache.insert(block(1))
+        assert cache.insert(block(0)) == []  # refresh: b-1 becomes the LRU
+        evicted = cache.insert(block(2))
+        assert [b.block_id for b in evicted] == ["b-1"]
+
+    def test_hit_miss_counters(self):
+        cache = BlockCache("n0", capacity=100.0)
+        cache.insert(block(0))
+        assert cache.touch("b-0")
+        assert not cache.touch("b-9")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_read_time(self):
+        cache = BlockCache("n0", capacity=100.0, bandwidth=50.0)
+        assert cache.read_time(100.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            cache.read_time(-1.0)
+
+    def test_explicit_evict_and_clear(self):
+        cache = BlockCache("n0", capacity=100.0)
+        cache.insert(block(0))
+        cache.insert(block(1))
+        assert cache.evict("b-0").block_id == "b-0"
+        assert cache.evict("ghost") is None
+        assert [b.block_id for b in cache.clear()] == ["b-1"]
+        assert cache.used == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BlockCache("n0", capacity=-1.0)
+        with pytest.raises(ConfigurationError):
+            BlockCache("n0", capacity=1.0, bandwidth=0.0)
+
+
+class TestHdfsCaching:
+    @pytest.fixture
+    def hdfs(self, small_cluster):
+        return HDFS(
+            small_cluster,
+            block_spec=BlockSpec(size=10 * MB, replication=1),
+            rng=np.random.default_rng(5),
+            cache_per_node=25 * MB,
+        )
+
+    def test_caching_enabled_flag(self, small_cluster, hdfs):
+        assert hdfs.caching_enabled
+        plain = HDFS(small_cluster.__class__(small_cluster.config))
+        assert not plain.caching_enabled
+
+    def test_cache_block_registers_with_namenode(self, hdfs):
+        entry = hdfs.ingest("/f", 10 * MB)
+        blk = entry.blocks[0]
+        holder = hdfs.namenode.locations(blk.block_id)[0]
+        other = next(n for n in hdfs.cluster.node_ids if n != holder)
+        assert hdfs.cache_block(other, blk)
+        assert other in hdfs.namenode.cached_locations(blk.block_id)
+        assert other in hdfs.namenode.serving_locations(blk.block_id)
+        # Disk locations are unchanged.
+        assert other not in hdfs.namenode.locations(blk.block_id)
+
+    def test_can_serve_locally_includes_cache(self, hdfs):
+        entry = hdfs.ingest("/f", 10 * MB)
+        blk = entry.blocks[0]
+        holder = hdfs.namenode.locations(blk.block_id)[0]
+        other = next(n for n in hdfs.cluster.node_ids if n != holder)
+        assert not hdfs.can_serve_locally(blk.block_id, other)
+        hdfs.cache_block(other, blk)
+        assert hdfs.can_serve_locally(blk.block_id, other)
+
+    def test_eviction_deregisters(self, hdfs):
+        entry = hdfs.ingest("/f", 60 * MB)  # 6 blocks of 10 MB; cache fits 2
+        node = hdfs.cluster.node_ids[0]
+        for blk in entry.blocks[:3]:
+            hdfs.cache_block(node, blk)
+        cached_now = [
+            b.block_id for b in entry.blocks if hdfs.caches[node].holds(b.block_id)
+        ]
+        assert len(cached_now) == 2  # capacity 25 MB -> two 10 MB blocks
+        evicted = entry.blocks[0].block_id
+        assert node not in hdfs.namenode.cached_locations(evicted)
+
+    def test_local_read_time_prefers_cache(self, hdfs):
+        entry = hdfs.ingest("/f", 10 * MB)
+        blk = entry.blocks[0]
+        holder = hdfs.namenode.locations(blk.block_id)[0]
+        disk_time = hdfs.local_read_time(blk, holder)
+        hdfs.cache_block(holder, blk)
+        cached_time = hdfs.local_read_time(blk, holder)
+        assert cached_time < disk_time
+
+    def test_cache_stats(self, hdfs):
+        entry = hdfs.ingest("/f", 10 * MB)
+        blk = entry.blocks[0]
+        node = hdfs.cluster.node_ids[0]
+        hdfs.cache_block(node, blk)
+        hdfs.local_read_time(blk, node)  # hit
+        stats = hdfs.cache_stats()
+        assert stats["hits"] >= 1
+        assert stats["cached_blocks"] >= 1
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+
+
+class TestNameNodeCachedReplicas:
+    def test_unknown_block_rejected(self, small_hdfs):
+        with pytest.raises(ConfigurationError):
+            small_hdfs.namenode.add_cached_replica("ghost", "n0")
+        with pytest.raises(ConfigurationError):
+            small_hdfs.namenode.cached_locations("ghost")
+
+    def test_remove_cached_replica(self, small_hdfs):
+        entry = small_hdfs.ingest("/f", 10 * 2**20)
+        bid = entry.blocks[0].block_id
+        small_hdfs.namenode.add_cached_replica(bid, "nX")
+        small_hdfs.namenode.remove_cached_replica(bid, "nX")
+        assert small_hdfs.namenode.cached_locations(bid) == []
+
+    def test_delete_clears_cached_map(self, small_hdfs):
+        entry = small_hdfs.ingest("/f", 10 * 2**20)
+        bid = entry.blocks[0].block_id
+        small_hdfs.namenode.add_cached_replica(bid, "nX")
+        small_hdfs.delete("/f")
+        with pytest.raises(ConfigurationError):
+            small_hdfs.namenode.cached_locations(bid)
+
+    def test_stats_count_cached(self, small_hdfs):
+        entry = small_hdfs.ingest("/f", 10 * 2**20)
+        small_hdfs.namenode.add_cached_replica(entry.blocks[0].block_id, "nX")
+        assert small_hdfs.namenode.stats()["cached_replicas"] == 1.0

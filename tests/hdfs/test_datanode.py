@@ -1,0 +1,66 @@
+"""DataNode inventory and capacity accounting."""
+
+import pytest
+
+from repro.common.errors import CapacityError
+from repro.hdfs.blocks import Block
+from repro.hdfs.datanode import DataNode
+
+
+def block(i, size=10.0):
+    return Block(f"b-{i}", path="/f", index=i, size=size)
+
+
+@pytest.fixture
+def dn():
+    return DataNode("w-0", capacity=100.0)
+
+
+def test_store_and_holds(dn):
+    dn.store(block(0))
+    assert dn.holds("b-0")
+    assert not dn.holds("b-1")
+    assert dn.block_count == 1
+
+
+def test_usage_accounting(dn):
+    dn.store(block(0, 30.0))
+    dn.store(block(1, 20.0))
+    assert dn.used == pytest.approx(50.0)
+    assert dn.free == pytest.approx(50.0)
+
+
+def test_store_idempotent(dn):
+    dn.store(block(0))
+    dn.store(block(0))
+    assert dn.used == pytest.approx(10.0)
+    assert dn.block_count == 1
+
+
+def test_capacity_enforced(dn):
+    dn.store(block(0, 90.0))
+    with pytest.raises(CapacityError):
+        dn.store(block(1, 20.0))
+
+
+def test_evict(dn):
+    dn.store(block(0, 40.0))
+    dn.evict("b-0")
+    assert not dn.holds("b-0")
+    assert dn.used == 0.0
+
+
+def test_evict_missing_is_noop(dn):
+    dn.evict("ghost")
+    assert dn.used == 0.0
+
+
+def test_block_report_in_insertion_order(dn):
+    dn.store(block(2))
+    dn.store(block(0))
+    assert dn.block_report() == ["b-2", "b-0"]
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(CapacityError):
+        DataNode("w", capacity=0.0)

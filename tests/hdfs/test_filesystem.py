@@ -1,0 +1,114 @@
+"""HDFS facade: ingest, locate, delete, utilization."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB
+from repro.common.units import BlockSpec
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.placement import PopularityAwarePlacement
+
+
+class TestIngest:
+    def test_splits_into_blocks(self, small_hdfs):
+        entry = small_hdfs.ingest("/data/f", 35 * MB)  # 10 MB blocks
+        assert entry.block_count == 4
+        assert entry.blocks[-1].size == pytest.approx(5 * MB)
+        assert sum(b.size for b in entry.blocks) == pytest.approx(35 * MB)
+
+    def test_replicas_match_spec(self, small_hdfs):
+        entry = small_hdfs.ingest("/data/f", 30 * MB)
+        for block in entry.blocks:
+            assert small_hdfs.namenode.replication_of(block.block_id) == 2
+
+    def test_replicas_actually_stored_on_datanodes(self, small_hdfs):
+        entry = small_hdfs.ingest("/data/f", 10 * MB)
+        block = entry.blocks[0]
+        for node_id in small_hdfs.namenode.locations(block.block_id):
+            assert small_hdfs.datanodes[node_id].holds(block.block_id)
+
+    def test_zero_size_rejected(self, small_hdfs):
+        with pytest.raises(ConfigurationError):
+            small_hdfs.ingest("/data/f", 0)
+
+    def test_duplicate_path_rejected(self, small_hdfs):
+        small_hdfs.ingest("/data/f", MB)
+        with pytest.raises(ConfigurationError):
+            small_hdfs.ingest("/data/f", MB)
+
+    def test_popularity_drives_replication(self, small_cluster):
+        hdfs = HDFS(
+            small_cluster,
+            block_spec=BlockSpec(size=10 * MB, replication=2),
+            placement=PopularityAwarePlacement(max_replicas=6),
+            rng=np.random.default_rng(0),
+        )
+        hot = hdfs.ingest("/hot", 10 * MB, popularity=3.0)
+        cold = hdfs.ingest("/cold", 10 * MB, popularity=0.5)
+        hot_reps = hdfs.namenode.replication_of(hot.blocks[0].block_id)
+        cold_reps = hdfs.namenode.replication_of(cold.blocks[0].block_id)
+        assert hot_reps > cold_reps
+
+
+class TestQueries:
+    def test_block_locations(self, small_hdfs):
+        entry = small_hdfs.ingest("/data/f", 20 * MB)
+        locations = small_hdfs.block_locations("/data/f")
+        assert set(locations) == set(entry.blocks)
+        for nodes in locations.values():
+            assert len(nodes) == 2
+
+    def test_is_local(self, small_hdfs):
+        entry = small_hdfs.ingest("/data/f", 10 * MB)
+        block = entry.blocks[0]
+        holders = small_hdfs.namenode.locations(block.block_id)
+        non_holder = next(
+            n for n in small_hdfs.cluster.node_ids if n not in holders
+        )
+        assert small_hdfs.is_local(block.block_id, holders[0])
+        assert not small_hdfs.is_local(block.block_id, non_holder)
+
+    def test_storage_utilization(self, small_hdfs):
+        small_hdfs.ingest("/data/f", 40 * MB)
+        util = small_hdfs.storage_utilization()
+        assert len(util) == 8
+        assert sum(util.values()) > 0
+
+
+class TestDelete:
+    def test_delete_clears_everything(self, small_hdfs):
+        entry = small_hdfs.ingest("/data/f", 20 * MB)
+        block_ids = [b.block_id for b in entry.blocks]
+        small_hdfs.delete("/data/f")
+        assert not small_hdfs.namenode.exists("/data/f")
+        for dn in small_hdfs.datanodes.values():
+            for bid in block_ids:
+                assert not dn.holds(bid)
+
+
+class TestBlockReports:
+    def test_rebalance_heals_namenode_drift(self, small_hdfs):
+        entry = small_hdfs.ingest("/data/f", 10 * MB)
+        block = entry.blocks[0]
+        holder = small_hdfs.namenode.locations(block.block_id)[0]
+        # Simulate silent data loss on the holder.
+        small_hdfs.datanodes[holder].evict(block.block_id)
+        assert holder in small_hdfs.namenode.locations(block.block_id)  # stale
+        small_hdfs.rebalance_reports()
+        assert holder not in small_hdfs.namenode.locations(block.block_id)
+
+
+def test_deterministic_placement_with_same_rng(small_cluster):
+    def build():
+        hdfs = HDFS(
+            small_cluster.__class__(small_cluster.config),
+            block_spec=BlockSpec(size=10 * MB, replication=2),
+            rng=np.random.default_rng(55),
+        )
+        entry = hdfs.ingest("/data/f", 50 * MB)
+        return [
+            tuple(hdfs.namenode.locations(b.block_id)) for b in entry.blocks
+        ]
+
+    assert build() == build()

@@ -1,0 +1,117 @@
+"""Placement policies: replica counts and node choices."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import Topology
+from repro.common.errors import ConfigurationError
+from repro.hdfs.blocks import Block
+from repro.hdfs.placement import (
+    PopularityAwarePlacement,
+    RackAwarePlacement,
+    RandomPlacement,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+@pytest.fixture
+def topo():
+    t = Topology()
+    for i in range(9):
+        t.add_node(f"n{i}", f"rack-{i // 3}")
+    return t
+
+
+def a_block():
+    return Block("b-0", path="/f", index=0, size=1.0)
+
+
+NODES = [f"n{i}" for i in range(9)]
+
+
+class TestRandomPlacement:
+    def test_distinct_nodes(self, rng):
+        chosen = RandomPlacement().choose_nodes(a_block(), 3, NODES, None, rng)
+        assert len(chosen) == len(set(chosen)) == 3
+
+    def test_count_clamped_to_universe(self, rng):
+        chosen = RandomPlacement().choose_nodes(a_block(), 99, NODES, None, rng)
+        assert sorted(chosen) == sorted(NODES)
+
+    def test_no_nodes_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            RandomPlacement().choose_nodes(a_block(), 1, [], None, rng)
+
+    def test_default_replica_count(self):
+        assert RandomPlacement().replicas_for(3, popularity=5.0) == 3
+
+    def test_roughly_uniform(self, rng):
+        counts = {n: 0 for n in NODES}
+        policy = RandomPlacement()
+        for _ in range(2000):
+            for node in policy.choose_nodes(a_block(), 3, NODES, None, rng):
+                counts[node] += 1
+        values = np.array(list(counts.values()), dtype=float)
+        # Each node expects 2000*3/9 ≈ 667 hits; allow generous tolerance.
+        assert values.min() > 500
+        assert values.max() < 850
+
+
+class TestRackAwarePlacement:
+    def test_second_replica_off_rack(self, rng, topo):
+        policy = RackAwarePlacement()
+        for _ in range(50):
+            first, second, *_ = policy.choose_nodes(a_block(), 3, NODES, topo, rng)
+            assert topo.rack_of(first) != topo.rack_of(second)
+
+    def test_third_replica_shares_second_rack(self, rng, topo):
+        policy = RackAwarePlacement()
+        for _ in range(50):
+            chosen = policy.choose_nodes(a_block(), 3, NODES, topo, rng)
+            assert len(set(chosen)) == 3
+            assert topo.rack_of(chosen[1]) == topo.rack_of(chosen[2])
+
+    def test_requires_topology(self, rng):
+        with pytest.raises(ConfigurationError):
+            RackAwarePlacement().choose_nodes(a_block(), 3, NODES, None, rng)
+
+    def test_single_rack_degrades_gracefully(self, rng):
+        topo = Topology()
+        for n in ("a", "b", "c"):
+            topo.add_node(n, "only-rack")
+        chosen = RackAwarePlacement().choose_nodes(
+            a_block(), 3, ["a", "b", "c"], topo, rng
+        )
+        assert sorted(chosen) == ["a", "b", "c"]
+
+    def test_extra_replicas_fall_back(self, rng, topo):
+        chosen = RackAwarePlacement().choose_nodes(a_block(), 5, NODES, topo, rng)
+        assert len(set(chosen)) == 5
+
+
+class TestPopularityAwarePlacement:
+    def test_hot_files_get_more_replicas(self):
+        policy = PopularityAwarePlacement(max_replicas=10)
+        cold = policy.replicas_for(3, popularity=0.5)
+        hot = policy.replicas_for(3, popularity=3.0)
+        assert hot > cold
+        assert hot == 9
+
+    def test_bounds_respected(self):
+        policy = PopularityAwarePlacement(min_replicas=2, max_replicas=4)
+        assert policy.replicas_for(3, popularity=0.0) == 2
+        assert policy.replicas_for(3, popularity=100.0) == 4
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PopularityAwarePlacement(min_replicas=0)
+        with pytest.raises(ConfigurationError):
+            PopularityAwarePlacement(min_replicas=5, max_replicas=2)
+
+    def test_placement_inherits_random(self, rng):
+        chosen = PopularityAwarePlacement().choose_nodes(a_block(), 3, NODES, None, rng)
+        assert len(set(chosen)) == 3

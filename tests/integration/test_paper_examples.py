@@ -1,0 +1,87 @@
+"""Integration: the paper's qualitative claims hold on the full stack."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.figures import run_policy_comparison
+
+SETTINGS = dict(num_nodes=25, num_apps=4, jobs_per_app=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """One shared standalone-vs-custody run per workload (module-scoped:
+    these are the expensive full-stack simulations)."""
+    out = {}
+    for workload in ("pagerank", "wordcount", "sort"):
+        base = ExperimentConfig(workload=workload, manager="custody", **SETTINGS)
+        out[workload] = run_policy_comparison(base)
+    return out
+
+
+@pytest.mark.parametrize("workload", ["pagerank", "wordcount", "sort"])
+def test_custody_improves_locality(comparison, workload):
+    """The abstract's first claim, per workload."""
+    spark = comparison[workload]["standalone"].metrics
+    custody = comparison[workload]["custody"].metrics
+    assert custody.locality_mean > spark.locality_mean
+
+
+@pytest.mark.parametrize("workload", ["wordcount", "sort"])
+def test_custody_reduces_jct(comparison, workload):
+    """The abstract's second claim, for the single-shuffle workloads."""
+    spark = comparison[workload]["standalone"].metrics
+    custody = comparison[workload]["custody"].metrics
+    assert custody.avg_jct < spark.avg_jct
+
+
+def test_pagerank_jct_not_regressed(comparison):
+    """PageRank is shuffle-iteration dominated, so its JCT gain is the
+    smallest in the paper (§VI-B); we require no material regression."""
+    spark = comparison["pagerank"]["standalone"].metrics
+    custody = comparison["pagerank"]["custody"].metrics
+    assert custody.avg_jct < spark.avg_jct * 1.02
+
+
+@pytest.mark.parametrize("workload", ["pagerank", "wordcount", "sort"])
+def test_custody_shortens_input_stages(comparison, workload):
+    """Fig. 9: input (map) stages are faster under Custody."""
+    spark = comparison[workload]["standalone"].metrics
+    custody = comparison[workload]["custody"].metrics
+    assert custody.avg_input_stage_time < spark.avg_input_stage_time
+
+
+@pytest.mark.parametrize("workload", ["pagerank", "wordcount", "sort"])
+def test_custody_lowers_scheduler_delay(comparison, workload):
+    """Fig. 10: tasks find suitable executors sooner under Custody."""
+    spark = comparison[workload]["standalone"].metrics
+    custody = comparison[workload]["custody"].metrics
+    assert custody.avg_scheduler_delay <= spark.avg_scheduler_delay
+
+
+def test_pagerank_jct_gain_smallest(comparison):
+    """§VI-B: iterative PageRank benefits least from faster input stages."""
+
+    def reduction(workload):
+        spark = comparison[workload]["standalone"].metrics.avg_jct
+        custody = comparison[workload]["custody"].metrics.avg_jct
+        return (spark - custody) / spark
+
+    assert reduction("pagerank") < max(reduction("wordcount"), reduction("sort"))
+
+
+def test_custody_fairness_not_worse(comparison):
+    """Max-min objective: the worst app's local-job share must not regress."""
+    for workload in comparison:
+        spark = comparison[workload]["standalone"].metrics
+        custody = comparison[workload]["custody"].metrics
+        assert (
+            custody.min_local_job_fraction >= spark.min_local_job_fraction - 0.05
+        )
+
+
+def test_every_job_finishes_under_all_policies(comparison):
+    for workload, results in comparison.items():
+        for policy, result in results.items():
+            assert result.metrics.unfinished_jobs == 0, (workload, policy)

@@ -1,0 +1,86 @@
+"""ClusterManager base plumbing: registration, grant/revoke, quota."""
+
+import pytest
+
+from repro.common.errors import AllocationError, ConfigurationError
+from repro.managers.base import ClusterManager
+
+
+class NoopManager(ClusterManager):
+    name = "noop"
+
+
+def test_quota_is_equal_share(harness):
+    manager = NoopManager(harness.sim, harness.cluster, num_apps=4)
+    assert manager.quota == 2  # 8 executors / 4 apps
+
+
+def test_quota_at_least_one(harness):
+    manager = NoopManager(harness.sim, harness.cluster, num_apps=100)
+    assert manager.quota == 1
+
+
+def test_invalid_num_apps(harness):
+    with pytest.raises(ConfigurationError):
+        NoopManager(harness.sim, harness.cluster, num_apps=0)
+
+
+def test_register_links_driver(harness):
+    manager = NoopManager(harness.sim, harness.cluster, num_apps=2)
+    driver = harness.add_app(manager, "a-0")
+    assert driver.manager is manager
+    assert manager.drivers["a-0"] is driver
+
+
+def test_double_registration_rejected(harness):
+    manager = NoopManager(harness.sim, harness.cluster, num_apps=2)
+    driver = harness.add_app(manager, "a-0")
+    with pytest.raises(AllocationError):
+        manager.register_driver(driver)
+
+
+def test_grant_allocates_and_attaches(harness):
+    manager = NoopManager(harness.sim, harness.cluster, num_apps=2)
+    driver = harness.add_app(manager, "a-0")
+    executor = harness.cluster.executors[0]
+    manager.grant(driver, executor)
+    assert executor.owner == "a-0"
+    assert driver.executor_count == 1
+
+
+def test_revoke_idle(harness):
+    manager = NoopManager(harness.sim, harness.cluster, num_apps=2)
+    driver = harness.add_app(manager, "a-0")
+    executor = harness.cluster.executors[0]
+    manager.grant(driver, executor)
+    assert manager.revoke_idle(driver, executor)
+    assert executor.is_free
+    assert driver.executor_count == 0
+
+
+def test_revoke_busy_returns_false(harness):
+    manager = NoopManager(harness.sim, harness.cluster, num_apps=2)
+    driver = harness.add_app(manager, "a-0")
+    executor = harness.cluster.executors[0]
+    manager.grant(driver, executor)
+    executor.start_task("t-0")
+    assert not manager.revoke_idle(driver, executor)
+    assert executor.owner == "a-0"
+
+
+def test_revoke_foreign_executor_rejected(harness):
+    manager = NoopManager(harness.sim, harness.cluster, num_apps=2)
+    d0 = harness.add_app(manager, "a-0")
+    d1 = harness.add_app(manager, "a-1")
+    executor = harness.cluster.executors[0]
+    manager.grant(d0, executor)
+    with pytest.raises(AllocationError):
+        manager.revoke_idle(d1, executor)
+
+
+def test_needed_executors_rounds_up(harness):
+    manager = NoopManager(harness.sim, harness.cluster, num_apps=2)
+    driver = harness.add_app(manager, "a-0")
+    job = harness.make_job("a-0", [0, 1, 2])
+    driver.submit_job(job)  # 3 tasks, 1 slot per executor
+    assert manager.needed_executors(driver) == 3

@@ -1,0 +1,82 @@
+"""StandaloneManager: static, data-unaware equal shares."""
+
+import numpy as np
+import pytest
+
+from repro.managers.standalone import StandaloneManager
+
+
+def make_manager(harness, num_apps=2, spread=False, seed=0):
+    return StandaloneManager(
+        harness.sim,
+        harness.cluster,
+        num_apps=num_apps,
+        rng=np.random.default_rng(seed),
+        spread=spread,
+    )
+
+
+def test_allocates_full_share_at_registration(harness):
+    manager = make_manager(harness, num_apps=2)
+    driver = harness.add_app(manager, "a-0")
+    assert driver.executor_count == 4  # 8 / 2
+
+
+def test_two_apps_split_the_cluster(harness):
+    manager = make_manager(harness, num_apps=2)
+    d0 = harness.add_app(manager, "a-0")
+    d1 = harness.add_app(manager, "a-1")
+    owned0 = {e.executor_id for e in d0.executors}
+    owned1 = {e.executor_id for e in d1.executors}
+    assert len(owned0) == len(owned1) == 4
+    assert not owned0 & owned1
+
+
+def test_allocation_is_static_across_jobs(harness):
+    manager = make_manager(harness)
+    driver = harness.add_app(manager, "a-0")
+    before = {e.executor_id for e in driver.executors}
+    driver.submit_job(harness.make_job("a-0", [0, 1]))
+    harness.sim.run()
+    after = {e.executor_id for e in driver.executors}
+    assert before == after
+
+
+def test_random_mode_varies_with_seed(harness):
+    manager = make_manager(harness, seed=1)
+    d = harness.add_app(manager, "a-0")
+    picked1 = {e.executor_id for e in d.executors}
+
+    from tests.managers.conftest import ManagerHarness
+
+    h2 = ManagerHarness()
+    manager2 = make_manager(h2, seed=2)
+    d2 = h2.add_app(manager2, "a-0")
+    picked2 = {e.executor_id for e in d2.executors}
+    assert picked1 != picked2  # different random subsets (w.h.p. for these seeds)
+
+
+def test_spread_mode_covers_distinct_nodes(harness):
+    manager = make_manager(harness, num_apps=2, spread=True)
+    driver = harness.add_app(manager, "a-0")
+    nodes = {e.node_id for e in driver.executors}
+    assert len(nodes) == 4  # one executor per node while nodes remain
+
+
+def test_job_hooks_are_noops(harness):
+    manager = make_manager(harness)
+    driver = harness.add_app(manager, "a-0")
+    rounds_before = manager.allocation_rounds
+    driver.submit_job(harness.make_job("a-0", [0]))
+    harness.sim.run()
+    assert manager.allocation_rounds == rounds_before
+
+
+def test_executes_jobs_end_to_end(harness):
+    manager = make_manager(harness, num_apps=2)
+    driver = harness.add_app(manager, "a-0")
+    job = harness.make_job("a-0", [0, 1, 2, 3])
+    driver.submit_job(job)
+    harness.sim.run()
+    assert job.finished
+    assert all(t.was_local is not None for t in job.input_tasks)

@@ -1,0 +1,89 @@
+"""Weighted max-min fairness: per-application quota weights."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.managers.standalone import StandaloneManager
+from repro.managers.yarn import YarnManager
+
+
+class TestQuotaOf:
+    def test_equal_share_without_weights(self, harness):
+        manager = YarnManager(harness.sim, harness.cluster, num_apps=2)
+        assert manager.quota_of("a-0") == manager.quota == 4
+
+    def test_weighted_shares(self, harness):
+        manager = YarnManager(
+            harness.sim, harness.cluster, num_apps=2,
+            weights={"big": 3.0, "small": 1.0},
+        )
+        assert manager.quota_of("big") == 6  # 8 * 3/4
+        assert manager.quota_of("small") == 2
+
+    def test_unknown_app_defaults_to_unit_weight(self, harness):
+        manager = YarnManager(
+            harness.sim, harness.cluster, num_apps=2, weights={"a": 1.0}
+        )
+        assert manager.quota_of("stranger") == manager.quota_of("a")
+
+    def test_minimum_one_executor(self, harness):
+        manager = YarnManager(
+            harness.sim, harness.cluster, num_apps=2,
+            weights={"whale": 1000.0, "shrimp": 1.0},
+        )
+        assert manager.quota_of("shrimp") == 1
+
+    def test_nonpositive_weight_rejected(self, harness):
+        with pytest.raises(ConfigurationError):
+            YarnManager(
+                harness.sim, harness.cluster, num_apps=2, weights={"a": 0.0}
+            )
+
+
+class TestStandaloneWeighted:
+    def test_static_allocation_follows_weights(self, harness):
+        manager = StandaloneManager(
+            harness.sim, harness.cluster, num_apps=2,
+            weights={"a-big": 3.0, "a-small": 1.0},
+        )
+        big = harness.add_app(manager, "a-big")
+        small = harness.add_app(manager, "a-small")
+        assert big.executor_count == 6
+        assert small.executor_count == 2
+
+
+class TestEndToEndWeighted:
+    BASE = dict(
+        workload="wordcount", num_nodes=16, num_apps=2, jobs_per_app=3, seed=13
+    )
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(num_apps=2, app_weights=(1.0,), **{
+                k: v for k, v in self.BASE.items() if k != "num_apps"
+            })
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(num_apps=2, app_weights=(1.0, -1.0), **{
+                k: v for k, v in self.BASE.items() if k != "num_apps"
+            })
+
+    @pytest.mark.parametrize("manager", ["standalone", "yarn", "custody", "mesos"])
+    def test_weighted_runs_finish(self, manager):
+        config = ExperimentConfig(
+            manager=manager, app_weights=(3.0, 1.0), **self.BASE
+        )
+        result = run_experiment(config)
+        assert result.metrics.unfinished_jobs == 0
+
+    def test_heavier_app_holds_more_executors_under_custody(self):
+        config = ExperimentConfig(
+            manager="custody", app_weights=(3.0, 1.0),
+            timeline_enabled=True, **self.BASE,
+        )
+        result = run_experiment(config)
+        grants = {"app-00": 0, "app-01": 0}
+        for record in result.timeline.of_kind("executor.grant"):
+            grants[record.get("app")] += 1
+        assert grants["app-00"] > grants["app-01"]

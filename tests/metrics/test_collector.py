@@ -1,0 +1,90 @@
+"""MetricsCollector aggregation."""
+
+import pytest
+
+from repro.hdfs.blocks import Block
+from repro.metrics.collector import MetricsCollector
+from repro.workload.application import Application
+from repro.workload.job import Job, Stage
+from repro.workload.task import Task, TaskKind
+
+
+def finished_job(job_id, app_id, locals_, jct=10.0, workload="wc"):
+    tasks = []
+    for i, is_local in enumerate(locals_):
+        t = Task(
+            f"{job_id}-t{i}", job_id=job_id, app_id=app_id, stage_index=0,
+            kind=TaskKind.INPUT, cpu_time=1.0,
+            block=Block(f"{job_id}-b{i}", path="/f", index=i, size=1.0),
+        )
+        t.submitted_at, t.started_at, t.finished_at = 0.0, 1.0, 5.0
+        t.was_local = is_local
+        tasks.append(t)
+    job = Job(job_id, app_id, [Stage(0, tasks)], workload=workload)
+    job.submitted_at, job.finished_at = 0.0, jct
+    return job
+
+
+def make_apps():
+    a0, a1 = Application("a-0"), Application("a-1")
+    a0.add_job(finished_job("j1", "a-0", [True, True], jct=10.0, workload="wc"))
+    a0.add_job(finished_job("j2", "a-0", [True, False], jct=20.0, workload="sort"))
+    a1.add_job(finished_job("j3", "a-1", [False, False], jct=30.0, workload="wc"))
+    return [a0, a1]
+
+
+def test_counts():
+    m = MetricsCollector().collect(make_apps())
+    assert m.finished_jobs == 3
+    assert m.unfinished_jobs == 0
+
+
+def test_locality_stats():
+    m = MetricsCollector().collect(make_apps())
+    assert m.locality_mean == pytest.approx((1.0 + 0.5 + 0.0) / 3)
+    assert m.locality_min == 0.0
+
+
+def test_local_job_fraction_per_app():
+    m = MetricsCollector().collect(make_apps())
+    assert m.local_job_fraction_per_app == (pytest.approx(0.5), 0.0)
+    assert m.min_local_job_fraction == 0.0
+
+
+def test_jct_and_makespan():
+    m = MetricsCollector().collect(make_apps())
+    assert m.avg_jct == pytest.approx(20.0)
+    assert m.makespan == pytest.approx(30.0)
+
+
+def test_per_workload_breakdown():
+    m = MetricsCollector().collect(make_apps())
+    assert m.per_workload_jct["wc"] == pytest.approx(20.0)
+    assert m.per_workload_jct["sort"] == pytest.approx(20.0)
+    assert m.per_workload_locality["wc"] == pytest.approx(0.5)
+
+
+def test_scheduler_delay():
+    m = MetricsCollector().collect(make_apps())
+    assert m.avg_scheduler_delay == pytest.approx(1.0)
+
+
+def test_fairness_index():
+    m = MetricsCollector().collect(make_apps())
+    assert 0.0 < m.fairness_index <= 1.0
+
+
+def test_unfinished_jobs_counted():
+    apps = make_apps()
+    unfinished = finished_job("j9", "a-0", [True])
+    unfinished.finished_at = None
+    apps[0].add_job(unfinished)
+    m = MetricsCollector().collect(apps)
+    assert m.unfinished_jobs == 1
+
+
+def test_empty_apps():
+    m = MetricsCollector().collect([Application("a-0")])
+    assert m.finished_jobs == 0
+    assert m.avg_jct is None
+    assert m.locality_mean == 0.0

@@ -1,0 +1,55 @@
+"""Locality metric helpers."""
+
+import pytest
+
+from repro.hdfs.blocks import Block
+from repro.metrics.locality import local_job_fraction, locality_gain, per_job_locality
+from repro.workload.application import Application
+from repro.workload.job import Job, Stage
+from repro.workload.task import Task, TaskKind
+
+
+def job_with_locality(job_id, locals_, app_id="a-0"):
+    tasks = []
+    for i, is_local in enumerate(locals_):
+        t = Task(
+            f"{job_id}-t{i}", job_id=job_id, app_id=app_id, stage_index=0,
+            kind=TaskKind.INPUT, cpu_time=1.0,
+            block=Block(f"{job_id}-b{i}", path="/f", index=i, size=1.0),
+        )
+        t.was_local = is_local
+        tasks.append(t)
+    return Job(job_id, app_id, [Stage(0, tasks)])
+
+
+def test_per_job_locality_fractions():
+    jobs = [
+        job_with_locality("j1", [True, True]),
+        job_with_locality("j2", [True, False, False, False]),
+    ]
+    assert per_job_locality(jobs) == [1.0, 0.25]
+
+
+def test_per_job_locality_skips_undecided():
+    decided = job_with_locality("j1", [True])
+    undecided = job_with_locality("j2", [True, None])
+    assert per_job_locality([decided, undecided]) == [1.0]
+
+
+def test_local_job_fraction_per_app():
+    app = Application("a-0")
+    app.add_job(job_with_locality("j1", [True, True]))
+    app.add_job(job_with_locality("j2", [True, False]))
+    app.add_job(job_with_locality("j3", [True, True]))
+    assert local_job_fraction([app]) == [pytest.approx(2 / 3)]
+
+
+def test_local_job_fraction_empty_app_is_zero():
+    assert local_job_fraction([Application("a-0")]) == [0.0]
+
+
+def test_locality_gain():
+    assert locality_gain(0.9, 0.6) == pytest.approx(0.5)
+    assert locality_gain(0.6, 0.6) == 0.0
+    assert locality_gain(0.0, 0.0) == 0.0
+    assert locality_gain(0.5, 0.0) == float("inf")

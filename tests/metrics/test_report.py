@@ -1,0 +1,40 @@
+"""Report rendering."""
+
+from repro.metrics.collector import ExperimentMetrics
+from repro.metrics.report import comparison_table, format_table
+
+
+def metrics(locality=0.9, jct=12.0):
+    return ExperimentMetrics(
+        finished_jobs=10,
+        unfinished_jobs=0,
+        locality_mean=locality,
+        locality_std=0.05,
+        locality_min=0.7,
+        local_job_fraction_per_app=(0.8, 0.9),
+        avg_jct=jct,
+        avg_input_stage_time=5.0,
+        avg_scheduler_delay=0.4,
+        makespan=100.0,
+        fairness_index=0.99,
+    )
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["custody", 1.234567], ["spark", None]])
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.235" in table
+    assert "-" in lines[-1]  # None rendered as dash
+
+
+def test_format_table_title():
+    table = format_table(["a"], [[1]], title="Figure 7")
+    assert table.splitlines()[0] == "Figure 7"
+
+
+def test_comparison_table_contains_policies_and_numbers():
+    table = comparison_table({"spark": metrics(0.6, 20.0), "custody": metrics(0.9, 15.0)})
+    assert "spark" in table
+    assert "custody" in table
+    assert "90" in table  # locality rendered as percent

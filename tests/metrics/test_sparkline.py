@@ -1,0 +1,86 @@
+"""Concurrency series and sparkline rendering."""
+
+import pytest
+
+from repro.metrics.utilization import UtilizationReport, analyze_utilization
+from repro.simulation.timeline import Timeline
+
+
+def make_timeline(records):
+    """records: list of (time, kind, subject, detail-dict)."""
+    times = iter([r[0] for r in records])
+    tl = Timeline(clock=lambda: next(times))
+    for _t, kind, subject, detail in records:
+        tl.record(kind, subject, **detail)
+    return tl
+
+
+def report_with_series(series):
+    return UtilizationReport(
+        span=1.0, total_slots=1, busy_slot_seconds=1.0, slot_utilization=1.0,
+        peak_concurrency=1, mean_concurrency=1.0, concurrency_series=series,
+    )
+
+
+def test_series_integrates_to_busy_time():
+    tl = make_timeline(
+        [
+            (0.0, "task.start", "t0", {"executor": "e0"}),
+            (5.0, "task.start", "t1", {"executor": "e1"}),
+            (10.0, "task.finish", "t0", {}),
+            (10.0, "task.finish", "t1", {}),
+        ]
+    )
+    report = analyze_utilization(tl, total_slots=4)
+    bucket_width = report.span / len(report.concurrency_series)
+    integral = sum(report.concurrency_series) * bucket_width
+    assert integral == pytest.approx(report.busy_slot_seconds, rel=1e-6)
+
+
+def test_series_peaks_where_overlap_is():
+    tl = make_timeline(
+        [
+            (0.0, "task.start", "t0", {"executor": "e0"}),
+            (4.0, "task.start", "t1", {"executor": "e1"}),
+            (6.0, "task.finish", "t0", {}),
+            (10.0, "task.finish", "t1", {}),
+        ]
+    )
+    report = analyze_utilization(tl, total_slots=4)
+    series = report.concurrency_series
+    assert series[len(series) // 2] == pytest.approx(2.0)  # t=5: both running
+    assert series[0] == pytest.approx(1.0)  # t=0: one task
+
+
+def test_sparkline_length_capped():
+    report = report_with_series(tuple(float(i % 7) for i in range(500)))
+    assert len(report.sparkline(width=40)) == 40
+
+
+def test_sparkline_short_series_uncompressed():
+    report = report_with_series((0.0, 1.0, 2.0))
+    assert len(report.sparkline(width=40)) == 3
+
+
+def test_sparkline_empty_series():
+    assert report_with_series(()).sparkline() == ""
+
+
+def test_sparkline_monotone_levels():
+    report = report_with_series((0.0, 1.0, 2.0, 3.0))
+    spark = report.sparkline()
+    blocks = " ▁▂▃▄▅▆▇█"
+    levels = [blocks.index(ch) for ch in spark]
+    assert levels == sorted(levels)
+    assert levels[-1] == len(blocks) - 1  # max maps to the full block
+
+
+def test_describe_includes_profile():
+    tl = make_timeline(
+        [
+            (0.0, "task.start", "t0", {"executor": "e0"}),
+            (1.0, "task.finish", "t0", {}),
+        ]
+    )
+    report = analyze_utilization(tl, total_slots=1)
+    assert "profile:" in report.describe()

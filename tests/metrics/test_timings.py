@@ -1,0 +1,67 @@
+"""Timing metric helpers."""
+
+import pytest
+
+from repro.hdfs.blocks import Block
+from repro.metrics.timings import (
+    average_completion_time,
+    average_input_stage_time,
+    average_scheduler_delay,
+    makespan,
+)
+from repro.workload.job import Job, Stage
+from repro.workload.task import Task, TaskKind
+
+
+def timed_job(job_id, submitted, finished, task_times=((0.0, 1.0),)):
+    tasks = []
+    for i, (start, end) in enumerate(task_times):
+        t = Task(
+            f"{job_id}-t{i}", job_id=job_id, app_id="a", stage_index=0,
+            kind=TaskKind.INPUT, cpu_time=1.0,
+            block=Block(f"{job_id}-b{i}", path="/f", index=i, size=1.0),
+        )
+        t.submitted_at, t.started_at, t.finished_at = submitted, start, end
+        tasks.append(t)
+    job = Job(job_id, "a", [Stage(0, tasks)])
+    job.submitted_at, job.finished_at = submitted, finished
+    return job
+
+
+def test_average_completion_time():
+    jobs = [timed_job("j1", 0.0, 10.0), timed_job("j2", 5.0, 25.0)]
+    assert average_completion_time(jobs) == pytest.approx(15.0)
+
+
+def test_average_completion_time_empty():
+    assert average_completion_time([]) is None
+
+
+def test_average_input_stage_time():
+    job = timed_job("j", 0.0, 10.0, task_times=((1.0, 4.0), (2.0, 9.0)))
+    assert average_input_stage_time([job]) == pytest.approx(8.0)  # 9 - 1
+
+
+def test_average_scheduler_delay():
+    job = timed_job("j", 0.0, 10.0, task_times=((2.0, 4.0), (3.0, 9.0)))
+    tasks = job.input_tasks
+    assert average_scheduler_delay(tasks) == pytest.approx(2.5)
+
+
+def test_scheduler_delay_input_only_filter():
+    shuffle = Task(
+        "s", job_id="j", app_id="a", stage_index=1,
+        kind=TaskKind.SHUFFLE, cpu_time=1.0, shuffle_bytes=1.0,
+    )
+    shuffle.submitted_at, shuffle.started_at = 0.0, 9.0
+    assert average_scheduler_delay([shuffle]) is None
+    assert average_scheduler_delay([shuffle], input_only=False) == pytest.approx(9.0)
+
+
+def test_makespan():
+    jobs = [timed_job("j1", 2.0, 10.0), timed_job("j2", 5.0, 30.0)]
+    assert makespan(jobs) == pytest.approx(28.0)
+
+
+def test_makespan_empty():
+    assert makespan([]) is None

@@ -1,0 +1,66 @@
+"""Transfer progress accounting under varying rates."""
+
+import pytest
+
+from repro.network.transfer import Transfer
+from repro.simulation.engine import Simulation
+
+
+@pytest.fixture
+def transfer(sim):
+    return Transfer(sim, "x-0", "a", "b", size=100.0)
+
+
+def test_initial_state(sim, transfer):
+    assert transfer.remaining(sim.now) == 100.0
+    assert transfer.rate == 0.0
+    assert transfer.finished_at is None
+    assert transfer.duration is None
+
+
+def test_zero_size_rejected(sim):
+    with pytest.raises(ValueError):
+        Transfer(sim, "x", "a", "b", size=0)
+
+
+def test_progress_at_constant_rate(sim, transfer):
+    transfer.set_rate(0.0, 10.0)
+    assert transfer.remaining(3.0) == pytest.approx(70.0)
+    assert transfer.eta(3.0) == pytest.approx(7.0)
+
+
+def test_rate_change_folds_progress(sim, transfer):
+    transfer.set_rate(0.0, 10.0)
+    transfer.set_rate(5.0, 25.0)  # 50 bytes done, 50 left at 25 B/s
+    assert transfer.remaining(5.0) == pytest.approx(50.0)
+    assert transfer.eta(5.0) == pytest.approx(2.0)
+
+
+def test_eta_infinite_at_zero_rate(sim, transfer):
+    assert transfer.eta(0.0) == float("inf")
+
+
+def test_remaining_never_negative(sim, transfer):
+    transfer.set_rate(0.0, 10.0)
+    assert transfer.remaining(1000.0) == 0.0
+    assert transfer.eta(1000.0) == 0.0
+
+
+def test_settle_is_idempotent(sim, transfer):
+    transfer.set_rate(0.0, 10.0)
+    transfer.settle(4.0)
+    transfer.settle(4.0)
+    assert transfer.remaining(4.0) == pytest.approx(60.0)
+
+
+def test_duration_after_finish(sim, transfer):
+    transfer.finished_at = 12.5
+    assert transfer.duration == pytest.approx(12.5 - transfer.started_at)
+
+
+def test_started_at_stamped_from_clock():
+    sim = Simulation()
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    t = Transfer(sim, "x", "a", "b", size=1.0)
+    assert t.started_at == 3.0

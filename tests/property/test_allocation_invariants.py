@@ -1,0 +1,121 @@
+"""Property tests: the two-level allocator always emits feasible, fair plans."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import two_level_allocate
+from repro.core.demand import AppDemand, JobDemand, TaskDemand, validate_plan
+from repro.core.fairness import lexmin_key
+
+
+@st.composite
+def allocation_instances(draw):
+    n_execs = draw(st.integers(min_value=1, max_value=10))
+    executors = [f"E{i}" for i in range(n_execs)]
+    n_apps = draw(st.integers(min_value=1, max_value=4))
+    apps = []
+    task_seq = 0
+    for a in range(n_apps):
+        n_jobs = draw(st.integers(min_value=0, max_value=3))
+        jobs = []
+        for j in range(n_jobs):
+            n_tasks = draw(st.integers(min_value=1, max_value=4))
+            tasks = []
+            for _t in range(n_tasks):
+                k = draw(st.integers(min_value=0, max_value=min(3, n_execs)))
+                cands = draw(
+                    st.lists(
+                        st.sampled_from(executors), min_size=0, max_size=k, unique=True
+                    )
+                )
+                tasks.append(TaskDemand.of(f"T{task_seq}", cands))
+                task_seq += 1
+            jobs.append(JobDemand(f"A{a}-J{j}", tuple(tasks)))
+        quota = draw(st.integers(min_value=0, max_value=n_execs))
+        held = draw(st.integers(min_value=0, max_value=quota))
+        decided_jobs = draw(st.integers(min_value=0, max_value=5))
+        local_jobs = draw(st.integers(min_value=0, max_value=decided_jobs))
+        apps.append(
+            AppDemand(
+                app_id=f"A{a}",
+                jobs=tuple(jobs),
+                quota=quota,
+                held=held,
+                local_jobs=local_jobs,
+                decided_jobs=decided_jobs,
+                local_tasks=local_jobs,
+                decided_tasks=decided_jobs,
+            )
+        )
+    capacity = draw(st.integers(min_value=1, max_value=4))
+    fill = draw(st.booleans())
+    return apps, executors, capacity, fill
+
+
+@given(allocation_instances())
+@settings(max_examples=300, deadline=None)
+def test_plans_always_satisfy_paper_constraints(instance):
+    """Eq. 2–5 feasibility for every generated instance."""
+    apps, executors, capacity, fill = instance
+    plan = two_level_allocate(
+        apps, executors, fill=fill, executor_capacity=capacity
+    )
+    validate_plan(plan, apps, executors, executor_capacity=capacity)
+
+
+@given(allocation_instances())
+@settings(max_examples=300, deadline=None)
+def test_grants_never_exceed_pool_or_quota(instance):
+    apps, executors, capacity, fill = instance
+    plan = two_level_allocate(apps, executors, fill=fill, executor_capacity=capacity)
+    assert plan.total_granted <= len(executors)
+    for app in apps:
+        assert len(plan.executors_of(app.app_id)) <= app.budget
+
+
+@given(allocation_instances())
+@settings(max_examples=200, deadline=None)
+def test_every_assignment_is_to_a_candidate(instance):
+    apps, executors, capacity, fill = instance
+    plan = two_level_allocate(apps, executors, fill=fill, executor_capacity=capacity)
+    candidates = {
+        t.task_id: t.candidates for a in apps for j in a.jobs for t in j.tasks
+    }
+    for task_id, executor in plan.assignment.items():
+        assert executor in candidates[task_id]
+
+
+@given(allocation_instances())
+@settings(max_examples=200, deadline=None)
+def test_determinism(instance):
+    apps, executors, capacity, fill = instance
+    p1 = two_level_allocate(apps, executors, fill=fill, executor_capacity=capacity)
+    p2 = two_level_allocate(apps, executors, fill=fill, executor_capacity=capacity)
+    assert p1.grants == p2.grants
+    assert p1.assignment == p2.assignment
+
+
+@given(allocation_instances())
+@settings(max_examples=200, deadline=None)
+def test_no_wasted_locality(instance):
+    """If a task is unpromised, then after the run every one of its candidate
+    executors is either granted away or consumed — the allocator never leaves
+    a mutually-agreeable pair on the table when budget remains."""
+    apps, executors, capacity, fill = instance
+    plan = two_level_allocate(apps, executors, fill=False, executor_capacity=capacity)
+    granted = {e for exes in plan.grants.values() for e in exes}
+    for app in apps:
+        took = len(plan.executors_of(app.app_id))
+        budget_left = app.budget - took
+        if budget_left <= 0:
+            continue
+        for job in app.jobs:
+            for task in job.tasks:
+                if task.task_id in plan.assignment:
+                    continue
+                # Any free candidate would have been taken.
+                free_candidates = set(task.candidates) - granted
+                assert not free_candidates, (
+                    f"task {task.task_id} left unpromised with free candidates "
+                    f"{free_candidates} and budget {budget_left}"
+                )

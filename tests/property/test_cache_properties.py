@@ -1,0 +1,96 @@
+"""Property tests: BlockCache LRU invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdfs.blocks import Block
+from repro.hdfs.cache import BlockCache
+
+
+@st.composite
+def cache_workloads(draw):
+    capacity = draw(st.floats(min_value=1.0, max_value=100.0))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "touch", "evict"]),
+                st.integers(min_value=0, max_value=20),  # block index
+                st.floats(min_value=0.5, max_value=40.0),  # size (insert only)
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return capacity, ops
+
+
+def apply_ops(cache, ops):
+    sizes = {}
+    for op, idx, size in ops:
+        block_id = f"b-{idx}"
+        if op == "insert":
+            size = sizes.setdefault(idx, size)  # stable size per id
+            cache.insert(Block(block_id, path="/f", index=idx, size=size))
+        elif op == "touch":
+            cache.touch(block_id)
+        else:
+            cache.evict(block_id)
+    return sizes
+
+
+@given(cache_workloads())
+@settings(max_examples=300)
+def test_capacity_never_exceeded(workload):
+    capacity, ops = workload
+    cache = BlockCache("n", capacity)
+    apply_ops(cache, ops)
+    assert cache.used <= capacity + 1e-9
+
+
+@given(cache_workloads())
+@settings(max_examples=300)
+def test_used_equals_sum_of_held_blocks(workload):
+    capacity, ops = workload
+    cache = BlockCache("n", capacity)
+    sizes = apply_ops(cache, ops)
+    held = sum(size for idx, size in sizes.items() if cache.holds(f"b-{idx}"))
+    # += / -= accumulation may drift by float epsilon; the invariant is
+    # equality up to that.
+    assert abs(cache.used - held) < 1e-6
+
+
+@given(cache_workloads())
+@settings(max_examples=200)
+def test_last_inserted_fitting_block_is_resident(workload):
+    capacity, ops = workload
+    cache = BlockCache("n", capacity)
+    sizes = {}
+    last_fitting = None
+    for op, idx, size in ops:
+        block_id = f"b-{idx}"
+        if op == "insert":
+            size = sizes.setdefault(idx, size)
+            cache.insert(Block(block_id, path="/f", index=idx, size=size))
+            if size <= capacity:
+                last_fitting = block_id
+            elif last_fitting == block_id:
+                last_fitting = None
+        elif op == "evict":
+            cache.evict(block_id)
+            if last_fitting == block_id:
+                last_fitting = None
+        else:
+            cache.touch(block_id)
+    if last_fitting is not None:
+        assert cache.holds(last_fitting)
+
+
+@given(cache_workloads())
+@settings(max_examples=200)
+def test_counters_consistent(workload):
+    capacity, ops = workload
+    cache = BlockCache("n", capacity)
+    apply_ops(cache, ops)
+    assert cache.hits + cache.misses == sum(1 for op, *_ in ops if op == "touch")
+    assert cache.evictions >= 0
+    assert cache.insertions >= cache.block_count

@@ -1,0 +1,80 @@
+"""Property tests: full-stack determinism — same seed, same everything."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    manager=st.sampled_from(["standalone", "custody", "yarn", "mesos"]),
+)
+@settings(max_examples=8, deadline=None)
+def test_same_seed_same_timeline_fingerprint(seed, manager):
+    config = ExperimentConfig(
+        manager=manager,
+        workload="pagerank",
+        num_nodes=8,
+        num_apps=2,
+        jobs_per_app=2,
+        seed=seed,
+        timeline_enabled=True,
+    )
+    r1 = run_experiment(config)
+    r2 = run_experiment(config)
+    assert r1.timeline is not None and r2.timeline is not None
+    assert r1.timeline.fingerprint() == r2.timeline.fingerprint()
+    assert r1.metrics == r2.metrics
+    assert r1.sim_time == r2.sim_time
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=5, deadline=None)
+def test_policy_does_not_perturb_workload(seed):
+    """Changing only the manager leaves job structure and arrivals intact."""
+    base = ExperimentConfig(
+        manager="custody",
+        workload="sort",
+        num_nodes=8,
+        num_apps=2,
+        jobs_per_app=2,
+        seed=seed,
+    )
+    shapes = {}
+    for manager in ("custody", "standalone"):
+        result = run_experiment(base.with_manager(manager))
+        shapes[manager] = [
+            (
+                j.job_id,
+                j.num_input_tasks,
+                tuple(t.block.block_id for t in j.input_tasks),
+                round(j.submitted_at, 12),
+            )
+            for a in result.apps
+            for j in a.jobs
+        ]
+    assert shapes["custody"] == shapes["standalone"]
+
+
+def test_task_conservation_invariant():
+    """Every input task runs exactly once: sum over executors == task count."""
+    config = ExperimentConfig(
+        manager="custody",
+        workload="wordcount",
+        num_nodes=10,
+        num_apps=2,
+        jobs_per_app=2,
+        seed=4,
+        timeline_enabled=True,
+    )
+    result = run_experiment(config)
+    starts = result.timeline.of_kind("task.start")
+    finishes = result.timeline.of_kind("task.finish")
+    assert len(starts) == len(finishes)
+    started_ids = [r.subject for r in starts]
+    assert len(started_ids) == len(set(started_ids))
+    total_tasks = sum(len(j.all_tasks) for a in result.apps for j in a.jobs)
+    assert len(started_ids) == total_tasks

@@ -1,0 +1,74 @@
+"""Property tests: the DES engine's ordering and clock invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import Simulation
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulation()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_equal_time_events_fire_in_schedule_order(delays):
+    sim = Simulation()
+    fired = []
+    # Half the events share one timestamp: insertion order must hold.
+    t = max(delays)
+    for i in range(len(delays)):
+        sim.schedule(t, fired.append, i)
+    sim.run()
+    assert fired == list(range(len(delays)))
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=2, max_size=30),
+    cancel_index=st.integers(min_value=0, max_value=29),
+)
+@settings(max_examples=100)
+def test_cancellation_removes_exactly_one_event(delays, cancel_index):
+    cancel_index %= len(delays)
+    sim = Simulation()
+    fired = []
+    handles = [sim.schedule(d, fired.append, i) for i, d in enumerate(delays)]
+    handles[cancel_index].cancel()
+    sim.run()
+    assert cancel_index not in fired
+    assert sorted(fired) == [i for i in range(len(delays)) if i != cancel_index]
+
+
+@given(
+    splits=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=10)
+)
+@settings(max_examples=50)
+def test_run_until_composition_equals_single_run(splits):
+    """Running in segments produces the same trace as one run."""
+
+    def build():
+        sim = Simulation()
+        fired = []
+        t = 0.0
+        for i, gap in enumerate(splits):
+            t += gap
+            sim.schedule_at(t, fired.append, i)
+        return sim, fired
+
+    sim_a, fired_a = build()
+    sim_a.run()
+
+    sim_b, fired_b = build()
+    checkpoint = sum(splits) / 2
+    sim_b.run(until=checkpoint)
+    sim_b.run()
+    assert fired_a == fired_b

@@ -1,0 +1,84 @@
+"""Property tests: the system survives arbitrary (bounded) fault plans."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults.plan import DiskFailure, ExecutorFailure, FaultPlan, NodeSlowdown
+
+NUM_NODES = 10
+NUM_EXECUTORS = NUM_NODES * 2
+
+BASE = dict(
+    manager="custody", workload="pagerank", num_nodes=NUM_NODES,
+    num_apps=2, jobs_per_app=2,
+)
+
+
+@st.composite
+def fault_plans(draw):
+    events = []
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        kind = draw(st.sampled_from(["slow", "exec", "disk"]))
+        at = draw(st.floats(min_value=0.0, max_value=60.0))
+        if kind == "slow":
+            events.append(
+                NodeSlowdown(
+                    at=at,
+                    node_id=f"worker-{draw(st.integers(0, NUM_NODES - 1)):03d}",
+                    duration=draw(st.floats(min_value=1.0, max_value=100.0)),
+                    factor=draw(st.floats(min_value=1.0, max_value=10.0)),
+                )
+            )
+        elif kind == "exec":
+            events.append(
+                ExecutorFailure(
+                    at=at,
+                    executor_id=f"executor-{draw(st.integers(0, NUM_EXECUTORS - 1)):03d}",
+                    restart_delay=draw(st.floats(min_value=0.0, max_value=30.0)),
+                )
+            )
+        else:
+            events.append(
+                DiskFailure(
+                    at=at,
+                    node_id=f"worker-{draw(st.integers(0, NUM_NODES - 1)):03d}",
+                    re_replicate=draw(st.booleans()),
+                )
+            )
+    return FaultPlan(events)
+
+
+@given(plan=fault_plans(), seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None)
+def test_every_job_finishes_despite_faults(plan, seed):
+    """Liveness: no bounded fault plan may wedge the system."""
+    result = run_experiment(
+        ExperimentConfig(seed=seed, **BASE), fault_plan=plan
+    )
+    assert result.metrics.unfinished_jobs == 0
+
+
+@given(plan=fault_plans(), seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=10, deadline=None)
+def test_task_conservation_despite_faults(plan, seed):
+    """Every non-cancelled task finishes exactly once, even when requeued."""
+    result = run_experiment(
+        ExperimentConfig(seed=seed, timeline_enabled=True, **BASE),
+        fault_plan=plan,
+    )
+    finish_ids = [r.subject for r in result.timeline.of_kind("task.finish")]
+    assert len(finish_ids) == len(set(finish_ids))
+    total_tasks = sum(len(j.all_tasks) for a in result.apps for j in a.jobs)
+    assert len(finish_ids) == total_tasks
+
+
+@given(plan=fault_plans())
+@settings(max_examples=10, deadline=None)
+def test_fault_runs_are_deterministic(plan):
+    """Identical plan + seed → identical outcome."""
+    config = ExperimentConfig(seed=7, **BASE)
+    r1 = run_experiment(config, fault_plan=plan)
+    r2 = run_experiment(config, fault_plan=plan)
+    assert r1.metrics == r2.metrics

@@ -1,0 +1,82 @@
+"""Property tests: matching feasibility and the 2-approximation guarantee."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import (
+    greedy_weighted_matching,
+    matching_weight,
+    max_weight_matching_with_budget,
+)
+
+
+@st.composite
+def edge_lists(draw):
+    n_tasks = draw(st.integers(min_value=1, max_value=7))
+    n_execs = draw(st.integers(min_value=1, max_value=7))
+    edges = []
+    for t in range(n_tasks):
+        for e in range(n_execs):
+            if draw(st.booleans()):
+                weight = draw(st.floats(min_value=0.01, max_value=100.0))
+                edges.append((f"t{t}", f"e{e}", weight))
+    return edges
+
+
+def is_matching(pairs, edges):
+    edge_set = {(t, e) for t, e, _ in edges}
+    tasks = list(pairs)
+    execs = list(pairs.values())
+    return (
+        len(tasks) == len(set(tasks))
+        and len(execs) == len(set(execs))
+        and all((t, e) in edge_set for t, e in pairs.items())
+    )
+
+
+@given(edge_lists(), st.integers(min_value=0, max_value=10))
+@settings(max_examples=200)
+def test_greedy_produces_a_feasible_matching(edges, budget):
+    m = greedy_weighted_matching(edges, budget=budget)
+    assert is_matching(m, edges)
+    assert len(m) <= budget
+
+
+@given(edge_lists(), st.integers(min_value=0, max_value=10))
+@settings(max_examples=100)
+def test_optimal_produces_a_feasible_matching(edges, budget):
+    m = max_weight_matching_with_budget(edges, budget=budget)
+    assert is_matching(m, edges)
+    assert len(m) <= budget
+
+
+@given(edge_lists(), st.integers(min_value=1, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_greedy_is_a_half_approximation(edges, budget):
+    """The paper's §IV-B claim: greedy heaviest-first ≥ ½ · optimum."""
+    greedy = matching_weight(greedy_weighted_matching(edges, budget=budget), edges)
+    optimal = matching_weight(
+        max_weight_matching_with_budget(edges, budget=budget), edges
+    )
+    assert greedy >= 0.5 * optimal - 1e-6
+
+
+@given(edge_lists())
+@settings(max_examples=100, deadline=None)
+def test_optimal_dominates_greedy(edges):
+    greedy = matching_weight(greedy_weighted_matching(edges), edges)
+    optimal = matching_weight(max_weight_matching_with_budget(edges), edges)
+    assert optimal >= greedy - 1e-6
+
+
+@given(edge_lists(), st.integers(min_value=1, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_budget_monotonicity_of_optimum(edges, budget):
+    """A larger budget can never lower the optimal matched weight."""
+    small = matching_weight(
+        max_weight_matching_with_budget(edges, budget=budget), edges
+    )
+    large = matching_weight(
+        max_weight_matching_with_budget(edges, budget=budget + 1), edges
+    )
+    assert large >= small - 1e-6

@@ -1,0 +1,95 @@
+"""Property tests: max-min fair rates respect capacities and starve nobody."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.bandwidth import LinkCapacities, maxmin_rates
+
+
+@st.composite
+def network_instances(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=8))
+    caps = LinkCapacities()
+    for i in range(n_nodes):
+        caps.add_node(
+            f"n{i}",
+            uplink=draw(st.floats(min_value=0.1, max_value=1000.0)),
+            downlink=draw(st.floats(min_value=0.1, max_value=1000.0)),
+        )
+    n_flows = draw(st.integers(min_value=1, max_value=20))
+    flows = []
+    for _ in range(n_flows):
+        src = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        dst = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        if src == dst:
+            dst = (dst + 1) % n_nodes
+        flows.append((f"n{src}", f"n{dst}"))
+    return flows, caps
+
+
+@given(network_instances())
+@settings(max_examples=200)
+def test_capacities_never_exceeded(instance):
+    flows, caps = instance
+    rates = maxmin_rates(flows, caps)
+    up = {n: 0.0 for n in caps.uplink}
+    down = {n: 0.0 for n in caps.downlink}
+    for (src, dst), rate in zip(flows, rates):
+        up[src] += rate
+        down[dst] += rate
+    for node in up:
+        assert up[node] <= caps.uplink[node] * (1 + 1e-9) + 1e-9
+        assert down[node] <= caps.downlink[node] * (1 + 1e-9) + 1e-9
+
+
+@given(network_instances())
+@settings(max_examples=200)
+def test_no_flow_starves(instance):
+    flows, caps = instance
+    rates = maxmin_rates(flows, caps)
+    assert all(r > 0.0 for r in rates)
+
+
+@given(network_instances())
+@settings(max_examples=200)
+def test_rates_are_maxmin_saturated(instance):
+    """Every flow must cross at least one (nearly) saturated link — the
+    defining property of a max-min fair allocation: no flow can be raised
+    without lowering another."""
+    flows, caps = instance
+    rates = maxmin_rates(flows, caps)
+    up = {n: 0.0 for n in caps.uplink}
+    down = {n: 0.0 for n in caps.downlink}
+    for (src, dst), rate in zip(flows, rates):
+        up[src] += rate
+        down[dst] += rate
+    for (src, dst), rate in zip(flows, rates):
+        up_slack = caps.uplink[src] - up[src]
+        down_slack = caps.downlink[dst] - down[dst]
+        assert min(up_slack, down_slack) <= 1e-6 * max(
+            caps.uplink[src], caps.downlink[dst]
+        )
+
+
+@given(network_instances())
+@settings(max_examples=100)
+def test_determinism(instance):
+    flows, caps = instance
+    assert maxmin_rates(flows, caps) == maxmin_rates(flows, caps)
+
+
+@given(network_instances())
+@settings(max_examples=100)
+def test_adding_a_flow_never_raises_the_minimum_rate(instance):
+    """The first bottleneck's fair share — the global minimum — is monotone
+    non-increasing in the flow set.  (Per-flow monotonicity is *false* for
+    multi-link max-min: a newcomer can displace a bottleneck and speed up a
+    third party, so we assert only on the minimum.)"""
+    flows, caps = instance
+    if len(flows) < 2:
+        return
+    base_min = min(maxmin_rates(flows[:-1], caps))
+    full_min = min(maxmin_rates(flows, caps))
+    assert full_min <= base_min * (1 + 1e-9) + 1e-9

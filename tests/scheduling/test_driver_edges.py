@@ -1,0 +1,86 @@
+"""Driver edge cases around executor churn and wakeups."""
+
+import pytest
+
+from repro.common.errors import AllocationError
+
+from tests.scheduling.test_driver import Harness
+
+
+def test_wakeup_after_all_executors_revoked_is_harmless():
+    """A delay wakeup armed while slots existed must not crash after the
+    manager revoked every executor."""
+    h = Harness()
+    executor = h.give_executor(0)
+    job = h.input_job("j", [3])  # non-local: waits for the 0.4 s expiry
+    h.driver.submit_job(job)
+    # Revoke the idle executor before the wakeup fires.
+    h.driver.detach_executor(executor)
+    executor.release()
+    h.sim.run()
+    assert not job.finished  # no executors: the task stays queued
+    assert h.driver.outstanding_tasks == 1
+
+
+def test_regrant_after_revocation_resumes_work():
+    h = Harness()
+    executor = h.give_executor(0)
+    job = h.input_job("j", [3])
+    h.driver.submit_job(job)
+    h.driver.detach_executor(executor)
+    executor.release()
+    h.sim.run()
+    # Grant a fresh executor later: the queued task runs to completion.
+    h.give_executor(3)  # local to block 3
+    h.sim.run()
+    assert job.finished
+    assert job.input_tasks[0].was_local is True
+
+
+def test_detach_unowned_executor_is_noop():
+    h = Harness()
+    executor = h.cluster.executors[1]
+    h.driver.detach_executor(executor)  # never attached: silently ignored
+    assert h.driver.executor_count == 0
+
+
+def test_attach_foreign_owned_executor_rejected():
+    h = Harness()
+    executor = h.cluster.executors[0]
+    executor.allocate("somebody-else")
+    with pytest.raises(AllocationError):
+        h.driver.attach_executor(executor)
+
+
+def test_submit_multiple_jobs_fifo_order():
+    h = Harness()
+    h.give_executor(0)
+    j1 = h.input_job("j1", [0], cpu=1.0)
+    j2 = h.input_job("j2", [0], cpu=1.0)
+    h.driver.submit_job(j1)
+    h.driver.submit_job(j2)
+    h.sim.run()
+    assert j1.finished_at < j2.finished_at
+
+
+def test_executor_failure_without_attempts():
+    """Failing an owned-but-idle executor requeues nothing."""
+    h = Harness()
+    executor = h.give_executor(0)
+    assert h.driver.on_executor_failure(executor) == 0
+    assert h.driver.executor_count == 0  # still detached
+
+
+def test_executor_failure_requeues_running_task():
+    h = Harness()
+    executor = h.give_executor(0)
+    job = h.input_job("j", [0], cpu=100.0)
+    h.driver.submit_job(job)
+    h.sim.run(until=1.0)
+    assert h.driver.running_count == 1
+    requeued = h.driver.on_executor_failure(executor)
+    assert requeued == 1
+    assert h.driver.runnable_tasks[0] is job.input_tasks[0]
+    assert job.input_tasks[0].started_at is None
+    # Slot was freed synchronously.
+    assert not executor.running_tasks

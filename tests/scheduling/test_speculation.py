@@ -1,0 +1,91 @@
+"""Speculative execution: straggler clones, winner-takes-all, cleanup."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults.plan import FaultPlan, NodeSlowdown
+
+BASE = dict(
+    manager="standalone", workload="sort", num_nodes=12, num_apps=2,
+    jobs_per_app=3, seed=9,
+)
+
+
+def straggler_plan(factor=8.0, nodes=3):
+    return FaultPlan(
+        [
+            NodeSlowdown(at=0.0, node_id=f"worker-{i:03d}", duration=1e6, factor=factor)
+            for i in range(nodes)
+        ]
+    )
+
+
+def run(speculation, plan=None, **overrides):
+    config = ExperimentConfig(**{**BASE, **overrides, "speculation": speculation})
+    return run_experiment(config, fault_plan=plan)
+
+
+class TestSpeculationEffect:
+    def test_speculation_reduces_jct_under_stragglers(self):
+        plan = straggler_plan()
+        without = run(False, straggler_plan())
+        with_spec = run(True, straggler_plan())
+        assert with_spec.metrics.avg_jct < without.metrics.avg_jct
+        assert with_spec.speculative_launches > 0
+
+    def test_no_stragglers_few_clones(self):
+        result = run(True)
+        # Homogeneous tasks: speculation should stay nearly silent.
+        total_tasks = sum(len(j.all_tasks) for a in result.apps for j in a.jobs)
+        assert result.speculative_launches <= 0.2 * total_tasks
+
+    def test_wins_bounded_by_launches(self):
+        result = run(True, straggler_plan())
+        assert 0 <= result.speculative_wins <= result.speculative_launches
+
+    def test_all_jobs_finish_with_speculation(self):
+        result = run(True, straggler_plan())
+        assert result.metrics.unfinished_jobs == 0
+
+    def test_every_task_finishes_exactly_once(self):
+        result = run(True, straggler_plan(), timeline_enabled=True)
+        finishes = result.timeline.of_kind("task.finish")
+        ids = [r.subject for r in finishes]
+        assert len(ids) == len(set(ids))
+        total_tasks = sum(len(j.all_tasks) for a in result.apps for j in a.jobs)
+        assert len(ids) == total_tasks
+
+    def test_task_records_consistent_after_speculation(self):
+        result = run(True, straggler_plan())
+        for app in result.apps:
+            for job in app.jobs:
+                for task in job.all_tasks:
+                    assert task.finished_at is not None
+                    assert task.executor_id is not None
+                    assert task.started_at <= task.finished_at
+
+    def test_determinism_with_speculation(self):
+        r1 = run(True, straggler_plan())
+        r2 = run(True, straggler_plan())
+        assert r1.metrics == r2.metrics
+        assert r1.speculative_launches == r2.speculative_launches
+
+
+class TestSpeculationConfig:
+    def test_invalid_quantile_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(speculation_quantile=0.0)
+
+    def test_invalid_multiplier_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(speculation_multiplier=0.5)
+
+    def test_higher_multiplier_launches_fewer_clones(self):
+        eager = run(True, straggler_plan(), speculation_multiplier=1.2)
+        lazy = run(True, straggler_plan(), speculation_multiplier=4.0)
+        assert lazy.speculative_launches <= eager.speculative_launches

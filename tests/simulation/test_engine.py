@@ -1,0 +1,157 @@
+"""Simulation engine: ordering, cancellation, run semantics."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation.engine import Simulation
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        out = []
+        sim.schedule(3.0, out.append, "c")
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule(2.0, out.append, "b")
+        sim.run()
+        assert out == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self, sim):
+        out = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, out.append, tag)
+        sim.run()
+        assert out == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        sim.schedule(5.5, lambda: None)
+        sim.run()
+        assert sim.now == 5.5
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_call_soon_runs_at_current_time(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.0]
+
+    def test_call_soon_runs_after_already_queued_same_time_events(self, sim):
+        out = []
+
+        def first():
+            sim.call_soon(out.append, "soon")
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, out.append, "queued")
+        sim.run()
+        assert out == ["queued", "soon"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_past_absolute_time_rejected(self, sim):
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        out = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, out.append, "nested"))
+        sim.run()
+        assert out == ["nested"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        out = []
+        handle = sim.schedule(1.0, out.append, "x")
+        assert handle.cancel()
+        sim.run()
+        assert out == []
+
+    def test_cancel_after_fire_returns_false(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert not handle.cancel()
+
+    def test_pending_property(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.pending
+        handle.cancel()
+        assert not handle.pending
+
+    def test_pending_events_ignores_cancelled(self, sim):
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_clock_at_bound(self, sim):
+        out = []
+        sim.schedule(1.0, out.append, "early")
+        sim.schedule(10.0, out.append, "late")
+        sim.run(until=5.0)
+        assert out == ["early"]
+        assert sim.now == 5.0
+
+    def test_run_until_composes(self, sim):
+        out = []
+        sim.schedule(1.0, out.append, 1)
+        sim.schedule(6.0, out.append, 6)
+        sim.run(until=5.0)
+        sim.run(until=10.0)
+        assert out == [1, 6]
+
+    def test_run_until_includes_boundary_events(self, sim):
+        out = []
+        sim.schedule(5.0, out.append, "edge")
+        sim.run(until=5.0)
+        assert out == ["edge"]
+
+    def test_run_until_in_past_rejected(self, sim):
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+
+class TestStepAndPeek:
+    def test_peek_returns_next_time(self, sim):
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek() == 2.0
+
+    def test_peek_empty_returns_none(self, sim):
+        assert sim.peek() is None
+
+    def test_peek_skips_cancelled(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.peek() == 2.0
+
+    def test_step_fires_exactly_one(self, sim):
+        out = []
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule(2.0, out.append, "b")
+        assert sim.step()
+        assert out == ["a"]
+
+    def test_step_on_empty_returns_false(self, sim):
+        assert not sim.step()
+
+    def test_reentrant_run_rejected(self, sim):
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,96 @@
+"""Synchronous (immediate) process interruption."""
+
+import pytest
+
+from repro.simulation.engine import Simulation
+from repro.simulation.process import Interrupt, Process, Timeout
+
+
+def test_immediate_interrupt_runs_cleanup_before_returning(sim):
+    cleaned = []
+
+    def proc():
+        try:
+            yield Timeout(100.0)
+        except Interrupt:
+            cleaned.append(sim.now)
+
+    p = Process(sim, proc())
+    sim.run(until=5.0)
+    p.interrupt("now", immediate=True)
+    # Cleanup already happened — no further event processing needed.
+    assert cleaned == [5.0]
+    assert not p.alive
+
+
+def test_async_interrupt_defers_cleanup(sim):
+    cleaned = []
+
+    def proc():
+        try:
+            yield Timeout(100.0)
+        except Interrupt:
+            cleaned.append(True)
+
+    p = Process(sim, proc())
+    sim.run(until=1.0)
+    p.interrupt("later")  # default: delivered on the next tick
+    assert cleaned == []
+    sim.run(until=1.0)
+    assert cleaned == [True]
+
+
+def test_immediate_interrupt_before_first_yield_falls_back(sim):
+    started = []
+
+    def proc():
+        started.append(True)
+        yield Timeout(10.0)
+
+    p = Process(sim, proc())
+    # The process has not reached its first yield (initial resume queued):
+    # the interrupt falls back to async delivery — it lands right after the
+    # first resume, so the body starts but the 10 s timeout never elapses.
+    p.interrupt("early", immediate=True)
+    sim.run()
+    assert not p.alive
+    assert started == [True]
+    assert sim.now < 10.0
+
+
+def test_immediate_interrupt_carries_cause(sim):
+    causes = []
+
+    def proc():
+        try:
+            yield Timeout(10.0)
+        except Interrupt as stop:
+            causes.append(stop.cause)
+
+    p = Process(sim, proc())
+    sim.run(until=1.0)
+    p.interrupt("the-reason", immediate=True)
+    assert causes == ["the-reason"]
+
+
+def test_immediate_interrupt_on_dead_process_is_noop(sim):
+    def proc():
+        yield Timeout(1.0)
+
+    p = Process(sim, proc())
+    sim.run()
+    p.interrupt(immediate=True)  # must not raise
+    assert not p.alive
+
+
+def test_interrupted_timeout_event_is_cancelled(sim):
+    def proc():
+        try:
+            yield Timeout(50.0)
+        except Interrupt:
+            pass
+
+    p = Process(sim, proc())
+    sim.run(until=1.0)
+    p.interrupt(immediate=True)
+    assert sim.pending_events == 0  # the 50 s timeout died with the process

@@ -1,0 +1,146 @@
+"""Store and CountingResource semantics."""
+
+import pytest
+
+from repro.common.errors import CapacityError, SimulationError
+from repro.simulation.process import Process, Timeout
+from repro.simulation.resources import CountingResource, Store
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        got = []
+
+        def proc():
+            got.append((yield store.get()))
+
+        Process(sim, proc())
+        sim.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            value = yield store.get()
+            got.append((sim.now, value))
+
+        Process(sim, consumer())
+        sim.schedule(4.0, store.put, "late")
+        sim.run()
+        assert got == [(4.0, "late")]
+
+    def test_fifo_ordering_of_items(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        Process(sim, consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_fifo_ordering_of_getters(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(tag):
+            value = yield store.get()
+            got.append((tag, value))
+
+        Process(sim, consumer("first"))
+        Process(sim, consumer("second"))
+        sim.schedule(1.0, store.put, "a")
+        sim.schedule(2.0, store.put, "b")
+        sim.run()
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(9)
+        assert store.try_get() == 9
+
+    def test_len_and_waiting(self, sim):
+        store = Store(sim)
+        store.put(1)
+        assert len(store) == 1
+        assert store.waiting_getters == 0
+
+    def test_drain(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.drain() == [1, 2]
+        assert len(store) == 0
+
+
+class TestCountingResource:
+    def test_capacity_enforced(self, sim):
+        res = CountingResource(sim, capacity=1)
+        order = []
+
+        def worker(tag, hold):
+            yield res.acquire()
+            order.append((tag, sim.now))
+            yield Timeout(hold)
+            res.release()
+
+        Process(sim, worker("a", 2.0))
+        Process(sim, worker("b", 1.0))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 2.0)]
+
+    def test_counters(self, sim):
+        res = CountingResource(sim, capacity=2)
+        assert res.available == 2
+        assert res.try_acquire()
+        assert res.in_use == 1
+        assert res.available == 1
+
+    def test_try_acquire_fails_at_capacity(self, sim):
+        res = CountingResource(sim, capacity=1)
+        assert res.try_acquire()
+        assert not res.try_acquire()
+
+    def test_release_grants_to_waiter(self, sim):
+        res = CountingResource(sim, capacity=1)
+        res.try_acquire()
+        got = []
+
+        def waiter():
+            yield res.acquire()
+            got.append(sim.now)
+
+        Process(sim, waiter())
+        sim.schedule(3.0, res.release)
+        sim.run()
+        assert got == [3.0]
+        assert res.in_use == 1  # the unit passed to the waiter
+
+    def test_release_idle_raises(self, sim):
+        res = CountingResource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self, sim):
+        with pytest.raises(CapacityError):
+            CountingResource(sim, capacity=0)
+
+    def test_queued_counts_waiters(self, sim):
+        res = CountingResource(sim, capacity=1)
+        res.try_acquire()
+
+        def waiter():
+            yield res.acquire()
+
+        Process(sim, waiter())
+        sim.run()
+        assert res.queued == 1

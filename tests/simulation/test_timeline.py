@@ -1,0 +1,91 @@
+"""Timeline: recording, querying, fingerprinting."""
+
+from repro.simulation.timeline import Timeline, TimelineRecord
+
+
+def make_timeline(times):
+    it = iter(times)
+    return Timeline(clock=lambda: next(it))
+
+
+def test_records_carry_time_and_details():
+    tl = make_timeline([1.5])
+    tl.record("task.start", "t-0", executor="e-1", node="w-2")
+    rec = tl[0]
+    assert rec.time == 1.5
+    assert rec.kind == "task.start"
+    assert rec.get("executor") == "e-1"
+    assert rec.get("missing", "dflt") == "dflt"
+
+
+def test_disabled_timeline_records_nothing():
+    tl = Timeline(clock=lambda: 0.0, enabled=False)
+    tl.record("x", "y")
+    assert len(tl) == 0
+
+
+def test_of_kind_filters():
+    tl = make_timeline([1, 2, 3])
+    tl.record("a", "s1")
+    tl.record("b", "s2")
+    tl.record("a", "s3")
+    assert [r.subject for r in tl.of_kind("a")] == ["s1", "s3"]
+    assert [r.subject for r in tl.of_kind("a", "b")] == ["s1", "s2", "s3"]
+
+
+def test_about_filters_by_subject():
+    tl = make_timeline([1, 2])
+    tl.record("a", "x")
+    tl.record("b", "x")
+    assert len(tl.about("x")) == 2
+    assert tl.about("y") == []
+
+
+def test_first_finds_earliest():
+    tl = make_timeline([1, 2, 3])
+    tl.record("k", "s1")
+    tl.record("k", "s2")
+    tl.record("other", "s3")
+    assert tl.first("k").subject == "s1"
+    assert tl.first("k", subject="s2").time == 2
+    assert tl.first("nope") is None
+
+
+def test_as_dict_flattens():
+    rec = TimelineRecord(1.0, "k", "s", (("a", 1), ("b", 2)))
+    assert rec.as_dict() == {"time": 1.0, "kind": "k", "subject": "s", "a": 1, "b": 2}
+
+
+def test_fingerprint_is_order_sensitive():
+    t1 = make_timeline([1, 2])
+    t1.record("a", "x")
+    t1.record("b", "y")
+    t2 = make_timeline([1, 2])
+    t2.record("b", "y")
+    t2.record("a", "x")
+    assert t1.fingerprint() != t2.fingerprint()
+
+
+def test_fingerprint_equal_for_identical_traces():
+    def build():
+        tl = make_timeline([1, 2])
+        tl.record("a", "x", k=1)
+        tl.record("b", "y", k=2)
+        return tl
+
+    assert build().fingerprint() == build().fingerprint()
+
+
+def test_tail_renders_lines():
+    tl = make_timeline([1, 2, 3])
+    for i in range(3):
+        tl.record("kind", f"s{i}")
+    tail = tl.tail(2)
+    assert "s1" in tail and "s2" in tail and "s0" not in tail
+
+
+def test_iteration_in_time_order():
+    tl = make_timeline([1, 2, 3])
+    for i in range(3):
+        tl.record("k", str(i))
+    assert [r.subject for r in tl] == ["0", "1", "2"]

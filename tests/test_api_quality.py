@@ -1,0 +1,81 @@
+"""API quality gates: docstrings and __all__ hygiene across the package.
+
+These are meta-tests: every public module, class and function in
+:mod:`repro` must carry a docstring, and every name exported via ``__all__``
+must actually exist.  They keep the documentation deliverable honest as the
+codebase grows.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PRIVATE = "_"
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would execute the CLI
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_all_exports_exist(module):
+    for name in getattr(module, "__all__", ()):
+        assert hasattr(module, name), f"{module.__name__}.__all__ lists missing {name!r}"
+
+
+def _public_members():
+    seen = set()
+    for module in MODULES:
+        for name, obj in vars(module).items():
+            if name.startswith(PRIVATE):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", "").startswith("repro") is False:
+                continue
+            key = (obj.__module__, getattr(obj, "__qualname__", name))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield key, obj
+
+
+PUBLIC = list(_public_members())
+
+
+@pytest.mark.parametrize(
+    "key,obj", PUBLIC, ids=[f"{m}.{q}" for (m, q), _ in PUBLIC]
+)
+def test_public_members_have_docstrings(key, obj):
+    assert inspect.getdoc(obj), f"{key[0]}.{key[1]} lacks a docstring"
+
+
+def test_public_methods_have_docstrings():
+    missing = []
+    for (module, qualname), obj in PUBLIC:
+        if not inspect.isclass(obj):
+            continue
+        for name, member in vars(obj).items():
+            if name.startswith(PRIVATE):
+                continue
+            if inspect.isfunction(member) or isinstance(member, property):
+                target = member.fget if isinstance(member, property) else member
+                if target is not None and not inspect.getdoc(target):
+                    missing.append(f"{module}.{qualname}.{name}")
+    assert not missing, f"methods without docstrings: {missing}"

@@ -1,0 +1,114 @@
+"""Application locality record — Algorithm 1's sort keys."""
+
+import pytest
+
+from repro.hdfs.blocks import Block
+from repro.workload.application import Application
+from repro.workload.job import Job, Stage
+from repro.workload.task import Task, TaskKind
+
+
+def make_job(job_id, app_id="a-0", n=2):
+    tasks = [
+        Task(
+            f"{job_id}-t{i}", job_id=job_id, app_id=app_id, stage_index=0,
+            kind=TaskKind.INPUT, cpu_time=1.0,
+            block=Block(f"{job_id}-b{i}", path="/f", index=i, size=1.0),
+        )
+        for i in range(n)
+    ]
+    return Job(job_id, app_id, [Stage(0, tasks)])
+
+
+def decide(job, locals_):
+    for t, is_local in zip(job.input_tasks, locals_):
+        t.was_local = is_local
+
+
+def test_add_job_checks_ownership():
+    app = Application("a-0")
+    with pytest.raises(ValueError):
+        app.add_job(make_job("j", app_id="other"))
+
+
+def test_empty_app_scores_zero():
+    app = Application("a-0")
+    assert app.local_job_fraction == 0.0
+    assert app.local_task_fraction == 0.0
+
+
+def test_local_job_fraction_counts_only_decided():
+    app = Application("a-0")
+    j1, j2, j3 = (make_job(f"j{i}") for i in range(3))
+    for j in (j1, j2, j3):
+        app.add_job(j)
+    decide(j1, [True, True])   # local
+    decide(j2, [True, False])  # not local
+    # j3 undecided -> excluded
+    assert app.local_job_fraction == pytest.approx(0.5)
+
+
+def test_local_task_fraction():
+    app = Application("a-0")
+    j = make_job("j0", n=4)
+    app.add_job(j)
+    decide(j, [True, True, False, True])
+    assert app.local_task_fraction == pytest.approx(0.75)
+
+
+def test_locality_key_ordering_matches_algorithm1():
+    low = Application("a-low")
+    high = Application("a-high")
+    j_low, j_high = make_job("jl", "a-low"), make_job("jh", "a-high")
+    low.add_job(j_low)
+    high.add_job(j_high)
+    decide(j_low, [False, False])
+    decide(j_high, [True, True])
+    assert low.locality_key() < high.locality_key()
+
+
+def test_tie_broken_by_task_fraction():
+    a = Application("a-0")
+    b = Application("a-1")
+    ja1, ja2 = make_job("ja1", "a-0"), make_job("ja2", "a-0")
+    jb1, jb2 = make_job("jb1", "a-1"), make_job("jb2", "a-1")
+    for app, jobs in ((a, (ja1, ja2)), (b, (jb1, jb2))):
+        for j in jobs:
+            app.add_job(j)
+    # Both apps: 1 of 2 jobs local; but a has fewer local tasks.
+    decide(ja1, [True, True])
+    decide(ja2, [False, False])
+    decide(jb1, [True, True])
+    decide(jb2, [True, False])
+    assert a.local_job_fraction == b.local_job_fraction
+    assert a.locality_key() < b.locality_key()
+
+
+def test_active_and_pending_jobs():
+    app = Application("a-0")
+    j1, j2 = make_job("j1"), make_job("j2")
+    app.add_job(j1)
+    app.add_job(j2)
+    j1.submitted_at = 1.0
+    assert app.active_jobs == [j1]
+    assert app.pending_jobs == [j2]
+    j1.finished_at = 2.0
+    assert app.active_jobs == []
+
+
+def test_input_tasks_aggregates_all_jobs():
+    app = Application("a-0")
+    app.add_job(make_job("j1", n=2))
+    app.add_job(make_job("j2", n=3))
+    assert len(app.input_tasks) == 5
+
+
+def test_reset_runtime():
+    app = Application("a-0")
+    j = make_job("j1")
+    app.add_job(j)
+    decide(j, [True, True])
+    j.submitted_at = 0.0
+    app.reset_runtime()
+    assert app.local_job_fraction == 0.0
+    assert j.submitted_at is None

@@ -1,0 +1,118 @@
+"""Job and Stage: structure, locality, timing."""
+
+import pytest
+
+from repro.hdfs.blocks import Block
+from repro.workload.job import Job, Stage
+from repro.workload.task import Task, TaskKind
+
+
+def make_job(n_inputs=2, n_shuffle=1):
+    inputs = [
+        Task(
+            f"t-in-{i}", job_id="j-0", app_id="a-0", stage_index=0,
+            kind=TaskKind.INPUT, cpu_time=1.0,
+            block=Block(f"b-{i}", path="/f", index=i, size=1.0),
+        )
+        for i in range(n_inputs)
+    ]
+    stages = [Stage(0, inputs)]
+    if n_shuffle:
+        shuffles = [
+            Task(
+                f"t-sh-{i}", job_id="j-0", app_id="a-0", stage_index=1,
+                kind=TaskKind.SHUFFLE, cpu_time=1.0, shuffle_bytes=1.0,
+            )
+            for i in range(n_shuffle)
+        ]
+        stages.append(Stage(1, shuffles))
+    return Job("j-0", "a-0", stages, workload="test")
+
+
+class TestStructure:
+    def test_counts(self):
+        job = make_job(3, 2)
+        assert job.num_input_tasks == 3
+        assert len(job.all_tasks) == 5
+        assert len(job.input_tasks) == 3
+
+    def test_stage_zero_must_be_input(self):
+        shuffle = Task(
+            "t", job_id="j", app_id="a", stage_index=0,
+            kind=TaskKind.SHUFFLE, cpu_time=1.0,
+        )
+        with pytest.raises(ValueError):
+            Job("j", "a", [Stage(0, [shuffle])])
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(0, [])
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(ValueError):
+            Job("j", "a", [])
+
+
+class TestLocality:
+    def test_undecided_before_run(self):
+        job = make_job()
+        assert job.is_local_job is None
+        assert job.local_input_fraction is None
+
+    def test_perfectly_local_job(self):
+        job = make_job()
+        for t in job.input_tasks:
+            t.was_local = True
+        assert job.is_local_job is True
+        assert job.local_input_fraction == 1.0
+
+    def test_one_remote_task_breaks_job_locality(self):
+        job = make_job(4)
+        for t in job.input_tasks:
+            t.was_local = True
+        job.input_tasks[2].was_local = False
+        assert job.is_local_job is False
+        assert job.local_input_fraction == pytest.approx(0.75)
+
+    def test_partially_decided_is_undecided(self):
+        job = make_job(2)
+        job.input_tasks[0].was_local = True
+        assert job.is_local_job is None
+
+    def test_unsatisfied_input_tasks(self):
+        job = make_job(3)
+        job.input_tasks[0].was_local = True
+        assert len(job.unsatisfied_input_tasks) == 2
+
+
+class TestTiming:
+    def test_completion_time(self):
+        job = make_job()
+        job.submitted_at, job.finished_at = 10.0, 35.0
+        assert job.completion_time == pytest.approx(25.0)
+
+    def test_input_stage_time(self):
+        job = make_job(2, 0)
+        for i, t in enumerate(job.input_tasks):
+            t.started_at = 1.0 + i
+            t.finished_at = 5.0 + i
+        assert job.input_stage_time == pytest.approx(6.0 - 1.0)
+
+    def test_stage_barrier_semantics(self):
+        job = make_job(2, 0)
+        stage = job.input_stage
+        assert not stage.finished
+        stage.tasks[0].finished_at = 1.0
+        assert not stage.finished
+        stage.tasks[1].finished_at = 3.0
+        assert stage.finished
+        assert stage.finish_time == 3.0
+
+    def test_reset_runtime_cascades(self):
+        job = make_job()
+        job.submitted_at = job.finished_at = 1.0
+        for t in job.all_tasks:
+            t.started_at = 1.0
+        job.reset_runtime()
+        assert job.submitted_at is None
+        assert all(t.started_at is None for t in job.all_tasks)

@@ -1,0 +1,132 @@
+"""KMN-style partial-input jobs ([10]): quorum barriers and cancellation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.hdfs.blocks import Block
+from repro.workload.generators import WORDCOUNT, JobFactory
+from repro.workload.job import Job, Stage
+from repro.workload.task import Task, TaskKind
+
+BASE = dict(
+    workload="wordcount", num_nodes=15, num_apps=2, jobs_per_app=3, seed=8
+)
+
+
+def make_job(n=4, required=None):
+    tasks = [
+        Task(
+            f"t{i}", job_id="j", app_id="a", stage_index=0,
+            kind=TaskKind.INPUT, cpu_time=1.0,
+            block=Block(f"b{i}", path="/f", index=i, size=1.0),
+        )
+        for i in range(n)
+    ]
+    return Job("j", "a", [Stage(0, tasks)], required_inputs=required)
+
+
+class TestJobModel:
+    def test_quorum_defaults_to_all(self):
+        job = make_job(4)
+        assert job.input_quorum == 4
+
+    def test_quorum_set(self):
+        job = make_job(4, required=3)
+        assert job.input_quorum == 3
+
+    def test_quorum_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(4, required=0)
+        with pytest.raises(ValueError):
+            make_job(4, required=5)
+
+    def test_kmn_job_local_when_quorum_local(self):
+        job = make_job(4, required=2)
+        job.input_tasks[0].was_local = True
+        job.input_tasks[1].was_local = True
+        job.input_tasks[2].cancelled = True
+        job.input_tasks[3].cancelled = True
+        assert job.is_local_job is True
+
+    def test_kmn_job_not_local_when_quorum_misses(self):
+        job = make_job(4, required=2)
+        job.input_tasks[0].was_local = True
+        job.input_tasks[1].was_local = False
+        assert job.is_local_job is False
+
+    def test_stage_finished_with_cancelled_tasks(self):
+        job = make_job(3, required=2)
+        stage = job.input_stage
+        stage.tasks[0].finished_at = 1.0
+        stage.tasks[1].finished_at = 2.0
+        stage.tasks[2].cancelled = True
+        assert stage.finished
+        assert stage.finish_time == 2.0
+
+
+class TestFactory:
+    def test_fraction_sets_required(self, small_hdfs):
+        factory = JobFactory(small_hdfs, np.random.default_rng(1), pool_size=2)
+        job = factory.build_job("a", WORDCOUNT, input_fraction=0.5)
+        import math
+
+        assert job.required_inputs == max(1, math.ceil(0.5 * job.num_input_tasks))
+
+    def test_fraction_one_means_full_job(self, small_hdfs):
+        factory = JobFactory(small_hdfs, np.random.default_rng(1), pool_size=2)
+        job = factory.build_job("a", WORDCOUNT, input_fraction=1.0)
+        assert job.required_inputs is None
+
+    def test_invalid_fraction_rejected(self, small_hdfs):
+        from repro.common.errors import ConfigurationError
+
+        factory = JobFactory(small_hdfs, np.random.default_rng(1), pool_size=2)
+        with pytest.raises(ConfigurationError):
+            factory.build_job("a", WORDCOUNT, input_fraction=0.0)
+
+
+class TestEndToEnd:
+    def test_surplus_tasks_cancelled(self):
+        result = run_experiment(
+            ExperimentConfig(manager="custody", kmn_fraction=0.75, **BASE)
+        )
+        cancelled = sum(
+            1
+            for a in result.apps
+            for j in a.jobs
+            for t in j.input_tasks
+            if t.cancelled
+        )
+        assert cancelled > 0
+        assert result.metrics.unfinished_jobs == 0
+
+    def test_exactly_quorum_tasks_finish_per_job(self):
+        result = run_experiment(
+            ExperimentConfig(manager="custody", kmn_fraction=0.8, **BASE)
+        )
+        for app in result.apps:
+            for job in app.jobs:
+                finished = sum(1 for t in job.input_tasks if t.finished)
+                assert finished == job.input_quorum
+
+    def test_kmn_improves_locality_and_jct(self):
+        full = run_experiment(ExperimentConfig(manager="standalone", **BASE))
+        kmn = run_experiment(
+            ExperimentConfig(manager="standalone", kmn_fraction=0.75, **BASE)
+        )
+        # Dropping the least-convenient quarter of the blocks helps both
+        # metrics — the "power of choice".
+        assert kmn.metrics.locality_mean >= full.metrics.locality_mean
+        assert kmn.metrics.avg_jct <= full.metrics.avg_jct
+
+    def test_invalid_config_fraction(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(kmn_fraction=1.5)
+
+    def test_determinism_with_kmn(self):
+        config = ExperimentConfig(manager="custody", kmn_fraction=0.8, **BASE)
+        assert run_experiment(config).metrics == run_experiment(config).metrics

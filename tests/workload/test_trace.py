@@ -1,0 +1,85 @@
+"""Submission traces: the common schedule of §VI-A."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workload.trace import SubmissionEvent, SubmissionTrace, common_schedule
+
+
+def test_events_sorted_by_time():
+    trace = SubmissionTrace(
+        [
+            SubmissionEvent(5.0, "b", 0),
+            SubmissionEvent(1.0, "a", 0),
+            SubmissionEvent(3.0, "a", 1),
+        ]
+    )
+    assert [e.time for e in trace] == [1.0, 3.0, 5.0]
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ConfigurationError):
+        SubmissionTrace([SubmissionEvent(-1.0, "a", 0)])
+
+
+def test_horizon():
+    trace = SubmissionTrace([SubmissionEvent(2.0, "a", 0), SubmissionEvent(9.0, "a", 1)])
+    assert trace.horizon == 9.0
+    assert SubmissionTrace([]).horizon == 0.0
+
+
+def test_per_app_grouping():
+    trace = common_schedule(["a", "b"], 5, np.random.default_rng(0))
+    groups = trace.per_app()
+    assert set(groups) == {"a", "b"}
+    assert len(groups["a"]) == 5
+    for events in groups.values():
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+
+def test_common_schedule_counts():
+    trace = common_schedule(["a", "b", "c", "d"], 30, np.random.default_rng(1))
+    assert len(trace) == 120
+
+
+def test_job_indices_are_in_arrival_order_per_app():
+    trace = common_schedule(["a"], 10, np.random.default_rng(2))
+    indices = [e.job_index for e in trace]
+    assert indices == list(range(10))
+
+
+def test_mean_interarrival_roughly_honoured():
+    rng = np.random.default_rng(3)
+    trace = common_schedule(["a"], 2000, rng, mean_interarrival=14.0)
+    times = np.array([e.time for e in trace])
+    gaps = np.diff(np.concatenate([[0.0], times]))
+    assert abs(gaps.mean() - 14.0) / 14.0 < 0.1
+
+
+def test_same_seed_same_trace():
+    t1 = common_schedule(["a", "b"], 10, np.random.default_rng(9))
+    t2 = common_schedule(["a", "b"], 10, np.random.default_rng(9))
+    assert [(e.time, e.app_id, e.job_index) for e in t1] == [
+        (e.time, e.app_id, e.job_index) for e in t2
+    ]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"jobs_per_app": 0},
+        {"mean_interarrival": 0.0},
+    ],
+)
+def test_invalid_parameters(kwargs):
+    base = dict(app_ids=["a"], jobs_per_app=5, rng=np.random.default_rng(0))
+    base.update(kwargs)
+    with pytest.raises(ConfigurationError):
+        common_schedule(**base)
+
+
+def test_duplicate_app_ids_rejected():
+    with pytest.raises(ConfigurationError):
+        common_schedule(["a", "a"], 5, np.random.default_rng(0))

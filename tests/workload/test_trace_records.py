@@ -1,0 +1,30 @@
+"""SubmissionTrace record round-trips."""
+
+import json
+
+import numpy as np
+
+from repro.workload.trace import SubmissionTrace, common_schedule
+
+
+def test_to_records_is_json_serialisable():
+    trace = common_schedule(["a", "b"], 5, np.random.default_rng(0))
+    text = json.dumps(trace.to_records())
+    assert '"app_id"' in text
+
+
+def test_round_trip_preserves_events():
+    trace = common_schedule(["a", "b"], 5, np.random.default_rng(0))
+    rebuilt = SubmissionTrace.from_records(trace.to_records())
+    assert [(e.time, e.app_id, e.job_index) for e in rebuilt] == [
+        (e.time, e.app_id, e.job_index) for e in trace
+    ]
+
+
+def test_from_records_sorts():
+    records = [
+        {"time": 5.0, "app_id": "a", "job_index": 1},
+        {"time": 1.0, "app_id": "a", "job_index": 0},
+    ]
+    trace = SubmissionTrace.from_records(records)
+    assert [e.time for e in trace] == [1.0, 5.0]

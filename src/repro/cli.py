@@ -10,6 +10,8 @@ Commands
     Regenerate a paper figure's series (7, 8, 9 or 10).
 ``scenarios``
     The worked micro-examples (Fig. 1, 3, 4/5) with exact expected numbers.
+``perf``
+    Network rate-engine scaling microbenchmark; writes ``BENCH_network.json``.
 
 Examples::
 
@@ -17,6 +19,7 @@ Examples::
     python -m repro compare --managers standalone,custody,yarn --nodes 25
     python -m repro figures --figure 7 --jobs 8
     python -m repro scenarios
+    python -m repro perf --flows 100,1000,10000 --events 30
 """
 
 from __future__ import annotations
@@ -70,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="KMN fraction of inputs required (0,1]")
         p.add_argument("--speculation", action="store_true",
                        help="enable speculative execution")
+        p.add_argument("--network-engine", default="incremental",
+                       choices=["incremental", "reference"],
+                       help="flow-rate allocator (reference = full recompute)")
 
     run_p = sub.add_parser("run", help="run one experiment")
     add_common(run_p)
@@ -79,6 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the result as JSON")
     run_p.add_argument("--utilization", action="store_true",
                        help="also print a slot-utilization report")
+    run_p.add_argument("--perf", action="store_true",
+                       help="also print network hot-path perf counters")
 
     cmp_p = sub.add_parser("compare", help="compare managers on one trace")
     add_common(cmp_p)
@@ -92,6 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("scenarios", help="run the worked micro-examples")
+
+    perf_p = sub.add_parser(
+        "perf", help="rate-engine scaling microbenchmark (incremental vs reference)"
+    )
+    perf_p.add_argument("--flows", default="100,1000,10000",
+                        help="comma-separated concurrent-flow counts")
+    perf_p.add_argument("--events", type=int, default=30,
+                        help="timed flow arrivals/departures per point")
+    perf_p.add_argument("--seed", type=int, default=0)
+    perf_p.add_argument("--pod-size", type=int, default=16,
+                        help="traffic-locality pod size (0 = all-to-all worst case)")
+    perf_p.add_argument("--out", metavar="PATH", default="BENCH_network.json",
+                        help="trajectory JSON output path ('' to skip)")
     return parser
 
 
@@ -109,6 +130,8 @@ def _config(args: argparse.Namespace, manager: str) -> ExperimentConfig:
         kmn_fraction=args.kmn,
         speculation=args.speculation,
         timeline_enabled=getattr(args, "utilization", False),
+        network_engine=args.network_engine,
+        perf_counters=getattr(args, "perf", False),
     )
 
 
@@ -122,6 +145,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.speculative_launches:
         print(f"speculative clones: {result.speculative_launches} "
               f"({result.speculative_wins} won)")
+    if args.perf and result.perf is not None:
+        print(f"network perf: {result.perf.describe()}")
     if args.utilization and result.timeline is not None:
         total_slots = (
             config.num_nodes * config.executors_per_node * config.executor_slots
@@ -206,6 +231,36 @@ def _cmd_scenarios(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.experiments.netbench import run_scale_bench, write_trajectory
+
+    try:
+        flow_counts = [int(f) for f in args.flows.split(",") if f.strip()]
+    except ValueError:
+        print(f"error: --flows expects comma-separated integers, got {args.flows!r}",
+              file=sys.stderr)
+        return 2
+    if not flow_counts or any(n <= 0 for n in flow_counts):
+        print(f"error: --flows expects positive flow counts, got {args.flows!r}",
+              file=sys.stderr)
+        return 2
+    pod_size = args.pod_size if args.pod_size > 0 else None
+    points = run_scale_bench(
+        flow_counts, events=args.events, seed=args.seed, pod_size=pod_size
+    )
+    print(format_table(
+        ["flows", "nodes", "reference s", "incremental s", "speedup",
+         "flows/recompute"],
+        [[p.flows, p.nodes, p.reference_seconds, p.incremental_seconds,
+          p.speedup, p.mean_component] for p in points],
+        title=f"rate-engine scaling ({args.events} churn events per point)",
+    ))
+    if args.out:
+        path = write_trajectory(points, args.out)
+        print(f"\nsaved: {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -214,6 +269,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "figures": _cmd_figures,
         "scenarios": _cmd_scenarios,
+        "perf": _cmd_perf,
     }
     return handlers[args.command](args)
 

@@ -14,6 +14,7 @@ _MANAGERS = ("custody", "standalone", "yarn", "mesos")
 _SCHEDULERS = ("delay", "fifo", "locality-first")
 _PLACEMENTS = ("random", "rack-aware", "popularity")
 _WORKLOADS = ("pagerank", "wordcount", "sort")
+_NETWORK_ENGINES = ("incremental", "reference")
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,8 @@ class ExperimentConfig:
     custody_enforce_hints: bool = False  # enforce z^u_ijk suggestions (§V)
     timeline_enabled: bool = False
     validate_plans: bool = False
+    network_engine: str = "incremental"  # flow-rate allocator: incremental | reference
+    perf_counters: bool = False  # collect PerfCounters from the network hot path
 
     def __post_init__(self) -> None:
         if self.manager not in _MANAGERS:
@@ -102,6 +105,11 @@ class ExperimentConfig:
         if self.shuffle_fanout < 1:
             raise ConfigurationError(
                 f"shuffle_fanout must be >= 1, got {self.shuffle_fanout}"
+            )
+        if self.network_engine not in _NETWORK_ENGINES:
+            raise ConfigurationError(
+                f"network_engine must be one of {_NETWORK_ENGINES}, "
+                f"got {self.network_engine!r}"
             )
         if self.app_weights is not None:
             if len(self.app_weights) != self.num_apps:

@@ -37,7 +37,7 @@ from repro.managers.custody import CustodyManager
 from repro.managers.mesos import MesosManager
 from repro.managers.standalone import StandaloneManager
 from repro.managers.yarn import YarnManager
-from repro.metrics.collector import ExperimentMetrics, MetricsCollector
+from repro.metrics.collector import ExperimentMetrics, MetricsCollector, PerfCounters
 from repro.network.fabric import NetworkFabric
 from repro.scheduling.driver import ApplicationDriver
 from repro.scheduling.policies import (
@@ -71,6 +71,7 @@ class ExperimentResult:
     fault_injector: Optional[FaultInjector] = None
     speculative_launches: int = 0
     speculative_wins: int = 0
+    perf: Optional[PerfCounters] = None
 
 
 def _make_placement(config: ExperimentConfig) -> PlacementPolicy:
@@ -164,7 +165,13 @@ def run_experiment(
     streams = RngStreams(seed=config.seed)
     sim = Simulation()
     timeline = Timeline(clock=lambda: sim.now, enabled=config.timeline_enabled)
-    fabric = NetworkFabric(sim, timeline=timeline if config.timeline_enabled else None)
+    perf = PerfCounters() if config.perf_counters else None
+    fabric = NetworkFabric(
+        sim,
+        timeline=timeline if config.timeline_enabled else None,
+        engine=config.network_engine,
+        counters=perf,
+    )
     cluster = Cluster(
         ClusterConfig(
             num_nodes=config.num_nodes,
@@ -282,4 +289,5 @@ def run_experiment(
         fault_injector=injector,
         speculative_launches=sum(d.speculative_launches for d in drivers.values()),
         speculative_wins=sum(d.speculative_wins for d in drivers.values()),
+        perf=perf,
     )

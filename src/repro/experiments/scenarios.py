@@ -19,7 +19,7 @@ benches print:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.common.units import BlockSpec
@@ -31,6 +31,7 @@ from repro.network.fabric import NetworkFabric
 from repro.scheduling.driver import ApplicationDriver
 from repro.scheduling.policies import DelayScheduler
 from repro.simulation.engine import Simulation
+from repro.simulation.timeline import Timeline
 from repro.workload.application import Application
 from repro.workload.job import Job, Stage
 from repro.workload.task import Task, TaskKind
@@ -39,6 +40,7 @@ __all__ = [
     "fig1_motivating_example",
     "fig3_interapp_example",
     "fig45_intraapp_example",
+    "fig45_intraapp_trace",
     "Fig1Result",
     "Fig3Result",
     "Fig45Result",
@@ -191,15 +193,21 @@ class _FixedPlacement(PlacementPolicy):
         return [node_ids[block.index % len(node_ids)]]
 
 
-def _run_fig45(allocated: Sequence[int]) -> Tuple[float, ...]:
+def _run_fig45(
+    allocated: Sequence[int],
+    timeline: bool = False,
+    network_engine: str = "incremental",
+) -> Tuple[Tuple[float, ...], Optional[Timeline]]:
     """Simulate app A5 with executors on the given worker indices.
 
     Time units: CPU 0.5, remote transfer 1.0 + CPU 0.5 = 1.5, local read
     ~instant.  Achieved by a 1-"byte" block with 1 B/s NICs and an
-    effectively infinite disk.
+    effectively infinite disk.  With ``timeline=True`` the full event trace
+    is recorded and returned (golden-trace determinism fixtures).
     """
     sim = Simulation()
-    fabric = NetworkFabric(sim)
+    trace = Timeline(clock=lambda: sim.now) if timeline else None
+    fabric = NetworkFabric(sim, timeline=trace, engine=network_engine)
     cluster = Cluster(
         ClusterConfig(
             num_nodes=4,
@@ -222,7 +230,7 @@ def _run_fig45(allocated: Sequence[int]) -> Tuple[float, ...]:
 
     app = Application("A5")
     driver = ApplicationDriver(
-        sim, app, cluster, hdfs, fabric, DelayScheduler(wait=0.4)
+        sim, app, cluster, hdfs, fabric, DelayScheduler(wait=0.4), timeline=trace
     )
     for idx in allocated:
         executor = cluster.executors[idx]
@@ -250,7 +258,7 @@ def _run_fig45(allocated: Sequence[int]) -> Tuple[float, ...]:
     sim.schedule_at(0.0, driver.submit_job, job2)
     sim.run()
     assert job1.completion_time is not None and job2.completion_time is not None
-    return (job1.completion_time, job2.completion_time)
+    return (job1.completion_time, job2.completion_time), trace
 
 
 def fig45_intraapp_example() -> Fig45Result:
@@ -260,11 +268,32 @@ def fig45_intraapp_example() -> Fig45Result:
     both jobs finish at 2.0 time units.  Priority allocation {E1, E2} makes
     job 1 perfectly local (0.5) without slowing job 2 (2.0): average 1.25.
     """
-    fairness = _run_fig45([0, 2])  # E1, E3
-    priority = _run_fig45([0, 1])  # E1, E2
+    fairness, _ = _run_fig45([0, 2])  # E1, E3
+    priority, _ = _run_fig45([0, 1])  # E1, E2
     return Fig45Result(
         fairness_avg=sum(fairness) / 2,
         priority_avg=sum(priority) / 2,
         fairness_jcts=fairness,
         priority_jcts=priority,
     )
+
+
+def fig45_intraapp_trace(network_engine: str = "incremental") -> Dict[str, Any]:
+    """Both Fig. 4/5 arms with their full event traces, JSON-serialisable.
+
+    The golden-trace determinism fixture: any behavioural drift in the
+    scheduler, fabric or rate allocation shows up as a record-level diff
+    against ``tests/fixtures/golden_fig45_trace.json``.
+    """
+    arms: Dict[str, Any] = {}
+    for name, allocated in (("fairness", [0, 2]), ("priority", [0, 1])):
+        jcts, trace = _run_fig45(
+            allocated, timeline=True, network_engine=network_engine
+        )
+        assert trace is not None
+        arms[name] = {
+            "allocated": list(allocated),
+            "jcts": list(jcts),
+            "records": [r.as_dict() for r in trace],
+        }
+    return arms

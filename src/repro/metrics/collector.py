@@ -1,9 +1,15 @@
-"""ExperimentMetrics: one summary object per experiment run."""
+"""ExperimentMetrics: one summary object per experiment run.
+
+Also home to :class:`PerfCounters`, the opt-in simulator performance
+counters (event/recompute/flows-touched tallies plus wall-clock timings)
+that the network fabric and rate engine fill in when handed an instance —
+the raw material for perf-regression tracking across PRs.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -22,7 +28,55 @@ from repro.metrics.timings import (
 from repro.workload.application import Application
 from repro.workload.job import Job
 
-__all__ = ["ExperimentMetrics", "MetricsCollector"]
+__all__ = ["ExperimentMetrics", "MetricsCollector", "PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Opt-in hot-path counters for the network/rate-allocation machinery.
+
+    Pass an instance to :class:`~repro.network.fabric.NetworkFabric` (or set
+    ``ExperimentConfig.perf_counters=True``) and read it after the run.
+    Everything defaults to zero so the object doubles as a cheap accumulator
+    across several runs.
+    """
+
+    flow_events: int = 0  #: transfer starts + cancels + completions observed
+    reallocations: int = 0  #: batched end-of-instant rate flushes
+    recomputes: int = 0  #: water-filling passes actually executed
+    flows_touched: int = 0  #: flows re-rated across all recomputes
+    links_touched: int = 0  #: links visited across all recomputes
+    rate_updates: int = 0  #: transfer.set_rate calls applied (rate changed)
+    recompute_seconds: float = 0.0  #: wall time inside water-filling
+    realloc_seconds: float = 0.0  #: wall time inside the full flush path
+
+    @property
+    def flows_per_recompute(self) -> float:
+        """Mean affected-component size — the incrementality health metric."""
+        return self.flows_touched / self.recomputes if self.recomputes else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready projection (derived means included)."""
+        return {
+            "flow_events": self.flow_events,
+            "reallocations": self.reallocations,
+            "recomputes": self.recomputes,
+            "flows_touched": self.flows_touched,
+            "links_touched": self.links_touched,
+            "rate_updates": self.rate_updates,
+            "recompute_seconds": self.recompute_seconds,
+            "realloc_seconds": self.realloc_seconds,
+            "flows_per_recompute": self.flows_per_recompute,
+        }
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        return (
+            f"flow events: {self.flow_events}   reallocations: {self.reallocations}   "
+            f"recomputes: {self.recomputes}   flows/recompute: "
+            f"{self.flows_per_recompute:.1f}   rate updates: {self.rate_updates}   "
+            f"recompute wall: {self.recompute_seconds:.3f}s"
+        )
 
 
 @dataclass(frozen=True)

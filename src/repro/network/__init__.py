@@ -10,7 +10,11 @@ flow granularity:
 * every active transfer receives its **max-min fair share** across the two
   links it traverses (progressive filling / water-filling);
 * rates are recomputed whenever a flow starts or finishes, and completion
-  events are rescheduled from the bytes still outstanding.
+  events are rescheduled from the bytes still outstanding;
+* all flow changes of one simulated instant batch into a single recompute,
+  and the default :class:`~repro.network.rate_engine.RateEngine` re-rates
+  only the affected connected component of the link-flow graph
+  (``maxmin_rates`` remains the from-scratch reference implementation).
 
 This is the standard fluid approximation used by flow-level datacenter
 simulators; it captures contention and elasticity without per-packet cost.
@@ -18,6 +22,7 @@ simulators; it captures contention and elasticity without per-packet cost.
 
 from repro.network.bandwidth import LinkCapacities, maxmin_rates
 from repro.network.fabric import NetworkFabric
+from repro.network.rate_engine import RateEngine
 from repro.network.transfer import Transfer
 
-__all__ = ["LinkCapacities", "NetworkFabric", "Transfer", "maxmin_rates"]
+__all__ = ["LinkCapacities", "NetworkFabric", "RateEngine", "Transfer", "maxmin_rates"]

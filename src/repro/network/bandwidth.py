@@ -45,7 +45,10 @@ class LinkCapacities:
         self.downlink[node_id] = float(downlink)
 
     def __contains__(self, node_id: str) -> bool:
-        return node_id in self.uplink
+        # Both directions must be registered: the maps can drift apart only
+        # through direct mutation, but membership must still mean "safe to
+        # route a flow through this node in either direction".
+        return node_id in self.uplink and node_id in self.downlink
 
 
 def maxmin_rates(

@@ -1,20 +1,40 @@
 """The cluster network: starts transfers, reallocates rates, fires completions.
 
-On every flow arrival or departure the fabric recomputes the global max-min
-fair allocation (:func:`repro.network.bandwidth.maxmin_rates`), settles each
-active transfer's progress, and reschedules the earliest completion event.
-A single pending completion event is maintained (for the flow with the
-smallest ETA); when it fires, any other flows that finish at the same instant
-are also completed, then rates are recomputed once.
+Flow changes (arrivals, departures, cancellations) do not recompute rates
+immediately: the fabric registers one deferred *flush* per simulated instant
+(:meth:`repro.simulation.engine.Simulation.defer`), so any number of
+same-timestamp changes settle in a single rate recompute.  This is exact —
+a rate held for zero simulated time moves zero bytes — and removes the
+event-storm recompute cost of large shuffle fan-outs.
+
+The flush itself runs one of two allocators:
+
+* ``engine="incremental"`` (default): a persistent
+  :class:`~repro.network.rate_engine.RateEngine` re-rates only the connected
+  component(s) of the link-flow graph affected by the batch;
+* ``engine="reference"``: the original recompute-from-scratch
+  :func:`~repro.network.bandwidth.maxmin_rates` path, kept as the
+  behaviourally identical oracle for golden-trace and equivalence tests.
+
+Either way the fabric then applies only the rates that actually changed and
+tracks completions in a lazy min-heap of absolute finish times, so an event
+touching k flows costs O(k log n) rather than O(n).  A single pending
+completion event is maintained (for the earliest finisher); when it fires,
+flows finishing within :data:`_ETA_EPSILON` of it complete together, then
+rates are recomputed once.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import heapq
+import math
+import time
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.ids import IdFactory
 from repro.network.bandwidth import LinkCapacities, maxmin_rates
+from repro.network.rate_engine import RateEngine
 from repro.network.transfer import Transfer
 from repro.simulation.engine import EventHandle, Simulation
 from repro.simulation.timeline import Timeline
@@ -24,6 +44,9 @@ __all__ = ["NetworkFabric"]
 #: Completions within this many seconds of the earliest ETA are batched into
 #: one event, avoiding event storms from floating-point near-ties.
 _ETA_EPSILON = 1e-9
+
+#: Heap entry: (absolute finish time, push sequence, validity token, transfer).
+_HeapEntry = Tuple[float, int, int, Transfer]
 
 
 class NetworkFabric:
@@ -35,15 +58,39 @@ class NetworkFabric:
         The owning simulation.
     timeline:
         Optional trace sink; transfer start/finish records are written to it.
+    engine:
+        ``"incremental"`` (default) or ``"reference"`` — see module docstring.
+    counters:
+        Optional :class:`~repro.metrics.collector.PerfCounters` accumulator.
     """
 
-    def __init__(self, sim: Simulation, timeline: Optional[Timeline] = None):
+    def __init__(
+        self,
+        sim: Simulation,
+        timeline: Optional[Timeline] = None,
+        engine: str = "incremental",
+        counters: Optional[object] = None,
+    ):
+        if engine not in ("incremental", "reference"):
+            raise ConfigurationError(
+                f"engine must be 'incremental' or 'reference', got {engine!r}"
+            )
         self.sim = sim
         self.timeline = timeline
+        self.counters = counters
         self.capacities = LinkCapacities()
+        self.engine_mode = engine
+        self._engine: Optional[RateEngine] = (
+            RateEngine(self.capacities, counters=counters)
+            if engine == "incremental"
+            else None
+        )
         self._active: Dict[str, Transfer] = {}
         self._ids = IdFactory(width=6)
         self._completion_event: Optional[EventHandle] = None
+        self._eta_heap: List[_HeapEntry] = []
+        self._heap_seq = 0
+        self._token: Dict[str, int] = {}
         self.completed_count = 0
         self.total_bytes_moved = 0.0
 
@@ -63,63 +110,148 @@ class NetworkFabric:
 
         Returns the :class:`Transfer`; wait on ``transfer.done`` for
         completion.  ``src == dst`` is rejected — local reads never cross the
-        fabric (model them with the node's disk, not the NIC).
+        fabric (model them with the node's disk, not the NIC).  The rate is
+        assigned when the current instant's change batch flushes, so it reads
+        as 0 until the simulation processes this timestamp.
         """
         if src == dst:
             raise ConfigurationError(
                 f"transfer {src!r}->{dst!r} is local; use disk read time instead"
             )
         transfer = Transfer(self.sim, self._ids.next("xfer"), src, dst, size)
+        if self._engine is not None:
+            self._engine.add_flow(transfer.transfer_id, src, dst)
+        else:
+            # The reference path validates lazily inside maxmin_rates; keep
+            # the fail-fast contract identical across modes.
+            for node in (src, dst):
+                if node not in self.capacities:
+                    raise ConfigurationError(
+                        f"flow references unregistered node {node!r}"
+                    )
         self._active[transfer.transfer_id] = transfer
         if self.timeline is not None:
             self.timeline.record(
                 "transfer.start", transfer.transfer_id, src=src, dst=dst, size=size
             )
-        self._reallocate()
+        if self.counters is not None:
+            self.counters.flow_events += 1
+        self.sim.defer(self, self._flush)
         return transfer
 
     def cancel_transfer(self, transfer: Transfer) -> None:
         """Abort an in-flight transfer (its ``done`` signal never triggers)."""
         if transfer.transfer_id in self._active:
             del self._active[transfer.transfer_id]
+            self._token.pop(transfer.transfer_id, None)
+            if self._engine is not None:
+                self._engine.remove_flow(transfer.transfer_id)
             if self.timeline is not None:
                 self.timeline.record("transfer.cancel", transfer.transfer_id)
-            self._reallocate()
+            if self.counters is not None:
+                self.counters.flow_events += 1
+            self.sim.defer(self, self._flush)
+
+    def flush(self) -> None:
+        """Force the pending change batch to settle now (test/debug hook)."""
+        self._flush()
 
     # ------------------------------------------------------------- reallocation
-    def _reallocate(self) -> None:
-        """Recompute fair rates for all active flows and re-arm completion."""
+    def _flush(self) -> None:
+        """Recompute fair rates for the changed flows and re-arm completion."""
         now = self.sim.now
-        transfers = list(self._active.values())
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
-        if not transfers:
-            return
-        flows = [(t.src, t.dst) for t in transfers]
-        rates = maxmin_rates(flows, self.capacities)
-        min_eta = float("inf")
-        for transfer, rate in zip(transfers, rates):
+        counters = self.counters
+        started = time.perf_counter() if counters is not None else 0.0
+        if self._engine is not None:
+            changed = self._engine.recompute().items()
+        else:
+            transfers = list(self._active.values())
+            rates = (
+                maxmin_rates([(t.src, t.dst) for t in transfers], self.capacities)
+                if transfers
+                else []
+            )
+            changed = [(t.transfer_id, r) for t, r in zip(transfers, rates)]
+        for transfer_id, rate in changed:
+            transfer = self._active.get(transfer_id)
+            if transfer is None or rate == transfer.rate:
+                # Unchanged rate: the existing finish-time entry stays exact,
+                # and skipping settle() keeps progress accounting identical
+                # across both engine modes.
+                continue
             transfer.set_rate(now, rate)
+            token = self._token.get(transfer_id, 0) + 1
+            self._token[transfer_id] = token
             eta = transfer.eta(now)
-            if eta < min_eta:
-                min_eta = eta
-        if min_eta == float("inf"):
+            if math.isfinite(eta):
+                self._heap_seq += 1
+                heapq.heappush(
+                    self._eta_heap, (now + eta, self._heap_seq, token, transfer)
+                )
+            if counters is not None:
+                counters.rate_updates += 1
+        if len(self._eta_heap) > 64 and len(self._eta_heap) > 4 * len(self._active):
+            self._compact_heap()
+        self._arm_completion(now)
+        if counters is not None:
+            counters.reallocations += 1
+            counters.realloc_seconds += time.perf_counter() - started
+
+    def _entry_live(self, entry: _HeapEntry) -> bool:
+        _, _, token, transfer = entry
+        return (
+            self._active.get(transfer.transfer_id) is transfer
+            and self._token.get(transfer.transfer_id) == token
+        )
+
+    def _compact_heap(self) -> None:
+        """Drop stale entries so the heap tracks O(active) state."""
+        self._eta_heap = [e for e in self._eta_heap if self._entry_live(e)]
+        heapq.heapify(self._eta_heap)
+
+    def _arm_completion(self, now: float) -> None:
+        """(Re)schedule the single completion event at the earliest finish."""
+        heap = self._eta_heap
+        while heap and not self._entry_live(heap[0]):
+            heapq.heappop(heap)
+        event = self._completion_event
+        if not heap:
+            if event is not None:
+                event.cancel()
+                self._completion_event = None
             return
-        self._completion_event = self.sim.schedule(min_eta, self._on_completion)
+        target = max(heap[0][0], now)
+        if event is not None:
+            if event.pending and event.time == target:
+                return
+            event.cancel()
+        self._completion_event = self.sim.schedule_at(target, self._on_completion)
 
     def _on_completion(self) -> None:
         """Finish every flow whose residual hit zero, then reallocate once."""
         now = self.sim.now
-        finished: List[Transfer] = [
-            t for t in self._active.values() if t.eta(now) <= _ETA_EPSILON
-        ]
+        self._completion_event = None
+        cutoff = now + _ETA_EPSILON
+        heap = self._eta_heap
+        finished: List[Transfer] = []
+        while heap:
+            if not self._entry_live(heap[0]):
+                heapq.heappop(heap)
+                continue
+            if heap[0][0] > cutoff:
+                break
+            finished.append(heapq.heappop(heap)[3])
         for transfer in finished:
             del self._active[transfer.transfer_id]
+            self._token.pop(transfer.transfer_id, None)
+            if self._engine is not None:
+                self._engine.remove_flow(transfer.transfer_id)
             transfer.settle(now)
             transfer.finished_at = now
             self.completed_count += 1
             self.total_bytes_moved += transfer.size
+            if self.counters is not None:
+                self.counters.flow_events += 1
             if self.timeline is not None:
                 self.timeline.record(
                     "transfer.finish",
@@ -127,5 +259,4 @@ class NetworkFabric:
                     duration=now - transfer.started_at,
                 )
             transfer.done.trigger(transfer)
-        self._completion_event = None
-        self._reallocate()
+        self.sim.defer(self, self._flush)

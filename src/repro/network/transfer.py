@@ -58,8 +58,11 @@ class Transfer:
 
     def remaining(self, now: float) -> float:
         """Bytes still outstanding at virtual time ``now``."""
-        progressed = self._rate * (now - self._last_update)
-        return max(self._remaining - progressed, 0.0)
+        dt = now - self._last_update
+        if dt <= 0.0:
+            # Also keeps an infinite (loopback) rate from producing inf*0=nan.
+            return self._remaining
+        return max(self._remaining - self._rate * dt, 0.0)
 
     def settle(self, now: float) -> None:
         """Fold elapsed progress into the residual byte count."""

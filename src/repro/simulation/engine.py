@@ -9,7 +9,7 @@ Determinism is absolute: events at equal times fire in scheduling order
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
@@ -71,8 +71,10 @@ class Simulation:
         self._now = 0.0
         self._seq = 0
         self._queue: List[EventHandle] = []
+        self._deferred: Dict[Any, Tuple[Callable[..., Any], tuple]] = {}
         self._running = False
         self._finished = False
+        self.events_processed = 0
 
     # ------------------------------------------------------------------ clock
     @property
@@ -106,15 +108,47 @@ class Simulation:
         at this time."""
         return self.schedule(0.0, callback, *args)
 
+    def defer(self, key: Any, callback: Callable[..., Any], *args: Any) -> None:
+        """Coalesce ``callback`` to run once before virtual time next advances.
+
+        The event-batch hook: components that react to *every* change at an
+        instant (e.g. the network fabric recomputing fair rates on each flow
+        arrival) register one deferred callback per ``key`` instead.  All
+        events at the current instant fire first; the deferred callbacks then
+        run (in registration order) before the clock moves, so N same-time
+        changes cost one recompute.  Re-registering an existing ``key``
+        before the flush is a no-op, preserving the original order.
+
+        Deferred callbacks may schedule new events at the current instant
+        and may re-defer; the loop drains both before advancing time.
+        """
+        if key not in self._deferred:
+            self._deferred[key] = (callback, args)
+
     # ---------------------------------------------------------------- stepping
     def peek(self) -> Optional[float]:
-        """Time of the next pending event, or None when the queue is empty."""
+        """Time of the next pending event, or None when the queue is empty.
+
+        Pending deferred callbacks count as work at the current instant.
+        """
         self._drop_dead_events()
-        return self._queue[0].time if self._queue else None
+        if self._queue:
+            return min(self._queue[0].time, self._now) if self._deferred else self._queue[0].time
+        return self._now if self._deferred else None
 
     def step(self) -> bool:
-        """Fire the single next event.  Returns False when nothing is pending."""
+        """Fire the single next event.  Returns False when nothing is pending.
+
+        Deferred callbacks (see :meth:`defer`) flush — as one step — when the
+        queue is empty or its head lies beyond the current instant.
+        """
         self._drop_dead_events()
+        if self._deferred and (not self._queue or self._queue[0].time > self._now):
+            deferred, self._deferred = self._deferred, {}
+            for callback, args in deferred.values():
+                callback(*args)
+            self.events_processed += 1
+            return True
         if not self._queue:
             return False
         handle = heapq.heappop(self._queue)
@@ -123,6 +157,7 @@ class Simulation:
         callback, args = handle.callback, handle.args
         handle.callback, handle.args = None, ()
         assert callback is not None
+        self.events_processed += 1
         callback(*args)
         return True
 

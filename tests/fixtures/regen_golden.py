@@ -1,0 +1,87 @@
+"""Regenerate the golden determinism fixtures.
+
+Run from the repo root after any *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/fixtures/regen_golden.py
+
+Every fixture is recorded under the **reference** (seed) rate allocator;
+``tests/integration/test_golden_traces.py`` then asserts that both the
+reference and the incremental engine reproduce these traces record for
+record.  Review the diff of the regenerated JSON like code: an unexpected
+change here is a silent behaviour regression.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+FIXTURES = Path(__file__).resolve().parent
+
+
+def fig1_payload() -> dict:
+    from repro.experiments.scenarios import fig1_motivating_example
+
+    result = fig1_motivating_example()
+    return {
+        "scenario": "fig1_motivating_example",
+        "data_unaware": result.data_unaware,
+        "data_aware": result.data_aware,
+    }
+
+
+def fig45_payload() -> dict:
+    from repro.experiments.scenarios import fig45_intraapp_trace
+
+    return {
+        "scenario": "fig45_intraapp_trace",
+        "arms": fig45_intraapp_trace(network_engine="reference"),
+    }
+
+
+def runner_payload() -> dict:
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    config = ExperimentConfig(
+        manager="custody",
+        workload="wordcount",
+        num_nodes=8,
+        num_apps=2,
+        jobs_per_app=2,
+        seed=11,
+        timeline_enabled=True,
+        network_engine="reference",
+    )
+    result = run_experiment(config)
+    assert result.timeline is not None
+    return {
+        "scenario": "run_experiment",
+        "config": {
+            "manager": config.manager,
+            "workload": config.workload,
+            "num_nodes": config.num_nodes,
+            "num_apps": config.num_apps,
+            "jobs_per_app": config.jobs_per_app,
+            "seed": config.seed,
+        },
+        "records": [r.as_dict() for r in result.timeline],
+    }
+
+
+GOLDEN = {
+    "golden_fig1.json": fig1_payload,
+    "golden_fig45_trace.json": fig45_payload,
+    "golden_runner_trace.json": runner_payload,
+}
+
+
+def main() -> None:
+    for name, build in GOLDEN.items():
+        path = FIXTURES / name
+        path.write_text(json.dumps(build(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,16 @@ class TestLinkCapacities:
         with pytest.raises(ConfigurationError):
             caps(a=(10, -1))
 
+    def test_contains_requires_both_directions(self):
+        # A node is registered only when *both* its uplink and downlink
+        # exist; a half-registered node must not claim membership.
+        c = caps(a=(10, 20))
+        del c.downlink["a"]
+        assert "a" not in c
+        c = caps(b=(10, 20))
+        del c.uplink["b"]
+        assert "b" not in c
+
 
 class TestSingleFlow:
     def test_limited_by_uplink(self):
@@ -38,9 +48,29 @@ class TestSingleFlow:
     def test_empty_flow_list(self):
         assert maxmin_rates([], caps(a=(1, 1))) == []
 
+    def test_empty_flow_list_on_empty_capacities(self):
+        assert maxmin_rates([], LinkCapacities()) == []
+
     def test_unknown_node_rejected(self):
         with pytest.raises(ConfigurationError):
             maxmin_rates([("a", "zzz")], caps(a=(1, 1)))
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            maxmin_rates([("zzz", "a")], caps(a=(1, 1)))
+
+    def test_unknown_node_in_later_flow_rejected(self):
+        c = caps(a=(1, 1), b=(1, 1))
+        with pytest.raises(ConfigurationError):
+            maxmin_rates([("a", "b"), ("b", "ghost")], c)
+
+    def test_half_registered_node_rejected(self):
+        # A node with an uplink but no downlink must fail validation when
+        # used as a destination, not silently key-error or mis-allocate.
+        c = caps(a=(1, 1), b=(1, 1))
+        del c.downlink["b"]
+        with pytest.raises(ConfigurationError):
+            maxmin_rates([("a", "b")], c)
 
 
 class TestFairSharing:

@@ -40,6 +40,23 @@ def test_eta_infinite_at_zero_rate(sim, transfer):
     assert transfer.eta(0.0) == float("inf")
 
 
+def test_infinite_rate_finishes_instantly(sim, transfer):
+    # Loopback contract: the allocator hands node-local transfers an
+    # infinite rate, and eta must collapse to 0 in the same instant
+    # (rem/inf == 0) — never nan from the inf*0 progress product.
+    transfer.set_rate(0.0, float("inf"))
+    assert transfer.eta(0.0) == 0.0
+    assert transfer.remaining(1e-12) == 0.0
+
+
+def test_infinite_rate_after_partial_progress(sim, transfer):
+    transfer.set_rate(0.0, 10.0)
+    transfer.set_rate(5.0, float("inf"))  # 50 bytes left, rate -> inf
+    assert transfer.eta(5.0) == 0.0
+    assert transfer.remaining(5.0) == pytest.approx(50.0)  # instant snapshot
+    assert transfer.remaining(5.0 + 1e-12) == 0.0
+
+
 def test_remaining_never_negative(sim, transfer):
     transfer.set_rate(0.0, 10.0)
     assert transfer.remaining(1000.0) == 0.0

@@ -155,3 +155,93 @@ class TestStepAndPeek:
         sim.schedule(1.0, nested)
         with pytest.raises(SimulationError):
             sim.run()
+
+
+class TestDefer:
+    def test_deferred_runs_after_same_instant_events(self, sim):
+        out = []
+        sim.defer("k", out.append, "flush")
+        sim.schedule(0.0, out.append, "event")
+        sim.run()
+        assert out == ["event", "flush"]
+
+    def test_same_key_coalesces_to_first_registration(self, sim):
+        out = []
+        sim.defer("k", out.append, "first")
+        sim.defer("k", out.append, "second")
+        sim.run()
+        assert out == ["first"]
+
+    def test_distinct_keys_flush_in_registration_order(self, sim):
+        out = []
+        sim.defer("b", out.append, 1)
+        sim.defer("a", out.append, 2)
+        sim.run()
+        assert out == [1, 2]
+
+    def test_flush_happens_before_time_advances(self, sim):
+        seen = []
+
+        def now_is():
+            seen.append(sim.now)
+
+        sim.schedule(1.0, sim.defer, "k", now_is)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert seen == [1.0]  # flushed at t=1, not at the t=5 event
+
+    def test_rearm_after_flush_fires_again(self, sim):
+        out = []
+
+        def flush():
+            out.append(sim.now)
+            if sim.now < 2.0:
+                # New same-key deferral from *inside* a flush re-arms.
+                sim.schedule(1.0, sim.defer, "k", flush)
+
+        sim.defer("k", flush)
+        sim.run()
+        assert out == [0.0, 1.0, 2.0]
+
+    def test_deferred_may_schedule_same_instant_work(self, sim):
+        out = []
+        sim.defer("k", lambda: sim.call_soon(out.append, sim.now))
+        sim.run()
+        assert out == [0.0]
+        assert sim.now == 0.0
+
+    def test_peek_reports_current_instant_while_deferred_pending(self, sim):
+        sim.defer("k", lambda: None)
+        assert sim.peek() == 0.0
+        sim.schedule(4.0, lambda: None)
+        assert sim.peek() == 0.0  # deferred work precedes the t=4 event
+        sim.step()
+        assert sim.peek() == 4.0
+
+    def test_step_counts_flush_as_one_event(self, sim):
+        for key in ("a", "b", "c"):
+            sim.defer(key, lambda: None)
+        before = sim.events_processed
+        assert sim.step()
+        assert sim.events_processed == before + 1
+
+    def test_run_until_flushes_at_boundary(self, sim):
+        out = []
+        sim.schedule(2.0, sim.defer, "k", out.append, "x")
+        sim.run(until=2.0)
+        assert out == ["x"]
+
+
+class TestEventsProcessed:
+    def test_counts_fired_events(self, sim):
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_cancelled_events_not_counted(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        sim.run()
+        assert sim.events_processed == 1

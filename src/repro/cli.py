@@ -12,6 +12,9 @@ Commands
     The worked micro-examples (Fig. 1, 3, 4/5) with exact expected numbers.
 ``perf``
     Network rate-engine scaling microbenchmark; writes ``BENCH_network.json``.
+``chaos``
+    Fault-injection sweep: the same seeded fault plan replayed against
+    every manager at increasing fault rates.  ``--smoke`` is the CI gate.
 
 Examples::
 
@@ -20,12 +23,14 @@ Examples::
     python -m repro figures --figure 7 --jobs 8
     python -m repro scenarios
     python -m repro perf --flows 100,1000,10000 --events 30
+    python -m repro chaos --levels 0,1,2 --nodes 20 --detector-timeout 15
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.common.units import GB
@@ -39,6 +44,7 @@ from repro.experiments.figures import (
 from repro.experiments.persistence import save_result
 from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import (
+    chaos_sweep,
     fig1_motivating_example,
     fig3_interapp_example,
     fig45_intraapp_example,
@@ -113,6 +119,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="traffic-locality pod size (0 = all-to-all worst case)")
     perf_p.add_argument("--out", metavar="PATH", default="BENCH_network.json",
                         help="trajectory JSON output path ('' to skip)")
+
+    chaos_p = sub.add_parser(
+        "chaos", help="fault-injection sweep: same fault plan, every manager"
+    )
+    add_common(chaos_p)
+    chaos_p.add_argument("--managers", default="custody,standalone,yarn,mesos",
+                         help="comma-separated manager list")
+    chaos_p.add_argument("--levels", default="0,1,2",
+                         help="comma-separated fault levels (faults of each kind)")
+    chaos_p.add_argument("--detector-timeout", type=float, default=15.0,
+                         help="heartbeat failure-detector timeout (s); "
+                              "0 = managers see ground truth")
+    chaos_p.add_argument("--horizon", type=float, default=300.0,
+                         help="fault plan horizon (s)")
+    chaos_p.add_argument("--smoke", action="store_true",
+                         help="small fixed CI gate: one fault level, all four "
+                              "managers, asserts zero lost tasks and visible "
+                              "recovery traffic")
     return parser
 
 
@@ -261,6 +285,76 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.smoke:
+        # Fixed small gate: ignore the sizing flags so CI always runs the
+        # same scenario (>= 1 node failure + >= 1 partition, stale views on).
+        args.nodes, args.apps, args.jobs = 12, 2, 2
+        args.workload, args.seed = "wordcount", args.seed
+        levels, managers = [1], ["custody", "standalone", "yarn", "mesos"]
+        detector_timeout: Optional[float] = 10.0
+        horizon = 40.0  # short enough that faults overlap the running jobs
+    else:
+        try:
+            levels = [int(x) for x in args.levels.split(",") if x.strip()]
+        except ValueError:
+            print(f"error: --levels expects comma-separated integers, "
+                  f"got {args.levels!r}", file=sys.stderr)
+            return 2
+        managers = [m.strip() for m in args.managers.split(",") if m.strip()]
+        detector_timeout = args.detector_timeout if args.detector_timeout > 0 else None
+        horizon = args.horizon
+    base = replace(
+        _config(args, "custody"),
+        detector_timeout=detector_timeout,
+        perf_counters=True,
+    )
+    sweep = chaos_sweep(base, levels=levels, managers=managers, horizon=horizon)
+    print(format_table(
+        ["manager", "level", "loc%", "min loc%", "avg JCT", "requeued",
+         "failed att.", "abandoned", "data loss", "dead launch",
+         "recovery flows", "blacklists", "unfinished"],
+        [[c.manager, c.level, 100 * c.locality, 100 * c.min_locality,
+          c.avg_jct if c.avg_jct is not None else float("nan"),
+          c.tasks_requeued, c.failed_attempts, c.abandoned_tasks,
+          c.data_loss_tasks, c.failed_launches, c.recovery_flows,
+          c.blacklist_events, c.unfinished_jobs] for c in sweep.cells],
+        title=f"chaos sweep — {args.workload} on {args.nodes} nodes "
+              f"(detector timeout: {detector_timeout})",
+    ))
+    if not args.smoke:
+        return 0
+
+    # CI gate assertions: chaos degrades runs, it must never lose work.
+    violations = []
+    for (manager, level), result in sorted(sweep.results.items()):
+        if result.metrics.unfinished_jobs:
+            violations.append(
+                f"{manager}/L{level}: {result.metrics.unfinished_jobs} "
+                "unfinished jobs"
+            )
+        lost = sum(
+            1
+            for app in result.apps
+            for job in app.jobs
+            for stage in job.stages
+            for task in stage.tasks
+            if task.finished_at is None and not task.cancelled
+        )
+        if lost:
+            violations.append(f"{manager}/L{level}: {lost} tasks lost untracked")
+        if level > 0 and result.faults is not None and not result.faults.recovery_flows:
+            violations.append(f"{manager}/L{level}: no recovery traffic modeled")
+    if violations:
+        print("\nchaos smoke FAILED:", file=sys.stderr)
+        for v in violations:
+            print(f"  - {v}", file=sys.stderr)
+        return 1
+    print("\nchaos smoke passed: all jobs finished, every task accounted for, "
+          "recovery traffic observed under faults.")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -270,6 +364,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figures": _cmd_figures,
         "scenarios": _cmd_scenarios,
         "perf": _cmd_perf,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

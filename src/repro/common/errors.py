@@ -29,3 +29,14 @@ class AllocationError(ReproError):
 
 class CapacityError(AllocationError):
     """A resource request exceeds the capacity of a node, executor or NIC."""
+
+
+class TransferFailedError(ReproError):
+    """An in-flight network transfer was aborted by a fault (node crash,
+    network partition, connect timeout).  Raised inside processes waiting on
+    the transfer's ``done`` signal; task attempts catch it and retry."""
+
+    def __init__(self, transfer_id: str, cause: str = "aborted"):
+        super().__init__(f"transfer {transfer_id} failed: {cause}")
+        self.transfer_id = transfer_id
+        self.cause = cause

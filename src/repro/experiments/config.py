@@ -66,6 +66,16 @@ class ExperimentConfig:
     validate_plans: bool = False
     network_engine: str = "incremental"  # flow-rate allocator: incremental | reference
     perf_counters: bool = False  # collect PerfCounters from the network hot path
+    # ------------------------------------------------ failure-handling knobs
+    heartbeat_interval: float = 3.0  # worker heartbeat period (seconds)
+    detector_timeout: Optional[float] = None  # None: managers see ground truth
+    max_task_attempts: int = 8  # per-task attempt budget before abandoning
+    retry_backoff: float = 1.0  # base of the exponential retry backoff
+    blacklist_threshold: int = 3  # failures within the window to blacklist
+    blacklist_window: float = 60.0  # sliding window for failure counting
+    blacklist_timeout: float = 60.0  # how long a blacklisted node stays out
+    network_timeout: float = 30.0  # connect timeout for partitioned transfers
+    re_replication_parallelism: int = 4  # concurrent recovery copies
 
     def __post_init__(self) -> None:
         if self.manager not in _MANAGERS:
@@ -110,6 +120,38 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"network_engine must be one of {_NETWORK_ENGINES}, "
                 f"got {self.network_engine!r}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.detector_timeout is not None and self.detector_timeout < self.heartbeat_interval:
+            raise ConfigurationError(
+                f"detector_timeout ({self.detector_timeout}) must be >= "
+                f"heartbeat_interval ({self.heartbeat_interval})"
+            )
+        if self.max_task_attempts < 1:
+            raise ConfigurationError(
+                f"max_task_attempts must be >= 1, got {self.max_task_attempts}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.blacklist_threshold < 1:
+            raise ConfigurationError(
+                f"blacklist_threshold must be >= 1, got {self.blacklist_threshold}"
+            )
+        if self.blacklist_window <= 0 or self.blacklist_timeout <= 0:
+            raise ConfigurationError("blacklist window/timeout must be positive")
+        if self.network_timeout <= 0:
+            raise ConfigurationError(
+                f"network_timeout must be positive, got {self.network_timeout}"
+            )
+        if self.re_replication_parallelism < 1:
+            raise ConfigurationError(
+                "re_replication_parallelism must be >= 1, "
+                f"got {self.re_replication_parallelism}"
             )
         if self.app_weights is not None:
             if len(self.app_weights) != self.num_apps:

@@ -23,6 +23,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.rng import RngStreams
 from repro.common.units import BlockSpec
 from repro.experiments.config import ExperimentConfig
+from repro.faults.detector import FailureDetector
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.hdfs.filesystem import HDFS
@@ -37,7 +38,12 @@ from repro.managers.custody import CustodyManager
 from repro.managers.mesos import MesosManager
 from repro.managers.standalone import StandaloneManager
 from repro.managers.yarn import YarnManager
-from repro.metrics.collector import ExperimentMetrics, MetricsCollector, PerfCounters
+from repro.metrics.collector import (
+    ExperimentMetrics,
+    FaultStats,
+    MetricsCollector,
+    PerfCounters,
+)
 from repro.network.fabric import NetworkFabric
 from repro.scheduling.driver import ApplicationDriver
 from repro.scheduling.policies import (
@@ -72,6 +78,7 @@ class ExperimentResult:
     speculative_launches: int = 0
     speculative_wins: int = 0
     perf: Optional[PerfCounters] = None
+    faults: Optional[FaultStats] = None
 
 
 def _make_placement(config: ExperimentConfig) -> PlacementPolicy:
@@ -227,12 +234,25 @@ def run_experiment(
 
     manager = _make_manager(config, sim, cluster, streams, timeline)
     injector: Optional[FaultInjector] = None
+    detector: Optional[FailureDetector] = None
     if fault_plan is not None and len(fault_plan):
+        if config.detector_timeout is not None:
+            detector = FailureDetector(
+                sim,
+                interval=config.heartbeat_interval,
+                timeout=config.detector_timeout,
+            )
         injector = FaultInjector(
             sim, cluster, hdfs, fault_plan,
             timeline=timeline if config.timeline_enabled else None,
+            fabric=fabric,
+            detector=detector,
+            network_timeout=config.network_timeout,
+            re_replication_parallelism=config.re_replication_parallelism,
         )
         injector.bind_manager(manager)
+        manager.fault_injector = injector
+        manager.detector = detector
     drivers: Dict[str, ApplicationDriver] = {}
     for app_id in config.app_ids:
         app = Application(app_id, executor_quota=manager.quota_of(app_id))
@@ -249,6 +269,11 @@ def run_experiment(
             speculation_multiplier=config.speculation_multiplier,
             fault_injector=injector,
             shuffle_fanout=config.shuffle_fanout,
+            max_task_attempts=config.max_task_attempts,
+            retry_backoff=config.retry_backoff,
+            blacklist_threshold=config.blacklist_threshold,
+            blacklist_window=config.blacklist_window,
+            blacklist_timeout=config.blacklist_timeout,
         )
         drivers[app_id] = driver
         manager.register_driver(driver)
@@ -278,6 +303,29 @@ def run_experiment(
 
     apps = [drivers[a].app for a in config.app_ids]
     metrics = MetricsCollector().collect(apps)
+    faults: Optional[FaultStats] = None
+    if injector is not None:
+        faults = FaultStats(
+            injected=injector.injected,
+            tasks_requeued=injector.tasks_requeued,
+            failed_attempts=sum(d.failed_attempts for d in drivers.values()),
+            abandoned_tasks=sum(d.abandoned_tasks for d in drivers.values()),
+            data_loss_tasks=sum(d.data_loss_tasks for d in drivers.values()),
+            blacklist_events=sum(d.blacklist_events for d in drivers.values()),
+            failed_launches=manager.failed_launches,
+            detector_reports=detector.reported_failures if detector else 0,
+            replicas_lost=injector.replicas_lost,
+            replicas_restored=injector.replicas_restored,
+            blocks_lost=injector.blocks_lost,
+            recovery_flows=injector.recovery_flows,
+            recovery_bytes=injector.recovery_bytes,
+            transfers_failed=fabric.failed_count,
+            mttr={
+                kind: float(sum(times) / len(times))
+                for kind, times in sorted(injector.mttr.items())
+                if times
+            },
+        )
     return ExperimentResult(
         config=config,
         metrics=metrics,
@@ -290,4 +338,5 @@ def run_experiment(
         speculative_launches=sum(d.speculative_launches for d in drivers.values()),
         speculative_wins=sum(d.speculative_wins for d in drivers.values()),
         perf=perf,
+        faults=faults,
     )

@@ -14,12 +14,19 @@ benches print:
   0.5 and remote transfer 1.5 time units the fairness-based allocation
   averages 2.0 time units per job while the priority allocation averages
   1.25.
+
+Beyond the worked figures, :func:`chaos_sweep` runs the robustness
+experiment: the *same* seeded fault plan (node crashes, partitions, link
+degradations, executor kills, slowdowns) replayed against every manager at
+increasing fault rates, measuring how locality and JCT degrade.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.common.units import BlockSpec
@@ -41,9 +48,12 @@ __all__ = [
     "fig3_interapp_example",
     "fig45_intraapp_example",
     "fig45_intraapp_trace",
+    "chaos_sweep",
     "Fig1Result",
     "Fig3Result",
     "Fig45Result",
+    "ChaosCell",
+    "ChaosSweepResult",
 ]
 
 
@@ -297,3 +307,106 @@ def fig45_intraapp_trace(network_engine: str = "incremental") -> Dict[str, Any]:
             "records": [r.as_dict() for r in trace],
         }
     return arms
+
+
+# --------------------------------------------------------------- chaos sweep
+@dataclass(frozen=True)
+class ChaosCell:
+    """One (manager, fault level) measurement of the chaos sweep."""
+
+    manager: str
+    level: int
+    locality: float  #: mean per-job input-locality fraction
+    min_locality: float  #: worst application's local-job fraction
+    avg_jct: Optional[float]
+    unfinished_jobs: int
+    tasks_requeued: int
+    failed_attempts: int
+    abandoned_tasks: int
+    data_loss_tasks: int
+    failed_launches: int
+    recovery_flows: int
+    recovery_bytes: float
+    blacklist_events: int
+
+
+@dataclass
+class ChaosSweepResult:
+    """All cells of one sweep, plus the raw per-run results for inspection."""
+
+    levels: Tuple[int, ...]
+    managers: Tuple[str, ...]
+    cells: List[ChaosCell] = field(default_factory=list)
+    #: (manager, level) -> the full :class:`ExperimentResult`
+    results: Dict[Tuple[str, int], Any] = field(default_factory=dict)
+
+    def cell(self, manager: str, level: int) -> ChaosCell:
+        """The cell for one (manager, level) pair."""
+        for c in self.cells:
+            if c.manager == manager and c.level == level:
+                return c
+        raise KeyError((manager, level))
+
+
+def chaos_sweep(
+    base_config,
+    *,
+    levels: Sequence[int] = (0, 1, 2),
+    managers: Sequence[str] = ("custody", "standalone", "yarn", "mesos"),
+    horizon: float = 300.0,
+) -> ChaosSweepResult:
+    """Replay one seeded fault plan per level against every manager.
+
+    Fault level ``L`` injects ``L`` of each fault kind (node failure,
+    network partition, link degradation, executor failure, CPU slowdown)
+    drawn from a generator seeded by ``(base_config.seed, level)`` — so a
+    level's plan is identical across managers (common-trace methodology)
+    and across repeat invocations.  Level 0 is the fault-free baseline.
+
+    ``base_config.manager`` is ignored; ``detector_timeout`` decides
+    whether managers see the heartbeat-delayed view or ground truth.
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.faults.chaos import build_chaos_plan
+
+    sweep = ChaosSweepResult(levels=tuple(levels), managers=tuple(managers))
+    for level in sweep.levels:
+        plan = None
+        if level > 0:
+            rng = np.random.default_rng([base_config.seed, 7919, level])
+            plan = build_chaos_plan(
+                base_config.num_nodes,
+                base_config.executors_per_node,
+                rng,
+                node_failures=level,
+                partitions=level,
+                degradations=level,
+                executor_failures=level,
+                slowdowns=level,
+                horizon=horizon,
+            )
+        for manager in sweep.managers:
+            result = run_experiment(
+                base_config.with_manager(manager), fault_plan=plan
+            )
+            faults = result.faults
+            sweep.results[(manager, level)] = result
+            sweep.cells.append(
+                ChaosCell(
+                    manager=manager,
+                    level=level,
+                    locality=result.metrics.locality_mean,
+                    min_locality=result.metrics.min_local_job_fraction,
+                    avg_jct=result.metrics.avg_jct,
+                    unfinished_jobs=result.metrics.unfinished_jobs,
+                    tasks_requeued=faults.tasks_requeued if faults else 0,
+                    failed_attempts=faults.failed_attempts if faults else 0,
+                    abandoned_tasks=faults.abandoned_tasks if faults else 0,
+                    data_loss_tasks=faults.data_loss_tasks if faults else 0,
+                    failed_launches=faults.failed_launches if faults else 0,
+                    recovery_flows=faults.recovery_flows if faults else 0,
+                    recovery_bytes=faults.recovery_bytes if faults else 0.0,
+                    blacklist_events=faults.blacklist_events if faults else 0,
+                )
+            )
+    return sweep

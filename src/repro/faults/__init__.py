@@ -1,4 +1,4 @@
-"""Fault injection: slowdowns, executor failures, disk (replica) loss.
+"""Fault injection: slowdowns, crashes, partitions, detection, recovery.
 
 The evaluation's mechanisms — stragglers, speculative execution, NameNode
 block reports, re-replication — only matter when something goes wrong.
@@ -13,19 +13,46 @@ This package makes "wrong" schedulable:
 * :class:`DiskFailure` — a DataNode loses every replica; the NameNode is
   reconciled via a block report and (optionally) re-replicates
   under-replicated blocks onto healthy nodes.
+* :class:`NodeFailure` — a whole node crashes: executors die, DataNode and
+  cache vanish, in-flight flows abort, and lost blocks are copied back as
+  real transfers through the fabric once the failure is detected.
+* :class:`NetworkPartition` — a node set is cut off for a window; crossing
+  flows abort, new ones stall until the connect timeout.
+* :class:`LinkDegradation` — a node's NIC runs at reduced capacity for a
+  window; flows re-rate under max-min fairness.
 
 A :class:`FaultPlan` is a list of such events; a :class:`FaultInjector`
-binds the plan to a live simulation.
+binds the plan to a live simulation.  A :class:`FailureDetector` gives the
+cluster manager a heartbeat-delayed (stale) view of node liveness instead
+of ground truth.  :func:`build_chaos_plan` draws a random but seeded plan
+for chaos sweeps.
 """
 
+from repro.faults.chaos import build_chaos_plan
+from repro.faults.detector import FailureDetector, NodeHealthHistory
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import DiskFailure, ExecutorFailure, FaultEvent, FaultPlan, NodeSlowdown
+from repro.faults.plan import (
+    DiskFailure,
+    ExecutorFailure,
+    FaultEvent,
+    FaultPlan,
+    LinkDegradation,
+    NetworkPartition,
+    NodeFailure,
+    NodeSlowdown,
+)
 
 __all__ = [
     "DiskFailure",
     "ExecutorFailure",
+    "FailureDetector",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "LinkDegradation",
+    "NetworkPartition",
+    "NodeFailure",
+    "NodeHealthHistory",
     "NodeSlowdown",
+    "build_chaos_plan",
 ]

@@ -1,0 +1,105 @@
+"""Seeded random fault plans for chaos sweeps.
+
+:func:`build_chaos_plan` draws a :class:`~repro.faults.plan.FaultPlan` from
+a numpy Generator so a chaos experiment is fully reproducible from its
+seed, and — critically for manager comparisons — the *same* plan can be
+replayed against every manager (the common-trace methodology the fault-free
+scenarios already use).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.faults.plan import (
+    ExecutorFailure,
+    FaultPlan,
+    LinkDegradation,
+    NetworkPartition,
+    NodeFailure,
+    NodeSlowdown,
+)
+
+__all__ = ["build_chaos_plan"]
+
+
+def build_chaos_plan(
+    num_nodes: int,
+    executors_per_node: int,
+    rng: np.random.Generator,
+    *,
+    node_failures: int = 1,
+    partitions: int = 1,
+    degradations: int = 1,
+    executor_failures: int = 1,
+    slowdowns: int = 1,
+    horizon: float = 300.0,
+) -> FaultPlan:
+    """Draw a random fault plan over ``[horizon * 0.05, horizon)``.
+
+    Node/executor ids follow the cluster's ``worker-XXX``/``executor-XXX``
+    naming.  Fault windows and restart delays are sized so every fault
+    heals well before ``2 * horizon`` — chaos degrades runs, it must never
+    wedge them.
+    """
+    if num_nodes < 2:
+        raise ConfigurationError(f"chaos needs >= 2 nodes, got {num_nodes}")
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    total_executors = num_nodes * executors_per_node
+    plan = FaultPlan()
+
+    def _when() -> float:
+        return float(rng.uniform(horizon * 0.05, horizon))
+
+    def _node() -> str:
+        return f"worker-{int(rng.integers(num_nodes)):03d}"
+
+    for _ in range(node_failures):
+        plan.add(
+            NodeFailure(
+                at=_when(),
+                node_id=_node(),
+                restart_delay=float(rng.uniform(horizon * 0.1, horizon * 0.3)),
+            )
+        )
+    for _ in range(partitions):
+        # Cut off a minority island of 1..(n//2) nodes.
+        size = int(rng.integers(1, max(2, num_nodes // 2 + 1)))
+        members = rng.choice(num_nodes, size=size, replace=False)
+        plan.add(
+            NetworkPartition(
+                at=_when(),
+                duration=float(rng.uniform(horizon * 0.05, horizon * 0.25)),
+                nodes=tuple(f"worker-{int(i):03d}" for i in members),
+            )
+        )
+    for _ in range(degradations):
+        plan.add(
+            LinkDegradation(
+                at=_when(),
+                node_id=_node(),
+                duration=float(rng.uniform(horizon * 0.1, horizon * 0.4)),
+                factor=float(rng.uniform(2.0, 8.0)),
+            )
+        )
+    for _ in range(executor_failures):
+        lo = min(5.0, horizon * 0.05)
+        plan.add(
+            ExecutorFailure(
+                at=_when(),
+                executor_id=f"executor-{int(rng.integers(total_executors)):03d}",
+                restart_delay=float(rng.uniform(lo, max(horizon * 0.1, lo + 1.0))),
+            )
+        )
+    for _ in range(slowdowns):
+        plan.add(
+            NodeSlowdown(
+                at=_when(),
+                node_id=_node(),
+                duration=float(rng.uniform(horizon * 0.1, horizon * 0.4)),
+                factor=float(rng.uniform(1.5, 4.0)),
+            )
+        )
+    return plan

@@ -1,0 +1,176 @@
+"""Heartbeat-based failure detection — the master's *stale* view of nodes.
+
+Real cluster managers never see ground truth: workers heartbeat every
+``interval`` seconds and the master declares a node dead only after
+``timeout`` seconds of silence.  During that window allocation can land on
+a dead node (the launch fails and feeds back into the detector), and a
+recovered node is only trusted again once a fresh heartbeat arrives.
+
+The detector is deliberately *event-free*: it schedules nothing on the
+simulation.  Fault injectors report node outage windows
+(:meth:`begin_outage` / :meth:`end_outage`, depth-counted so overlapping
+faults compose), and every liveness query is answered analytically from
+those intervals — "which was the last heartbeat tick that fell outside an
+outage?".  A periodic heartbeat event would keep the event queue non-empty
+forever and break the runner's run-to-quiescence loop; the lazy form is
+exactly equivalent and costs O(#outage intervals) per query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.simulation.engine import Simulation
+
+__all__ = ["FailureDetector", "NodeHealthHistory"]
+
+
+class NodeHealthHistory:
+    """Outage intervals of one node, maintained by the fault injector.
+
+    ``begin_outage``/``end_outage`` are depth-counted: a node that is both
+    crashed *and* partitioned stays "out" until both faults clear.  Closed
+    intervals are half-open ``[start, end)`` — a heartbeat tick exactly at
+    the outage start is lost, one exactly at the end gets through.
+    """
+
+    __slots__ = ("_closed", "_open_start", "_depth")
+
+    def __init__(self) -> None:
+        self._closed: List[Tuple[float, float]] = []
+        self._open_start: float = 0.0
+        self._depth = 0
+
+    @property
+    def is_out(self) -> bool:
+        """True while at least one outage is active."""
+        return self._depth > 0
+
+    def begin(self, now: float) -> None:
+        """Open (or deepen) an outage starting at ``now``."""
+        if self._depth == 0:
+            self._open_start = now
+        self._depth += 1
+
+    def end(self, now: float) -> None:
+        """Close one outage level; records the interval when depth hits 0."""
+        if self._depth <= 0:
+            raise ConfigurationError("end_outage without matching begin_outage")
+        self._depth -= 1
+        if self._depth == 0 and now > self._open_start:
+            self._closed.append((self._open_start, now))
+
+    def covering_interval(self, t: float, now: float):
+        """The outage interval containing time ``t``, or None.
+
+        The open interval (if any) extends to ``now``; with half-open
+        semantics ``t == now`` while out is still covered.
+        """
+        for start, end in self._closed:
+            if start <= t < end:
+                return (start, end)
+        if self._depth > 0 and self._open_start <= t <= now:
+            return (self._open_start, float("inf"))
+        return None
+
+
+class FailureDetector:
+    """Computes the master's heartbeat-delayed view of node liveness.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulation (read-only; only ``sim.now`` is consulted).
+    interval:
+        Seconds between worker heartbeats (ticks at ``k * interval``).
+    timeout:
+        Seconds of heartbeat silence after which a node is suspected dead.
+        Must be at least ``interval`` or healthy nodes would flap.
+    """
+
+    def __init__(self, sim: Simulation, *, interval: float = 3.0, timeout: float = 15.0):
+        if interval <= 0:
+            raise ConfigurationError(f"heartbeat interval must be positive, got {interval}")
+        if timeout < interval:
+            raise ConfigurationError(
+                f"detector timeout ({timeout}) must be >= heartbeat interval ({interval})"
+            )
+        self.sim = sim
+        self.interval = interval
+        self.timeout = timeout
+        self._history: Dict[str, NodeHealthHistory] = {}
+        #: node id → last time a failed launch was reported against it
+        self._reported: Dict[str, float] = {}
+        self.reported_failures = 0
+
+    # ----------------------------------------------------------- injector side
+    def history(self, node_id: str) -> NodeHealthHistory:
+        """The (created-on-demand) outage history of one node."""
+        hist = self._history.get(node_id)
+        if hist is None:
+            hist = self._history[node_id] = NodeHealthHistory()
+        return hist
+
+    def begin_outage(self, node_id: str) -> None:
+        """The node stopped heartbeating (crash or partition) — now."""
+        self.history(node_id).begin(self.sim.now)
+
+    def end_outage(self, node_id: str) -> None:
+        """The node's fault cleared; heartbeats resume from the next tick."""
+        self.history(node_id).end(self.sim.now)
+
+    # ------------------------------------------------------------ master side
+    def report_failure(self, node_id: str) -> None:
+        """A launch on ``node_id`` failed: the master marks it dead at once.
+
+        The suspicion clears as soon as a heartbeat tick *after* the report
+        succeeds (the node actually recovered)."""
+        self._reported[node_id] = max(self._reported.get(node_id, 0.0), self.sim.now)
+        self.reported_failures += 1
+
+    def last_heartbeat(self, node_id: str) -> float:
+        """Arrival time of the node's most recent successful heartbeat.
+
+        Walks heartbeat ticks backward from ``now``, skipping whole outage
+        intervals at a time.  Registration at t=0 counts as the first
+        heartbeat, so a node failing at the very start is still only
+        suspected after ``timeout`` — never retroactively.
+        """
+        now = self.sim.now
+        hist = self._history.get(node_id)
+        interval = self.interval
+        tick = int(now // interval) * interval
+        if hist is None:
+            return tick
+        while tick >= 0:
+            covering = hist.covering_interval(tick, now)
+            if covering is None:
+                return tick
+            start = covering[0]
+            # Jump to the last tick strictly before the covering interval.
+            k = int(start // interval)
+            if k * interval >= start:
+                k -= 1
+            if k < 0:
+                break
+            tick = k * interval
+        return 0.0
+
+    def is_alive(self, node_id: str) -> bool:
+        """The master's belief: has the node heartbeated recently enough?
+
+        False while (a) the last successful heartbeat is older than
+        ``timeout`` or (b) a failed launch was reported and no heartbeat has
+        succeeded since.
+        """
+        now = self.sim.now
+        last = self.last_heartbeat(node_id)
+        reported = self._reported.get(node_id)
+        if reported is not None and last <= reported:
+            return False
+        return (now - last) <= self.timeout
+
+    def suspected_dead(self, node_ids) -> List[str]:
+        """Subset of ``node_ids`` the master currently believes dead."""
+        return [n for n in node_ids if not self.is_alive(n)]

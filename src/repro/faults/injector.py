@@ -1,14 +1,44 @@
-"""FaultInjector: binds a FaultPlan to a live simulation."""
+"""FaultInjector: binds a FaultPlan to a live simulation.
+
+Beyond the original slowdown/executor/disk faults, the injector now models
+whole-node crashes, network partitions and link degradations, and answers
+the runtime queries the rest of the stack consults under faults:
+
+* ``cpu_factor(node)`` — slowdown multiplier (as before);
+* ``node_down(node)`` / ``node_reachable(node)`` / ``reachable(src, dst)``
+  — ground-truth liveness and connectivity, wired into the fabric as its
+  reachability oracle and into the managers' (possibly detector-delayed)
+  free-pool view;
+* re-replication of blocks lost to a node crash as *real* transfers through
+  the fabric, contending with job traffic (a disk failure keeps the
+  original instantaneous metadata-level repair).
+
+All plan targets are validated eagerly at construction so a typo'd node or
+executor id fails fast with :class:`ConfigurationError` instead of a bare
+``KeyError`` minutes into a run.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import Cluster
-from repro.common.errors import ConfigurationError
-from repro.faults.plan import DiskFailure, ExecutorFailure, FaultPlan, NodeSlowdown
+from repro.common.errors import ConfigurationError, TransferFailedError
+from repro.faults.detector import FailureDetector
+from repro.faults.plan import (
+    DiskFailure,
+    ExecutorFailure,
+    FaultPlan,
+    LinkDegradation,
+    NetworkPartition,
+    NodeFailure,
+    NodeSlowdown,
+)
 from repro.hdfs.filesystem import HDFS
+from repro.network.fabric import NetworkFabric
 from repro.simulation.engine import Simulation
+from repro.simulation.process import Process
 from repro.simulation.timeline import Timeline
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -16,13 +46,21 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["FaultInjector"]
 
+#: Give up re-replicating a block after this many failed/blocked attempts.
+_RR_MAX_RETRIES = 6
+#: Delay before retrying a re-replication that found no usable source/target.
+_RR_RETRY_DELAY = 5.0
+
 
 class FaultInjector:
-    """Schedules fault events and answers runtime queries (cpu_factor).
+    """Schedules fault events and answers runtime queries.
 
-    Construction schedules every plan event; the manager must be attached
-    (:meth:`bind_manager`) before executor failures fire so the injector can
-    find the owning driver.
+    Construction validates and schedules every plan event; the manager must
+    be attached (:meth:`bind_manager`) before executor/node failures fire so
+    the injector can find the owning drivers.  ``fabric`` and ``detector``
+    are optional: without a fabric, partitions/degradations are rejected and
+    node-failure recovery falls back to instantaneous repair; without a
+    detector, managers see ground-truth liveness.
     """
 
     def __init__(
@@ -33,20 +71,50 @@ class FaultInjector:
         plan: FaultPlan,
         *,
         timeline: Optional[Timeline] = None,
+        fabric: Optional[NetworkFabric] = None,
+        detector: Optional[FailureDetector] = None,
+        network_timeout: float = 30.0,
+        re_replication_parallelism: int = 4,
     ):
+        if network_timeout <= 0:
+            raise ConfigurationError(
+                f"network_timeout must be positive, got {network_timeout}"
+            )
+        if re_replication_parallelism < 1:
+            raise ConfigurationError(
+                "re_replication_parallelism must be >= 1, "
+                f"got {re_replication_parallelism}"
+            )
         self.sim = sim
         self.cluster = cluster
         self.hdfs = hdfs
         self.plan = plan
         self.timeline = timeline
+        self.fabric = fabric
+        self.detector = detector
+        self.network_timeout = network_timeout
+        self.re_replication_parallelism = re_replication_parallelism
         self.manager: Optional["ClusterManager"] = None
         #: node id → set of (end_time, factor) currently active
         self._slowdowns: Dict[str, List[Tuple[float, float]]] = {}
         self._failed_executors: Set[str] = set()
+        self._down_nodes: Set[str] = set()
+        self._partitions: List[frozenset] = []
+        self._degradations: Dict[str, List[Tuple[float, float]]] = {}
+        self._rr_queue: Deque[Tuple[str, str, int]] = deque()
+        self._rr_active = 0
         self.injected = 0
         self.tasks_requeued = 0
         self.replicas_lost = 0
         self.replicas_restored = 0
+        self.blocks_lost = 0
+        self.recovery_flows = 0
+        self.recovery_bytes = 0.0
+        #: fault kind → recovery durations (time from injection to repair)
+        self.mttr: Dict[str, List[float]] = {}
+        self._validate_plan()
+        if fabric is not None:
+            fabric.set_reachability(self.reachable, connect_timeout=network_timeout)
         for event in plan:
             if isinstance(event, NodeSlowdown):
                 self.sim.schedule_at(event.at, self._start_slowdown, event)
@@ -54,11 +122,48 @@ class FaultInjector:
                 self.sim.schedule_at(event.at, self._fail_executor, event)
             elif isinstance(event, DiskFailure):
                 self.sim.schedule_at(event.at, self._fail_disk, event)
+            elif isinstance(event, NodeFailure):
+                self.sim.schedule_at(event.at, self._fail_node, event)
+            elif isinstance(event, NetworkPartition):
+                self.sim.schedule_at(event.at, self._start_partition, event)
+            elif isinstance(event, LinkDegradation):
+                self.sim.schedule_at(event.at, self._start_degradation, event)
             else:
                 raise ConfigurationError(f"unknown fault event {event!r}")
 
+    def _validate_plan(self) -> None:
+        """Fail fast on plan targets that do not exist in this cluster."""
+        nodes = set(self.cluster.node_ids)
+        executors = {e.executor_id for e in self.cluster.executors}
+        for event in self.plan:
+            if isinstance(event, (NodeSlowdown, DiskFailure, NodeFailure, LinkDegradation)):
+                if event.node_id not in nodes:
+                    raise ConfigurationError(
+                        f"{type(event).__name__} targets unknown node "
+                        f"{event.node_id!r}"
+                    )
+            elif isinstance(event, ExecutorFailure):
+                if event.executor_id not in executors:
+                    raise ConfigurationError(
+                        f"ExecutorFailure targets unknown executor "
+                        f"{event.executor_id!r}"
+                    )
+            elif isinstance(event, NetworkPartition):
+                unknown = [n for n in event.nodes if n not in nodes]
+                if unknown:
+                    raise ConfigurationError(
+                        f"NetworkPartition targets unknown nodes {unknown!r}"
+                    )
+            else:
+                raise ConfigurationError(f"unknown fault event {event!r}")
+            if isinstance(event, (NetworkPartition, LinkDegradation)) and self.fabric is None:
+                raise ConfigurationError(
+                    f"{type(event).__name__} requires a NetworkFabric; "
+                    "construct the injector with fabric=..."
+                )
+
     def bind_manager(self, manager: "ClusterManager") -> None:
-        """Attach the cluster manager (needed for executor failures)."""
+        """Attach the cluster manager (needed for executor/node failures)."""
         self.manager = manager
 
     # ---------------------------------------------------------------- queries
@@ -78,6 +183,33 @@ class FaultInjector:
     def failed_executor_ids(self) -> Set[str]:
         """Executors currently down (crashed, restart pending)."""
         return set(self._failed_executors)
+
+    def node_down(self, node_id: str) -> bool:
+        """Ground truth: is the node currently crashed?"""
+        return node_id in self._down_nodes
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Ground truth: can ``src`` and ``dst`` talk right now?
+
+        False when either endpoint is down or any active partition separates
+        them (nodes on the same side of every partition stay connected).
+        """
+        if src in self._down_nodes or dst in self._down_nodes:
+            return False
+        for part in self._partitions:
+            if (src in part) != (dst in part):
+                return False
+        return True
+
+    def node_reachable(self, node_id: str) -> bool:
+        """Ground truth: can the (partition-free) master reach the node?"""
+        if node_id in self._down_nodes:
+            return False
+        return not any(node_id in part for part in self._partitions)
+
+    def _notify_manager(self) -> None:
+        if self.manager is not None:
+            self.manager.on_executors_changed()
 
     # ------------------------------------------------------------- slowdowns
     def _start_slowdown(self, event: NodeSlowdown) -> None:
@@ -105,6 +237,15 @@ class FaultInjector:
             self.timeline.record("fault.executor", event.executor_id)
         if executor.executor_id in self._failed_executors:
             return  # already down
+        self._kill_executor(executor)
+        # Let demand-driven managers replace the lost capacity now.
+        self._notify_manager()
+        # Restart: the executor rejoins the free pool after the delay; a
+        # reallocation nudge lets demand-driven managers pick it up.
+        self.sim.schedule(event.restart_delay, self._restart_executor, executor)
+
+    def _kill_executor(self, executor) -> None:
+        """Shared crash path: mark down, kill attempts, release ownership."""
         self._failed_executors.add(executor.executor_id)
         executor.healthy = False
         owner = executor.owner
@@ -117,35 +258,20 @@ class FaultInjector:
             if driver is not None:
                 self.tasks_requeued += driver.on_executor_failure(executor)
             executor.release()
-            # Let demand-driven managers replace the lost capacity now.
-            if hasattr(self.manager, "reallocate"):
-                self.manager.reallocate()
-        # Restart: the executor rejoins the free pool after the delay; a
-        # reallocation nudge lets demand-driven managers pick it up.
-        self.sim.schedule(event.restart_delay, self._restart_executor, executor)
 
     def _restart_executor(self, executor) -> None:
+        if executor.node_id in self._down_nodes:
+            return  # the whole node crashed meanwhile; node restore handles it
         self._failed_executors.discard(executor.executor_id)
         executor.healthy = True
         if self.timeline is not None:
             self.timeline.record("fault.executor.restart", executor.executor_id)
-        if self.manager is not None and hasattr(self.manager, "reallocate"):
-            self.manager.reallocate()
+        self._notify_manager()
 
     # ------------------------------------------------------------------ disks
     def _fail_disk(self, event: DiskFailure) -> None:
         self.injected += 1
-        datanode = self.hdfs.datanodes[event.node_id]
-        lost = datanode.block_report()
-        self.replicas_lost += len(lost)
-        for block_id in lost:
-            datanode.evict(block_id)
-            self.hdfs.namenode.remove_replica(block_id, event.node_id)
-        # The node's cache survives a disk failure in principle, but HDFS
-        # treats the node as unhealthy: drop cached copies too.
-        cache = self.hdfs.caches[event.node_id]
-        for block in cache.clear():
-            self.hdfs.namenode.remove_cached_replica(block.block_id, event.node_id)
+        lost = self._wipe_storage(event.node_id)
         if self.timeline is not None:
             self.timeline.record(
                 "fault.disk", event.node_id, replicas_lost=len(lost)
@@ -153,11 +279,35 @@ class FaultInjector:
         if event.re_replicate:
             self._re_replicate(event.node_id, lost)
 
+    def _wipe_storage(self, node_id: str) -> List[str]:
+        """Drop every replica and cached copy the node holds; return ids."""
+        datanode = self.hdfs.datanodes[node_id]
+        lost = datanode.block_report()
+        self.replicas_lost += len(lost)
+        for block_id in lost:
+            datanode.evict(block_id)
+            self.hdfs.namenode.remove_replica(block_id, node_id)
+        # The node's cache survives a disk failure in principle, but HDFS
+        # treats the node as unhealthy: drop cached copies too.
+        cache = self.hdfs.caches[node_id]
+        for block in cache.clear():
+            self.hdfs.namenode.remove_cached_replica(block.block_id, node_id)
+        return lost
+
     def _re_replicate(self, failed_node: str, lost_block_ids) -> None:
-        """Restore replication by copying from survivors to healthy nodes."""
+        """Restore replication by copying from survivors to healthy nodes.
+
+        Instantaneous metadata-level repair, used for disk failures (HDFS
+        background re-replication) and as the fallback when no fabric is
+        attached.  Node crashes model the copies as real transfers instead
+        (:meth:`_begin_re_replication`).
+        """
         for block_id in lost_block_ids:
             survivors = self.hdfs.namenode.locations(block_id)
             if not survivors:
+                self.blocks_lost += 1
+                if self.timeline is not None:
+                    self.timeline.record("fault.block_lost", block_id)
                 continue  # all replicas gone: data loss, nothing to copy
             block = None
             for node in survivors:
@@ -180,3 +330,215 @@ class FaultInjector:
             self.hdfs.datanodes[target].store(block)
             self.hdfs.namenode.add_replica(block_id, target)
             self.replicas_restored += 1
+
+    # ------------------------------------------------------------------- nodes
+    def _fail_node(self, event: NodeFailure) -> None:
+        node_id = event.node_id
+        self.injected += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                "fault.node", node_id, restart_delay=event.restart_delay
+            )
+        if node_id in self._down_nodes:
+            return  # already down
+        self._down_nodes.add(node_id)
+        if self.detector is not None:
+            self.detector.begin_outage(node_id)
+        for executor in self.cluster.executors_on(node_id):
+            if executor.executor_id not in self._failed_executors:
+                self._kill_executor(executor)
+        if self.fabric is not None:
+            self.fabric.fail_transfers_touching(node_id, cause="node-down")
+        lost = self._wipe_storage(node_id)
+        if event.re_replicate and lost:
+            # Recovery starts once the failure is *detected* — the NameNode
+            # only learns about the dead DataNode after the heartbeat
+            # timeout when a detector models that delay.
+            delay = self.detector.timeout if self.detector is not None else 0.0
+            self.sim.schedule(delay, self._begin_re_replication, node_id, lost)
+        self._notify_manager()
+        self.sim.schedule(
+            event.restart_delay, self._restore_node, node_id, self.sim.now
+        )
+
+    def _restore_node(self, node_id: str, failed_at: float) -> None:
+        """The crashed node rejoins — executors healthy, DataNode empty."""
+        if node_id not in self._down_nodes:
+            return
+        self._down_nodes.discard(node_id)
+        for executor in self.cluster.executors_on(node_id):
+            self._failed_executors.discard(executor.executor_id)
+            executor.healthy = True
+        if self.detector is not None:
+            self.detector.end_outage(node_id)
+        self.mttr.setdefault("node", []).append(self.sim.now - failed_at)
+        if self.timeline is not None:
+            self.timeline.record("fault.node.restore", node_id)
+        if self.fabric is not None:
+            self.fabric.refresh_stalled()
+        self._notify_manager()
+
+    # -------------------------------------------------------------- partitions
+    def _start_partition(self, event: NetworkPartition) -> None:
+        self.injected += 1
+        part = frozenset(event.nodes)
+        self._partitions.append(part)
+        if self.timeline is not None:
+            self.timeline.record(
+                "fault.partition", ",".join(sorted(part)), duration=event.duration
+            )
+        if self.detector is not None:
+            for node in sorted(part):
+                self.detector.begin_outage(node)
+        if self.fabric is not None:
+            self.fabric.fail_where(
+                lambda t: (t.src in part) != (t.dst in part), "partition"
+            )
+        self.sim.schedule(event.duration, self._heal_partition, part, self.sim.now)
+
+    def _heal_partition(self, part: frozenset, started: float) -> None:
+        self._partitions.remove(part)
+        if self.detector is not None:
+            for node in sorted(part):
+                self.detector.end_outage(node)
+        self.mttr.setdefault("partition", []).append(self.sim.now - started)
+        if self.timeline is not None:
+            self.timeline.record("fault.partition.heal", ",".join(sorted(part)))
+        if self.fabric is not None:
+            self.fabric.refresh_stalled()
+        self._notify_manager()
+
+    # ------------------------------------------------------------ degradations
+    def _start_degradation(self, event: LinkDegradation) -> None:
+        self.injected += 1
+        self._degradations.setdefault(event.node_id, []).append(
+            (self.sim.now + event.duration, event.factor)
+        )
+        if self.timeline is not None:
+            self.timeline.record(
+                "fault.degradation", event.node_id,
+                factor=event.factor, duration=event.duration,
+            )
+        self._apply_link_scale(event.node_id)
+        self.sim.schedule(
+            event.duration, self._end_degradation, event.node_id, self.sim.now
+        )
+
+    def _end_degradation(self, node_id: str, started: float) -> None:
+        now = self.sim.now
+        active = self._degradations.get(node_id, [])
+        self._degradations[node_id] = [(end, f) for end, f in active if end > now]
+        self.mttr.setdefault("degradation", []).append(now - started)
+        if self.timeline is not None:
+            self.timeline.record("fault.degradation.end", node_id)
+        self._apply_link_scale(node_id)
+
+    def _apply_link_scale(self, node_id: str) -> None:
+        """Worst active degradation wins; no degradation restores base."""
+        now = self.sim.now
+        factors = [f for end, f in self._degradations.get(node_id, []) if end > now]
+        scale = 1.0 / max(factors) if factors else 1.0
+        assert self.fabric is not None  # validated at construction
+        self.fabric.set_link_scale(node_id, scale)
+
+    # ---------------------------------------------------------- re-replication
+    def _begin_re_replication(self, failed_node: str, lost_block_ids) -> None:
+        """Queue recovery copies for a crashed node's lost blocks."""
+        if self.fabric is None:
+            self._re_replicate(failed_node, lost_block_ids)
+            return
+        for block_id in lost_block_ids:
+            self._rr_queue.append((block_id, failed_node, 0))
+        self._pump_re_replication()
+
+    def _pump_re_replication(self) -> None:
+        """Start recovery transfers up to the parallelism limit."""
+        while self._rr_active < self.re_replication_parallelism and self._rr_queue:
+            block_id, exclude, retries = self._rr_queue.popleft()
+            try:
+                survivors = self.hdfs.namenode.locations(block_id)
+            except ConfigurationError:
+                continue  # file deleted meanwhile
+            if len(survivors) >= self.hdfs.block_spec.replication:
+                continue  # already back at full replication
+            if not survivors:
+                self.blocks_lost += 1
+                if self.timeline is not None:
+                    self.timeline.record("fault.block_lost", block_id)
+                continue
+            src = None
+            block = None
+            for node in survivors:
+                if node in self._down_nodes:
+                    continue
+                candidate_block = self.hdfs.datanodes[node].block(block_id)
+                if candidate_block is not None:
+                    src = node
+                    block = candidate_block
+                    break
+            # The crashed node is excluded only while down (it wipes on
+            # restore, so it becomes a legitimate target again after).
+            targets = (
+                []
+                if src is None
+                else [
+                    n
+                    for n in self.cluster.node_ids
+                    if n not in self._down_nodes
+                    and not self.hdfs.datanodes[n].holds(block_id)
+                    and self.reachable(src, n)
+                ]
+            )
+            if src is None or not targets:
+                self._rr_retry(block_id, exclude, retries, "no-source-or-target")
+                continue
+            digest = sum(block_id.encode("utf-8"))
+            target = targets[digest % len(targets)]
+            transfer = self.fabric.start_transfer(src, target, block.size)
+            self._rr_active += 1
+            self.recovery_flows += 1
+            self.recovery_bytes += block.size
+            if self.timeline is not None:
+                self.timeline.record(
+                    "fault.re_replicate", block_id, src=src, dst=target
+                )
+            Process(
+                self.sim,
+                self._rr_proc(transfer, block, target, exclude, retries),
+                name=f"re-replicate:{block_id}->{target}",
+            )
+
+    def _rr_retry(self, block_id: str, exclude: str, retries: int, why: str) -> None:
+        """Re-queue a blocked/failed recovery copy, bounded."""
+        if retries >= _RR_MAX_RETRIES:
+            if self.timeline is not None:
+                self.timeline.record(
+                    "fault.re_replicate.giveup", block_id, reason=why
+                )
+            return
+        self.sim.schedule(
+            _RR_RETRY_DELAY, self._rr_requeue, block_id, exclude, retries + 1
+        )
+
+    def _rr_requeue(self, block_id: str, exclude: str, retries: int) -> None:
+        self._rr_queue.append((block_id, exclude, retries))
+        self._pump_re_replication()
+
+    def _rr_proc(self, transfer, block, target: str, exclude: str, retries: int):
+        """Process body: wait out one recovery transfer, commit the replica."""
+        try:
+            yield transfer.done
+        except TransferFailedError:
+            self._rr_active -= 1
+            self._rr_retry(block.block_id, exclude, retries, "transfer-failed")
+            self._pump_re_replication()
+            return
+        self._rr_active -= 1
+        if (
+            target not in self._down_nodes
+            and not self.hdfs.datanodes[target].holds(block.block_id)
+        ):
+            self.hdfs.datanodes[target].store(block)
+            self.hdfs.namenode.add_replica(block.block_id, target)
+            self.replicas_restored += 1
+        self._pump_re_replication()

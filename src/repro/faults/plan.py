@@ -2,12 +2,21 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 
-__all__ = ["FaultEvent", "NodeSlowdown", "ExecutorFailure", "DiskFailure", "FaultPlan"]
+__all__ = [
+    "FaultEvent",
+    "NodeSlowdown",
+    "ExecutorFailure",
+    "DiskFailure",
+    "NodeFailure",
+    "NetworkPartition",
+    "LinkDegradation",
+    "FaultPlan",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +90,74 @@ class DiskFailure(FaultEvent):
             raise ConfigurationError("DiskFailure requires a node_id")
 
 
+@dataclass(frozen=True)
+class NodeFailure(FaultEvent):
+    """Whole-node crash (cloud instance loss): every executor on the node
+    dies, its DataNode replicas and cached blocks vanish, and all flows
+    traversing the node's links abort.  The node rejoins the cluster — with
+    an *empty* DataNode — after ``restart_delay`` seconds.
+
+    With ``re_replicate`` the lost blocks are copied back onto healthy
+    nodes as real transfers through the fabric (the recovery traffic
+    contends with job traffic); the copies start once the failure has been
+    *detected* (after the FailureDetector timeout when one is configured).
+    """
+
+    node_id: str = ""
+    restart_delay: float = 30.0
+    re_replicate: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node_id:
+            raise ConfigurationError("NodeFailure requires a node_id")
+        if self.restart_delay < 0:
+            raise ConfigurationError(
+                f"restart_delay must be >= 0, got {self.restart_delay}"
+            )
+
+
+@dataclass(frozen=True)
+class NetworkPartition(FaultEvent):
+    """``nodes`` are cut off from the rest of the fabric for ``duration``
+    seconds.  Nodes inside the set can still reach each other; any flow
+    crossing the boundary aborts, new crossing transfers stall until they
+    hit the fabric's connect timeout, and heartbeats from the partitioned
+    side stop arriving (so a FailureDetector eventually suspects them)."""
+
+    duration: float = 0.0
+    nodes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if not self.nodes:
+            raise ConfigurationError("NetworkPartition requires at least one node")
+        # Frozen dataclass: normalise via object.__setattr__ for hashability.
+        object.__setattr__(self, "nodes", tuple(sorted(set(self.nodes))))
+
+
+@dataclass(frozen=True)
+class LinkDegradation(FaultEvent):
+    """``node_id``'s NIC runs at ``1/factor`` capacity for ``duration``
+    seconds (a flaky link / oversubscribed ToR).  In-flight flows through
+    the node re-rate under max-min fairness; nothing aborts."""
+
+    node_id: str = ""
+    duration: float = 0.0
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node_id:
+            raise ConfigurationError("LinkDegradation requires a node_id")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.factor <= 1.0:
+            raise ConfigurationError(f"factor must be > 1, got {self.factor}")
+
+
 class FaultPlan:
     """A time-ordered collection of fault events."""
 
@@ -95,6 +172,10 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(e) for e in self.events)
+        return f"FaultPlan([{inner}])"
 
     def __iter__(self) -> Iterator[FaultEvent]:
         return iter(self.events)

@@ -55,6 +55,13 @@ class ClusterManager(abc.ABC):
         self.timeline = timeline
         self.drivers: Dict[str, "ApplicationDriver"] = {}
         self.allocation_rounds = 0
+        #: set by the experiment runner under fault injection; None otherwise.
+        #: The manager's liveness view goes through these — a detector gives
+        #: the master a heartbeat-delayed (stale) picture of the cluster.
+        self.fault_injector = None
+        self.detector = None
+        #: grants that landed on a node the master wrongly believed alive
+        self.failed_launches = 0
 
     # ------------------------------------------------------------------ quota
     @property
@@ -95,8 +102,30 @@ class ClusterManager(abc.ABC):
         self._on_register(driver)
 
     # ---------------------------------------------------------------- plumbing
-    def grant(self, driver: "ApplicationDriver", executor: Executor) -> None:
-        """Allocate a free executor to an application."""
+    def grant(self, driver: "ApplicationDriver", executor: Executor) -> bool:
+        """Allocate a free executor to an application.
+
+        Returns True on success.  Under fault injection the master's view is
+        stale: a grant can land on an executor whose node has actually died
+        or is partitioned away — the launch fails, the failure is reported
+        to the detector (so the master stops believing in the node), and the
+        grant returns False instead of raising.
+        """
+        injector = self.fault_injector
+        if injector is not None and (
+            not executor.healthy or not injector.node_reachable(executor.node_id)
+        ):
+            self.failed_launches += 1
+            if self.detector is not None:
+                self.detector.report_failure(executor.node_id)
+            if self.timeline is not None:
+                self.timeline.record(
+                    "executor.grant.dead",
+                    executor.executor_id,
+                    app=driver.app_id,
+                    node=executor.node_id,
+                )
+            return False
         executor.allocate(driver.app_id)
         if self.timeline is not None:
             self.timeline.record(
@@ -106,6 +135,7 @@ class ClusterManager(abc.ABC):
                 node=executor.node_id,
             )
         driver.attach_executor(executor)
+        return True
 
     def revoke_idle(self, driver: "ApplicationDriver", executor: Executor) -> bool:
         """Take an idle executor back from an application; False if busy."""
@@ -124,10 +154,51 @@ class ClusterManager(abc.ABC):
         return True
 
     def free_pool(self) -> List[Executor]:
-        """Free executors in deterministic (creation) order."""
-        return self.cluster.free_executors()
+        """Free executors *as the master believes them* (creation order).
+
+        Without fault injection this is ground truth.  With an injector but
+        no detector the master is omniscient about liveness yet cannot reach
+        partitioned nodes.  With a detector the view is heartbeat-delayed: a
+        just-died node's executors still look allocatable until the timeout
+        expires (grants on them fail, see :meth:`grant`), and a recovered
+        node only re-enters the pool once believed alive again.
+        """
+        injector = self.fault_injector
+        if injector is None:
+            return self.cluster.free_executors()
+        detector = self.detector
+        if detector is None:
+            return [
+                e
+                for e in self.cluster.free_executors()
+                if injector.node_reachable(e.node_id)
+            ]
+        return [
+            e
+            for e in self.cluster.executors
+            if e.is_free
+            and detector.is_alive(e.node_id)
+            and (e.healthy or injector.node_down(e.node_id))
+        ]
 
     # -------------------------------------------------------------------- hooks
+    def on_executors_changed(self) -> None:
+        """Fault hook: cluster membership changed (crash/restart/heal).
+
+        Subclasses react by re-running their allocation pass so displaced
+        work finds new executors; the base implementation does nothing.
+        """
+    def on_demand_changed(self, driver: "ApplicationDriver") -> None:
+        """A driver's demand resurfaced outside the job/stage flow.
+
+        Retry backoff hides a task from ``outstanding_tasks``; if the
+        manager reclaimed the driver's executors during that window, the
+        requeued task has nowhere to run and nothing left to trigger a
+        grant.  Default: treat it like a membership change and re-run the
+        allocation pass.
+        """
+        self.on_executors_changed()
+
     def _on_register(self, driver: "ApplicationDriver") -> None:
         """Subclass hook: called after an application registers."""
 

@@ -71,6 +71,10 @@ class CustodyManager(ClusterManager):
     def on_job_finished(self, driver: "ApplicationDriver", job: Job) -> None:
         self.reallocate()
 
+    def on_executors_changed(self) -> None:
+        """Node crash/restart: run a full round so displaced work re-lands."""
+        self.reallocate()
+
     # --------------------------------------------------------------- allocation
     def reallocate(self) -> AllocationPlan:
         """One full Custody round: release, build demands, allocate, apply."""

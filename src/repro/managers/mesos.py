@@ -66,6 +66,10 @@ class MesosManager(ClusterManager):
     def on_job_finished(self, driver: "ApplicationDriver", job: Job) -> None:
         self._offer_all_free()
 
+    def on_executors_changed(self) -> None:
+        """Node crash/restart: re-offer whatever the master believes free."""
+        self._offer_all_free()
+
     def on_executor_idle(self, driver: "ApplicationDriver", executor: Executor) -> None:
         # Fine-grained sharing: an app keeps an executor only while it has
         # work queued for it; otherwise the executor re-enters the pool.
@@ -95,7 +99,11 @@ class MesosManager(ClusterManager):
                 self.offers_rejected += 1
                 continue
             if driver.consider_offer(executor):
-                self.grant(driver, executor)
+                if self.grant(driver, executor):
+                    return
+                # Launch on a believed-alive-but-dead node failed; the
+                # executor is unplaceable right now — retry later.
+                self._arm_retry()
                 return
             self.offers_rejected += 1
         self._arm_retry()

@@ -68,6 +68,33 @@ class StandaloneManager(ClusterManager):
             self.grant(driver, executor)
         self.allocation_rounds += 1
 
+    def on_executors_changed(self) -> None:
+        """Node crash/restart: replace lost executors.
+
+        Standalone keeps its allocation static in fault-free operation, but
+        a real Spark master does re-register replacement executors for an
+        application after worker loss.  Model that minimally: hand free
+        executors to the most executor-starved applications still below
+        their quota (no data awareness, matching the baseline's character).
+        """
+        changed = True
+        while changed:
+            changed = False
+            starved = sorted(
+                self.drivers.values(), key=lambda d: (d.executor_count, d.app_id)
+            )
+            for driver in starved:
+                if driver.executor_count >= self.quota_of(driver.app_id):
+                    continue
+                if driver.outstanding_tasks == 0:
+                    continue
+                for executor in self.free_pool():
+                    if self.grant(driver, executor):
+                        changed = True
+                        break
+                if changed:
+                    break
+
     def _select(self, count: int) -> List[Executor]:
         free = self.free_pool()
         count = min(count, len(free))

@@ -41,6 +41,10 @@ class YarnManager(ClusterManager):
         if not driver.runnable_tasks and driver.running_count == 0:
             self.revoke_idle(driver, executor)
 
+    def on_executors_changed(self) -> None:
+        """Node crash/restart: re-fit every pool to the surviving capacity."""
+        self._resize_all()
+
     # ----------------------------------------------------------------- resize
     def _resize_all(self) -> None:
         """Shrink over-provisioned apps, then grow under-provisioned ones."""
@@ -65,8 +69,8 @@ class YarnManager(ClusterManager):
             for executor in self.free_pool():
                 if deficit <= 0:
                     break
-                self.grant(driver, executor)
-                deficit -= 1
+                if self.grant(driver, executor):
+                    deficit -= 1
 
     def _driver_order(self):
         """Deterministic round order: most under-provisioned first."""

@@ -28,7 +28,7 @@ from repro.metrics.timings import (
 from repro.workload.application import Application
 from repro.workload.job import Job
 
-__all__ = ["ExperimentMetrics", "MetricsCollector", "PerfCounters"]
+__all__ = ["ExperimentMetrics", "FaultStats", "MetricsCollector", "PerfCounters"]
 
 
 @dataclass
@@ -76,6 +76,62 @@ class PerfCounters:
             f"recomputes: {self.recomputes}   flows/recompute: "
             f"{self.flows_per_recompute:.1f}   rate updates: {self.rate_updates}   "
             f"recompute wall: {self.recompute_seconds:.3f}s"
+        )
+
+
+@dataclass
+class FaultStats:
+    """Failure-and-recovery tallies for one run under fault injection.
+
+    Assembled by the experiment runner from the injector, the drivers and
+    the manager; ``None`` on :class:`ExperimentResult` when the run had no
+    fault plan.
+    """
+
+    injected: int = 0  #: fault events that fired
+    tasks_requeued: int = 0  #: synchronous requeues after executor loss
+    failed_attempts: int = 0  #: attempts that died mid-flight (fetch failed)
+    abandoned_tasks: int = 0  #: tasks given up permanently
+    data_loss_tasks: int = 0  #: abandoned because every input replica died
+    blacklist_events: int = 0  #: node blacklistings across all drivers
+    failed_launches: int = 0  #: grants that landed on dead/unreachable nodes
+    detector_reports: int = 0  #: failed-launch reports fed to the detector
+    replicas_lost: int = 0  #: disk/cache replicas wiped by faults
+    replicas_restored: int = 0  #: replicas copied back by re-replication
+    blocks_lost: int = 0  #: blocks whose every replica vanished
+    recovery_flows: int = 0  #: modeled re-replication transfers started
+    recovery_bytes: float = 0.0  #: bytes moved by recovery transfers
+    transfers_failed: int = 0  #: fabric transfers aborted by faults
+    mttr: Dict[str, float] = field(default_factory=dict)  #: mean repair time per kind
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready projection."""
+        return {
+            "injected": self.injected,
+            "tasks_requeued": self.tasks_requeued,
+            "failed_attempts": self.failed_attempts,
+            "abandoned_tasks": self.abandoned_tasks,
+            "data_loss_tasks": self.data_loss_tasks,
+            "blacklist_events": self.blacklist_events,
+            "failed_launches": self.failed_launches,
+            "detector_reports": self.detector_reports,
+            "replicas_lost": self.replicas_lost,
+            "replicas_restored": self.replicas_restored,
+            "blocks_lost": self.blocks_lost,
+            "recovery_flows": self.recovery_flows,
+            "recovery_bytes": self.recovery_bytes,
+            "transfers_failed": self.transfers_failed,
+            "mttr": dict(self.mttr),
+        }
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        return (
+            f"faults: {self.injected}   requeued: {self.tasks_requeued}   "
+            f"failed attempts: {self.failed_attempts}   abandoned: "
+            f"{self.abandoned_tasks} (data loss: {self.data_loss_tasks})   "
+            f"dead launches: {self.failed_launches}   recovery flows: "
+            f"{self.recovery_flows}"
         )
 
 

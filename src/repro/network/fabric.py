@@ -29,9 +29,9 @@ from __future__ import annotations
 import heapq
 import math
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, TransferFailedError
 from repro.common.ids import IdFactory
 from repro.network.bandwidth import LinkCapacities, maxmin_rates
 from repro.network.rate_engine import RateEngine
@@ -93,11 +93,60 @@ class NetworkFabric:
         self._token: Dict[str, int] = {}
         self.completed_count = 0
         self.total_bytes_moved = 0.0
+        #: base (undegraded) NIC capacities, per node
+        self._base_uplink: Dict[str, float] = {}
+        self._base_downlink: Dict[str, float] = {}
+        #: optional (src, dst) -> bool callback installed by a fault injector
+        self._reachable: Optional[Callable[[str, str], bool]] = None
+        self._connect_timeout = 30.0
+        #: transfers waiting out a partition: id -> (transfer, timeout handle)
+        self._stalled: Dict[str, Tuple[Transfer, EventHandle]] = {}
+        self.failed_count = 0
 
     # ------------------------------------------------------------------ setup
     def add_node(self, node_id: str, uplink: float, downlink: float) -> None:
         """Register a node's NIC before any transfer touches it."""
         self.capacities.add_node(node_id, uplink, downlink)
+        self._base_uplink[node_id] = float(uplink)
+        self._base_downlink[node_id] = float(downlink)
+
+    def set_reachability(
+        self,
+        reachable: Optional[Callable[[str, str], bool]],
+        *,
+        connect_timeout: float = 30.0,
+    ) -> None:
+        """Install a fault injector's reachability oracle.
+
+        When set, a transfer between mutually unreachable endpoints does not
+        enter the rate allocation: it *stalls* at rate 0 and fails with
+        :class:`TransferFailedError` after ``connect_timeout`` seconds unless
+        the partition heals first (:meth:`refresh_stalled`).  ``None``
+        restores the default fully-connected fabric.
+        """
+        if connect_timeout <= 0:
+            raise ConfigurationError(
+                f"connect_timeout must be positive, got {connect_timeout}"
+            )
+        self._reachable = reachable
+        self._connect_timeout = connect_timeout
+
+    def set_link_scale(self, node_id: str, scale: float) -> None:
+        """Scale a node's NIC to ``scale`` × its base capacity (degradation).
+
+        Mutates the shared :class:`LinkCapacities` in place so both the
+        incremental and the reference allocator see the new capacity, dirties
+        the node's links, and re-rates at the end of the instant.
+        """
+        if node_id not in self._base_uplink:
+            raise ConfigurationError(f"unknown node {node_id!r}")
+        if scale <= 0:
+            raise ConfigurationError(f"link scale must be positive, got {scale}")
+        self.capacities.uplink[node_id] = self._base_uplink[node_id] * scale
+        self.capacities.downlink[node_id] = self._base_downlink[node_id] * scale
+        if self._engine is not None:
+            self._engine.touch_node(node_id)
+        self.sim.defer(self, self._flush)
 
     # --------------------------------------------------------------- transfers
     @property
@@ -119,6 +168,26 @@ class NetworkFabric:
                 f"transfer {src!r}->{dst!r} is local; use disk read time instead"
             )
         transfer = Transfer(self.sim, self._ids.next("xfer"), src, dst, size)
+        if self._reachable is not None and not self._reachable(src, dst):
+            # Partitioned endpoints: the connection never establishes.  The
+            # transfer stalls outside the rate allocation and fails at the
+            # connect timeout unless the partition heals first.
+            for node in (src, dst):
+                if node not in self.capacities:
+                    raise ConfigurationError(
+                        f"flow references unregistered node {node!r}"
+                    )
+            handle = self.sim.schedule(
+                self._connect_timeout, self._on_connect_timeout, transfer
+            )
+            self._stalled[transfer.transfer_id] = (transfer, handle)
+            if self.timeline is not None:
+                self.timeline.record(
+                    "transfer.stall", transfer.transfer_id, src=src, dst=dst
+                )
+            if self.counters is not None:
+                self.counters.flow_events += 1
+            return transfer
         if self._engine is not None:
             self._engine.add_flow(transfer.transfer_id, src, dst)
         else:
@@ -150,6 +219,92 @@ class NetworkFabric:
                 self.timeline.record("transfer.cancel", transfer.transfer_id)
             if self.counters is not None:
                 self.counters.flow_events += 1
+            self.sim.defer(self, self._flush)
+        elif transfer.transfer_id in self._stalled:
+            _, handle = self._stalled.pop(transfer.transfer_id)
+            handle.cancel()
+            if self.timeline is not None:
+                self.timeline.record("transfer.cancel", transfer.transfer_id)
+            if self.counters is not None:
+                self.counters.flow_events += 1
+
+    # ----------------------------------------------------------------- faults
+    def _on_connect_timeout(self, transfer: Transfer) -> None:
+        """A stalled transfer's connect timeout elapsed without a heal."""
+        if transfer.transfer_id in self._stalled:
+            del self._stalled[transfer.transfer_id]
+            self._record_failure(transfer, "connect-timeout")
+
+    def _record_failure(self, transfer: Transfer, cause: str) -> None:
+        self.failed_count += 1
+        if self.timeline is not None:
+            self.timeline.record("transfer.fail", transfer.transfer_id, cause=cause)
+        if self.counters is not None:
+            self.counters.flow_events += 1
+        transfer.done.fail(TransferFailedError(transfer.transfer_id, cause))
+
+    def fail_transfer(self, transfer: Transfer, cause: str = "aborted") -> None:
+        """Abort a transfer *with* failure delivery: waiters on
+        ``transfer.done`` receive :class:`TransferFailedError`."""
+        if transfer.transfer_id in self._active:
+            del self._active[transfer.transfer_id]
+            self._token.pop(transfer.transfer_id, None)
+            if self._engine is not None:
+                self._engine.remove_flow(transfer.transfer_id)
+            self.sim.defer(self, self._flush)
+            self._record_failure(transfer, cause)
+        elif transfer.transfer_id in self._stalled:
+            _, handle = self._stalled.pop(transfer.transfer_id)
+            handle.cancel()
+            self._record_failure(transfer, cause)
+
+    def fail_where(self, predicate: Callable[[Transfer], bool], cause: str) -> int:
+        """Fail every in-flight or stalled transfer matching ``predicate``.
+
+        Returns the number of transfers failed.  Iteration is over a
+        snapshot in insertion (= start) order, so the failure cascade is
+        deterministic.
+        """
+        victims = [t for t in self._active.values() if predicate(t)]
+        victims += [t for t, _ in self._stalled.values() if predicate(t)]
+        for transfer in victims:
+            self.fail_transfer(transfer, cause)
+        return len(victims)
+
+    def fail_transfers_touching(self, node_id: str, cause: str = "node-down") -> int:
+        """Fail every transfer with ``node_id`` as an endpoint (node crash)."""
+        return self.fail_where(
+            lambda t: t.src == node_id or t.dst == node_id, cause
+        )
+
+    def refresh_stalled(self) -> None:
+        """Re-check stalled transfers after a partition heals.
+
+        Transfers whose endpoints became mutually reachable enter the rate
+        allocation as if freshly started; the rest keep their original
+        connect-timeout clocks ticking.
+        """
+        if not self._stalled:
+            return
+        reachable = self._reachable
+        released = [
+            tid
+            for tid, (t, _) in self._stalled.items()
+            if reachable is None or reachable(t.src, t.dst)
+        ]
+        for tid in released:
+            transfer, handle = self._stalled.pop(tid)
+            handle.cancel()
+            if self._engine is not None:
+                self._engine.add_flow(tid, transfer.src, transfer.dst)
+            self._active[tid] = transfer
+            if self.timeline is not None:
+                self.timeline.record(
+                    "transfer.unstall", tid, src=transfer.src, dst=transfer.dst
+                )
+            if self.counters is not None:
+                self.counters.flow_events += 1
+        if released:
             self.sim.defer(self, self._flush)
 
     def flush(self) -> None:

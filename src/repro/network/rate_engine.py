@@ -132,6 +132,16 @@ class RateEngine:
         self._dirty.add(up)
         self._dirty.add(down)
 
+    def touch_node(self, node_id: str) -> None:
+        """Mark both of a node's links dirty (its capacity changed).
+
+        Used by link-degradation faults: the next :meth:`recompute` re-rates
+        every flow in the components touching the node, picking up the new
+        capacity from the shared :class:`LinkCapacities`.
+        """
+        self._dirty.add(("up", node_id))
+        self._dirty.add(("down", node_id))
+
     def remove_flow(self, flow_id: Hashable) -> None:
         """Drop a flow; its former neighbours are re-rated on recompute."""
         if flow_id not in self._flows:

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.executor import Executor
-from repro.common.errors import AllocationError
+from repro.common.errors import AllocationError, TransferFailedError
 from repro.hdfs.filesystem import HDFS
 from repro.network.fabric import NetworkFabric
 from repro.scheduling.policies import TaskScheduler
@@ -57,7 +57,7 @@ __all__ = ["ApplicationDriver"]
 class _Attempt:
     """One execution attempt of a task on an executor."""
 
-    __slots__ = ("task", "executor", "process", "speculative", "started_at")
+    __slots__ = ("task", "executor", "process", "speculative", "started_at", "transfers")
 
     def __init__(self, task: Task, executor: Executor, speculative: bool, started_at: float):
         self.task = task
@@ -65,6 +65,8 @@ class _Attempt:
         self.process: Optional[Process] = None
         self.speculative = speculative
         self.started_at = started_at
+        #: in-flight transfers owned by this attempt (for kill-time cleanup)
+        self.transfers: List = []
 
 
 class ApplicationDriver:
@@ -85,6 +87,11 @@ class ApplicationDriver:
         speculation_multiplier: float = 1.5,
         fault_injector: Optional["FaultInjector"] = None,
         shuffle_fanout: int = 1,
+        max_task_attempts: int = 8,
+        retry_backoff: float = 1.0,
+        blacklist_threshold: int = 3,
+        blacklist_window: float = 60.0,
+        blacklist_timeout: float = 60.0,
     ):
         if not (0.0 < speculation_quantile <= 1.0):
             raise ValueError(
@@ -96,6 +103,16 @@ class ApplicationDriver:
             )
         if shuffle_fanout < 1:
             raise ValueError(f"shuffle_fanout must be >= 1, got {shuffle_fanout}")
+        if max_task_attempts < 1:
+            raise ValueError(f"max_task_attempts must be >= 1, got {max_task_attempts}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if blacklist_threshold < 1:
+            raise ValueError(
+                f"blacklist_threshold must be >= 1, got {blacklist_threshold}"
+            )
+        if blacklist_window <= 0 or blacklist_timeout <= 0:
+            raise ValueError("blacklist window/timeout must be positive")
         self.sim = sim
         self.app = app
         self.cluster = cluster
@@ -108,10 +125,19 @@ class ApplicationDriver:
         self.speculation_multiplier = speculation_multiplier
         self.fault_injector = fault_injector
         self.shuffle_fanout = shuffle_fanout
+        self.max_task_attempts = max_task_attempts
+        self.retry_backoff = retry_backoff
+        self.blacklist_threshold = blacklist_threshold
+        self.blacklist_window = blacklist_window
+        self.blacklist_timeout = blacklist_timeout
         self.manager: Optional["ClusterManager"] = None
         self.speculative_launches = 0
         self.speculative_wins = 0
         self.requeued_tasks = 0
+        self.failed_attempts = 0
+        self.abandoned_tasks = 0
+        self.data_loss_tasks = 0
+        self.blacklist_events = 0
         self._executors: Dict[str, Executor] = {}
         self._runnable: List[Task] = []
         self._attempts: Dict[str, List[_Attempt]] = {}
@@ -122,6 +148,12 @@ class ApplicationDriver:
         self._jobs: Dict[str, Job] = {}
         self._wakeup: Optional[EventHandle] = None
         self._spec_wakeup: Optional[EventHandle] = None
+        #: task id → failed attempt count (drives backoff and the budget)
+        self._failure_counts: Dict[str, int] = {}
+        #: node id → recent attempt-failure timestamps (blacklist window)
+        self._node_failures: Dict[str, List[float]] = {}
+        #: node id → blacklist expiry time
+        self._blacklist: Dict[str, float] = {}
 
     # ------------------------------------------------------------- inspection
     @property
@@ -210,6 +242,8 @@ class ApplicationDriver:
 
     def consider_offer(self, executor: Executor) -> bool:
         """Mesos-style offer: would this app use a slot on that node now?"""
+        if self._blacklisted(executor.node_id):
+            return False
         return self.scheduler.accepts_offer(
             self._runnable, executor.node_id, self.sim.now, self.hdfs.namenode
         )
@@ -224,8 +258,11 @@ class ApplicationDriver:
     def on_executor_failure(self, executor: Executor) -> int:
         """Fault hook: kill every attempt on ``executor``, requeue the tasks.
 
-        Returns the number of tasks requeued.  The executor itself is
-        detached; ownership/release is the fault injector's business.
+        Returns the number of tasks requeued synchronously (a task's first
+        failure requeues at once; repeat failures back off exponentially and
+        can exhaust the attempt budget — see :meth:`_handle_task_failure`).
+        The executor itself is detached; ownership/release is the fault
+        injector's business.
         """
         victims = [
             attempt
@@ -238,24 +275,145 @@ class ApplicationDriver:
             task = attempt.task
             self._kill_attempt(attempt)
             if not self._attempts.get(task.task_id):
-                # No surviving attempt: back to the runnable queue.
+                # No surviving attempt: hand the task to the retry machinery.
                 self._attempts.pop(task.task_id, None)
-                task.started_at = None
-                task.executor_id = None
-                task.node_id = None
-                task.was_local = None
-                task.read_time = None
-                self._runnable.append(task)
-                requeued += 1
-                self.requeued_tasks += 1
-                if self.timeline is not None:
-                    self.timeline.record(
-                        "task.requeue", task.task_id, app=self.app_id,
-                        executor=executor.executor_id,
-                    )
+                if task.cancelled or task.finished_at is not None:
+                    continue
+                if self._handle_task_failure(task, executor.node_id, "executor-lost"):
+                    requeued += 1
         self._executors.pop(executor.executor_id, None)
         self._dispatch()
         return requeued
+
+    # ------------------------------------------------------- retry / blacklist
+    def _blacklisted(self, node_id: str) -> bool:
+        """True while ``node_id`` is excluded from scheduling."""
+        expiry = self._blacklist.get(node_id)
+        if expiry is None:
+            return False
+        if self.sim.now >= expiry:
+            del self._blacklist[node_id]
+            return False
+        return True
+
+    def _note_node_failure(self, node_id: str) -> None:
+        """Count an attempt failure against a node; blacklist on threshold."""
+        now = self.sim.now
+        recent = [
+            t
+            for t in self._node_failures.get(node_id, [])
+            if now - t <= self.blacklist_window
+        ]
+        recent.append(now)
+        self._node_failures[node_id] = recent
+        if len(recent) >= self.blacklist_threshold and not self._blacklisted(node_id):
+            self._blacklist[node_id] = now + self.blacklist_timeout
+            self.blacklist_events += 1
+            if self.timeline is not None:
+                self.timeline.record(
+                    "node.blacklist",
+                    node_id,
+                    app=self.app_id,
+                    until=self._blacklist[node_id],
+                    failures=len(recent),
+                )
+
+    def _handle_task_failure(self, task: Task, node_id: str, reason: str) -> bool:
+        """Route a failed task through retry/backoff/abandon.
+
+        Returns True when the task was requeued synchronously (its first
+        failure — the behaviour schedulers and tests rely on); later
+        failures requeue after exponential backoff.  A task whose input data
+        no longer exists anywhere is abandoned as data loss; one that burns
+        its whole attempt budget is abandoned as exhausted.
+        """
+        self._note_node_failure(node_id)
+        count = self._failure_counts.get(task.task_id, 0) + 1
+        self._failure_counts[task.task_id] = count
+        if (
+            task.is_input
+            and task.block is not None
+            and not self.hdfs.namenode.serving_locations(task.block.block_id)
+        ):
+            self.data_loss_tasks += 1
+            self._abandon_task(task, "data-loss")
+            return False
+        if count >= self.max_task_attempts:
+            self._abandon_task(task, "attempts-exhausted")
+            return False
+        task.started_at = None
+        task.executor_id = None
+        task.node_id = None
+        task.was_local = None
+        task.read_time = None
+        if count == 1:
+            # Synchronous requeue without dispatching: the caller dispatches
+            # once after the whole failure is processed (dispatching here
+            # could launch tasks onto an executor that is mid-teardown).
+            self._requeue_task(task, node_id, dispatch=False)
+            return True
+        delay = min(self.retry_backoff * (2.0 ** (count - 2)), 60.0)
+        if delay <= 0:
+            self._requeue_task(task, node_id, dispatch=False)
+            return True
+        self.sim.schedule(delay, self._requeue_task, task, node_id)
+        return False
+
+    def _requeue_task(self, task: Task, node_id: str, dispatch: bool = True) -> None:
+        """Put a failed task back on the runnable queue (possibly delayed)."""
+        if task.cancelled or task.finished_at is not None:
+            return  # cancelled (KMN surplus) or finished meanwhile
+        if task in self._runnable or task.task_id in self._attempts:
+            return
+        self._runnable.append(task)
+        self.requeued_tasks += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                "task.requeue", task.task_id, app=self.app_id, node=node_id
+            )
+        if dispatch:
+            self._dispatch()
+            if (
+                task in self._runnable
+                and not self._attempts
+                and self.manager is not None
+                and not any(
+                    e.free_slots > 0
+                    and e.healthy
+                    and not self._blacklisted(e.node_id)
+                    for e in self._executors.values()
+                )
+            ):
+                # The backoff window hid this task from outstanding_tasks, so
+                # the manager may have reclaimed every executor meanwhile.
+                # With nothing running (no future finish to trigger dispatch)
+                # and no usable slot, only a fresh allocation round can
+                # un-strand the task.
+                self.manager.on_demand_changed(self)
+
+    def _abandon_task(self, task: Task, reason: str) -> None:
+        """Give up on a task permanently, keeping stage accounting live.
+
+        The abandoned task counts toward its stage barrier so the job still
+        completes (degraded) instead of hanging forever — the task itself is
+        recorded as ``task.abandon`` and tallied in ``abandoned_tasks``.
+        """
+        task.cancelled = True
+        self.abandoned_tasks += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                "task.abandon", task.task_id, app=self.app_id, reason=reason
+            )
+        key = (task.job_id, task.stage_index)
+        remaining = self._stage_remaining.get(key, 0)
+        if remaining <= 0:
+            return  # stage barrier already fired (e.g. KMN quorum met)
+        self._stage_remaining[key] = remaining - 1
+        if self._stage_remaining[key] == 0:
+            job = self._jobs[task.job_id]
+            if task.stage_index == 0 and job.input_quorum < job.num_input_tasks:
+                self._cancel_surplus_inputs(job)
+            self._on_stage_done(job, task.stage_index)
 
     # --------------------------------------------------------------- dispatch
     def _dispatch(self) -> None:
@@ -266,7 +424,11 @@ class ApplicationDriver:
         while progressed and self._runnable:
             progressed = False
             for executor in self.executors:
-                if executor.free_slots <= 0:
+                if (
+                    executor.free_slots <= 0
+                    or not executor.healthy
+                    or self._blacklisted(executor.node_id)
+                ):
                     continue
                 task = self.scheduler.pick_task(
                     self._runnable,
@@ -292,7 +454,18 @@ class ApplicationDriver:
             self._wakeup = None
         if not self._runnable:
             return
-        if not any(e.free_slots > 0 for e in self._executors.values()):
+        free = [e for e in self._executors.values() if e.free_slots > 0]
+        if not free:
+            return
+        usable = [e for e in free if not self._blacklisted(e.node_id)]
+        if not usable:
+            # Every free slot sits on a blacklisted node: wake up when the
+            # earliest blacklist expires so queued tasks are not stranded.
+            expiry = min(
+                self._blacklist.get(e.node_id, float("inf")) for e in free
+            )
+            if expiry > self.sim.now and expiry != float("inf"):
+                self._wakeup = self.sim.schedule_at(expiry, self._dispatch)
             return
         when = self.scheduler.next_wakeup(self._runnable, self.sim.now)
         if when is not None and when > self.sim.now:
@@ -309,7 +482,11 @@ class ApplicationDriver:
         if self._spec_wakeup is not None:
             self._spec_wakeup.cancel()
             self._spec_wakeup = None
-        free = [e for e in self.executors if e.free_slots > 0]
+        free = [
+            e
+            for e in self.executors
+            if e.free_slots > 0 and not self._blacklisted(e.node_id)
+        ]
         if not free:
             return
         now = self.sim.now
@@ -399,6 +576,12 @@ class ApplicationDriver:
             attempts.remove(attempt)
         if attempt.process is not None and attempt.process.alive:
             attempt.process.interrupt("killed", immediate=True)
+        # A not-yet-started process takes the async interrupt path: its
+        # generator may still run once at this instant (and even start a
+        # transfer) before the interrupt lands, so sweep leftovers here too.
+        for transfer in attempt.transfers:
+            self.fabric.cancel_transfer(transfer)
+        attempt.transfers.clear()
         if attempt.task.task_id in attempt.executor.running_tasks:
             attempt.executor.finish_task(attempt.task.task_id)
 
@@ -406,7 +589,7 @@ class ApplicationDriver:
     def _attempt_proc(self, attempt: _Attempt):
         task, executor = attempt.task, attempt.executor
         node = executor.node
-        transfers: List = []
+        transfers = attempt.transfers
         read_started = self.sim.now
         try:
             was_local: Optional[bool] = None
@@ -417,9 +600,12 @@ class ApplicationDriver:
                     yield Timeout(self.hdfs.local_read_time(task.block, node.node_id))
                 else:
                     was_local = False
-                    src = self.hdfs.namenode.pick_source(
-                        task.block.block_id, node.node_id
-                    )
+                    src = self._pick_fetch_source(task.block.block_id, node.node_id)
+                    if src is None:
+                        # Every replica is gone (or unreachable with none
+                        # better known): fail the attempt instead of crashing.
+                        self._fail_attempt(attempt, "no-replicas")
+                        return
                     transfers.append(
                         self.fabric.start_transfer(src, node.node_id, task.block.size)
                     )
@@ -454,9 +640,78 @@ class ApplicationDriver:
         except Interrupt:
             for transfer in transfers:
                 self.fabric.cancel_transfer(transfer)
-            executor.finish_task(task.task_id)
+            transfers.clear()
+            if task.task_id in executor.running_tasks:
+                executor.finish_task(task.task_id)
+            return
+        except TransferFailedError as exc:
+            self._fail_attempt(attempt, exc.cause)
             return
         self._finish_attempt(attempt, was_local, read_time)
+
+    def _pick_fetch_source(self, block_id: str, reader_node: str) -> Optional[str]:
+        """Replica holder a remote read fetches from, fault-aware.
+
+        Without a fault injector this is exactly
+        :meth:`~repro.hdfs.namenode.NameNode.pick_source`.  Under faults the
+        driver filters holders through its (possibly stale) view — the
+        failure detector's belief when one exists, else ground-truth
+        reachability — and falls back to the unfiltered pick when the view
+        rejects every holder (the fetch then fails and retries normally).
+        Returns None when no replica exists at all.
+        """
+        namenode = self.hdfs.namenode
+        holders = namenode.locations(block_id)
+        if not holders:
+            return None
+        injector = self.fault_injector
+        if injector is not None:
+            detector = getattr(injector, "detector", None)
+            if detector is not None:
+                live = [h for h in holders if detector.is_alive(h)]
+            else:
+                live = [h for h in holders if injector.node_reachable(h)]
+            if live:
+                holders = live
+        for node in holders:
+            if node != reader_node:
+                return node
+        return holders[0]
+
+    def _fail_attempt(self, attempt: _Attempt, reason: str) -> None:
+        """An attempt died mid-flight (fetch failed / data gone): clean up
+        its slot and route the task through the retry machinery."""
+        task, executor = attempt.task, attempt.executor
+        self.failed_attempts += 1
+        for transfer in attempt.transfers:
+            self.fabric.cancel_transfer(transfer)
+        attempt.transfers.clear()
+        if task.task_id in executor.running_tasks:
+            executor.finish_task(task.task_id)
+        attempts = self._attempts.get(task.task_id)
+        known = attempts is not None and attempt in attempts
+        if known:
+            attempts.remove(attempt)
+        if self.timeline is not None:
+            self.timeline.record(
+                "attempt.fail",
+                task.task_id,
+                app=self.app_id,
+                executor=executor.executor_id,
+                reason=reason,
+            )
+        if known and not attempts:
+            self._attempts.pop(task.task_id, None)
+            if not task.cancelled and task.finished_at is None:
+                self._handle_task_failure(task, executor.node_id, reason)
+        if (
+            not executor.running_tasks
+            and executor.owner == self.app_id
+            and executor.healthy
+            and self.manager is not None
+        ):
+            self.manager.on_executor_idle(self, executor)
+        self._dispatch()
 
     def _cpu_factor(self, node_id: str) -> float:
         if self.fault_injector is None:

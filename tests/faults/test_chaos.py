@@ -1,0 +1,90 @@
+"""Chaos plans and the chaos sweep: determinism and manager comparison."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import chaos_sweep
+from repro.faults.chaos import build_chaos_plan
+
+pytestmark = pytest.mark.faults
+
+
+def make_plan(seed=0, **kwargs):
+    return build_chaos_plan(10, 2, np.random.default_rng(seed), **kwargs)
+
+
+class TestChaosPlan:
+    def test_same_seed_same_plan(self):
+        assert list(make_plan(3)) == list(make_plan(3))
+
+    def test_different_seeds_differ(self):
+        assert list(make_plan(1)) != list(make_plan(2))
+
+    def test_counts_respected(self):
+        plan = make_plan(
+            0, node_failures=2, partitions=3, degradations=1,
+            executor_failures=0, slowdowns=0,
+        )
+        assert len(plan) == 6
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            build_chaos_plan(1, 2, rng)
+        with pytest.raises(ConfigurationError):
+            build_chaos_plan(10, 2, rng, horizon=0.0)
+
+    def test_short_horizon_supported(self):
+        # Regression: executor restart delays must stay well-ordered even
+        # when the horizon is shorter than the old fixed 5 s lower bound.
+        plan = make_plan(0, horizon=20.0)
+        assert len(plan) == 5
+
+
+class TestChaosDeterminism:
+    def test_timeline_byte_identical_across_runs(self):
+        """Same seed + same chaos plan => byte-identical event trace."""
+        config = ExperimentConfig(
+            manager="custody", workload="wordcount", num_nodes=10,
+            num_apps=2, jobs_per_app=2, seed=11, timeline_enabled=True,
+            detector_timeout=10.0, heartbeat_interval=2.0,
+        )
+        traces = []
+        for _ in range(2):
+            plan = build_chaos_plan(
+                10, 2, np.random.default_rng(11), horizon=40.0
+            )
+            result = run_experiment(config, fault_plan=plan)
+            traces.append(
+                json.dumps([r.as_dict() for r in result.timeline], sort_keys=True)
+            )
+        assert traces[0] == traces[1]
+
+
+class TestChaosSweep:
+    def test_sweep_covers_grid_and_degrades_gracefully(self):
+        base = ExperimentConfig(
+            manager="custody", workload="wordcount", num_nodes=10,
+            num_apps=2, jobs_per_app=2, seed=5, detector_timeout=10.0,
+        )
+        sweep = chaos_sweep(
+            base, levels=(0, 1), managers=("custody", "yarn"), horizon=40.0
+        )
+        assert len(sweep.cells) == 4
+        for cell in sweep.cells:
+            assert cell.unfinished_jobs == 0
+        # Level 0 is fault-free: no recovery traffic, no requeues.
+        for manager in ("custody", "yarn"):
+            baseline = sweep.cell(manager, 0)
+            assert baseline.recovery_flows == 0
+            assert baseline.tasks_requeued == 0
+        # The level-1 plan is identical across managers (common trace):
+        # both see the same fault events, hence the same recovery volume.
+        c1, y1 = sweep.cell("custody", 1), sweep.cell("yarn", 1)
+        assert c1.recovery_flows == y1.recovery_flows
+        assert c1.recovery_bytes == pytest.approx(y1.recovery_bytes)

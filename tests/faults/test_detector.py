@@ -1,0 +1,135 @@
+"""FailureDetector: the master's heartbeat-delayed view of node liveness."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faults.detector import FailureDetector, NodeHealthHistory
+from repro.simulation.engine import Simulation
+
+pytestmark = pytest.mark.faults
+
+
+def make(interval=3.0, timeout=9.0):
+    sim = Simulation()
+    return sim, FailureDetector(sim, interval=interval, timeout=timeout)
+
+
+class TestValidation:
+    def test_interval_must_be_positive(self):
+        sim = Simulation()
+        with pytest.raises(ConfigurationError):
+            FailureDetector(sim, interval=0.0, timeout=9.0)
+
+    def test_timeout_below_interval_rejected(self):
+        # A timeout shorter than one heartbeat would flap healthy nodes.
+        sim = Simulation()
+        with pytest.raises(ConfigurationError):
+            FailureDetector(sim, interval=5.0, timeout=3.0)
+
+    def test_end_outage_without_begin_rejected(self):
+        _, detector = make()
+        with pytest.raises(ConfigurationError):
+            detector.end_outage("worker-000")
+
+
+class TestLiveness:
+    def test_healthy_node_always_alive(self):
+        sim, detector = make()
+        sim.run(until=100.0)
+        assert detector.is_alive("worker-000")
+        assert detector.last_heartbeat("worker-000") == 99.0  # last 3s tick
+
+    def test_outage_detected_only_after_timeout(self):
+        sim, detector = make(interval=3.0, timeout=9.0)
+        sim.run(until=10.0)
+        detector.begin_outage("worker-000")
+        # Last heartbeat before the outage landed at t=9.
+        sim.run(until=18.0)
+        assert detector.is_alive("worker-000")  # 18 - 9 = 9 <= timeout
+        sim.run(until=18.5)
+        assert not detector.is_alive("worker-000")
+
+    def test_failure_at_time_zero_gets_full_grace(self):
+        # Registration counts as the first heartbeat: a node crashing at t=0
+        # is suspected only after `timeout`, never retroactively.
+        sim, detector = make(interval=3.0, timeout=9.0)
+        detector.begin_outage("worker-000")
+        sim.run(until=9.0)
+        assert detector.is_alive("worker-000")
+        sim.run(until=9.5)
+        assert not detector.is_alive("worker-000")
+
+    def test_recovery_trusted_from_next_heartbeat(self):
+        sim, detector = make(interval=3.0, timeout=9.0)
+        sim.run(until=10.0)
+        detector.begin_outage("worker-000")
+        sim.run(until=30.0)
+        assert not detector.is_alive("worker-000")
+        detector.end_outage("worker-000")
+        sim.run(until=30.2)
+        assert detector.is_alive("worker-000")  # tick at t=30 got through
+
+    def test_overlapping_outages_compose(self):
+        # Crash + partition on the same node: alive again only after both end.
+        sim, detector = make(interval=3.0, timeout=9.0)
+        sim.run(until=10.0)
+        detector.begin_outage("worker-000")
+        sim.run(until=12.0)
+        detector.begin_outage("worker-000")
+        sim.run(until=20.0)
+        detector.end_outage("worker-000")
+        sim.run(until=25.0)
+        assert not detector.is_alive("worker-000")  # still partitioned
+        detector.end_outage("worker-000")
+        sim.run(until=27.1)
+        assert detector.is_alive("worker-000")
+
+    def test_suspected_dead_filters(self):
+        sim, detector = make(interval=3.0, timeout=9.0)
+        sim.run(until=10.0)
+        detector.begin_outage("worker-001")
+        sim.run(until=30.0)
+        dead = detector.suspected_dead(["worker-000", "worker-001", "worker-002"])
+        assert dead == ["worker-001"]
+
+
+class TestFailureReports:
+    def test_report_marks_dead_immediately(self):
+        sim, detector = make(interval=3.0, timeout=9.0)
+        sim.run(until=5.0)
+        assert detector.is_alive("worker-000")
+        detector.report_failure("worker-000")
+        assert not detector.is_alive("worker-000")
+        assert detector.reported_failures == 1
+
+    def test_report_cleared_by_next_heartbeat(self):
+        sim, detector = make(interval=3.0, timeout=9.0)
+        sim.run(until=5.0)
+        detector.report_failure("worker-000")
+        sim.run(until=6.1)  # heartbeat tick at t=6 > report time
+        assert detector.is_alive("worker-000")
+
+    def test_report_on_actually_dead_node_stays_dead(self):
+        sim, detector = make(interval=3.0, timeout=9.0)
+        sim.run(until=10.0)
+        detector.begin_outage("worker-000")
+        sim.run(until=11.0)
+        detector.report_failure("worker-000")
+        sim.run(until=15.0)
+        # Within the heartbeat grace period, but the failed launch told the
+        # master the truth early.
+        assert not detector.is_alive("worker-000")
+
+
+class TestHistory:
+    def test_depth_counting(self):
+        hist = NodeHealthHistory()
+        assert not hist.is_out
+        hist.begin(1.0)
+        hist.begin(2.0)
+        hist.end(3.0)
+        assert hist.is_out
+        hist.end(4.0)
+        assert not hist.is_out
+        assert hist.covering_interval(2.5, 10.0) == (1.0, 4.0)
+        assert hist.covering_interval(4.0, 10.0) is None  # half-open

@@ -2,10 +2,13 @@
 
 import pytest
 
+from repro.common.errors import ConfigurationError
 from repro.common.units import GB
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.faults.plan import DiskFailure, ExecutorFailure, FaultPlan, NodeSlowdown
+
+pytestmark = pytest.mark.faults
 
 BASE = dict(
     manager="custody", workload="sort", num_nodes=12, num_apps=2,
@@ -112,6 +115,47 @@ class TestDiskFailure:
         plan = FaultPlan([DiskFailure(at=30.0, node_id="worker-000")])
         result = run_with(plan, cache_per_node=2 * GB)
         assert result.metrics.unfinished_jobs == 0
+
+
+class TestEagerValidation:
+    """Plan targets are checked at construction, not at fire time."""
+
+    def _build(self, plan):
+        from repro.cluster.cluster import Cluster, ClusterConfig
+        from repro.faults.injector import FaultInjector
+        from repro.hdfs.filesystem import HDFS
+        from repro.simulation.engine import Simulation
+
+        sim = Simulation()
+        cluster = Cluster(ClusterConfig(num_nodes=2))
+        return FaultInjector(sim, cluster, HDFS(cluster), plan)
+
+    def test_unknown_disk_node_rejected_at_construction(self):
+        # Previously a bare KeyError deep inside _fail_disk at fire time.
+        plan = FaultPlan([DiskFailure(at=1.0, node_id="worker-999")])
+        with pytest.raises(ConfigurationError, match="worker-999"):
+            self._build(plan)
+
+    def test_unknown_slowdown_node_rejected(self):
+        plan = FaultPlan(
+            [NodeSlowdown(at=1.0, node_id="nope", duration=5.0, factor=2.0)]
+        )
+        with pytest.raises(ConfigurationError, match="nope"):
+            self._build(plan)
+
+    def test_unknown_executor_rejected(self):
+        plan = FaultPlan([ExecutorFailure(at=1.0, executor_id="executor-999")])
+        with pytest.raises(ConfigurationError, match="executor-999"):
+            self._build(plan)
+
+    def test_unknown_partition_member_rejected(self):
+        from repro.faults.plan import NetworkPartition
+
+        plan = FaultPlan(
+            [NetworkPartition(at=1.0, duration=5.0, nodes=("worker-000", "ghost"))]
+        )
+        with pytest.raises(ConfigurationError, match="ghost"):
+            self._build(plan)
 
 
 class TestDeterminism:

@@ -5,6 +5,8 @@ import pytest
 from repro.common.errors import ConfigurationError
 from repro.faults.plan import DiskFailure, ExecutorFailure, FaultPlan, NodeSlowdown
 
+pytestmark = pytest.mark.faults
+
 
 class TestEvents:
     def test_node_slowdown_valid(self):

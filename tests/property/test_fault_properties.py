@@ -1,11 +1,22 @@
 """Property tests: the system survives arbitrary (bounded) fault plans."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
-from repro.faults.plan import DiskFailure, ExecutorFailure, FaultPlan, NodeSlowdown
+from repro.faults.plan import (
+    DiskFailure,
+    ExecutorFailure,
+    FaultPlan,
+    LinkDegradation,
+    NetworkPartition,
+    NodeFailure,
+    NodeSlowdown,
+)
+
+pytestmark = pytest.mark.faults
 
 NUM_NODES = 10
 NUM_EXECUTORS = NUM_NODES * 2
@@ -20,7 +31,9 @@ BASE = dict(
 def fault_plans(draw):
     events = []
     for _ in range(draw(st.integers(min_value=0, max_value=4))):
-        kind = draw(st.sampled_from(["slow", "exec", "disk"]))
+        kind = draw(
+            st.sampled_from(["slow", "exec", "disk", "node", "partition", "degrade"])
+        )
         at = draw(st.floats(min_value=0.0, max_value=60.0))
         if kind == "slow":
             events.append(
@@ -39,7 +52,7 @@ def fault_plans(draw):
                     restart_delay=draw(st.floats(min_value=0.0, max_value=30.0)),
                 )
             )
-        else:
+        elif kind == "disk":
             events.append(
                 DiskFailure(
                     at=at,
@@ -47,15 +60,56 @@ def fault_plans(draw):
                     re_replicate=draw(st.booleans()),
                 )
             )
+        elif kind == "node":
+            events.append(
+                NodeFailure(
+                    at=at,
+                    node_id=f"worker-{draw(st.integers(0, NUM_NODES - 1)):03d}",
+                    restart_delay=draw(st.floats(min_value=1.0, max_value=60.0)),
+                    re_replicate=draw(st.booleans()),
+                )
+            )
+        elif kind == "partition":
+            members = draw(
+                st.sets(
+                    st.integers(0, NUM_NODES - 1), min_size=1,
+                    max_size=NUM_NODES // 2,
+                )
+            )
+            events.append(
+                NetworkPartition(
+                    at=at,
+                    duration=draw(st.floats(min_value=1.0, max_value=40.0)),
+                    nodes=tuple(f"worker-{i:03d}" for i in sorted(members)),
+                )
+            )
+        else:
+            events.append(
+                LinkDegradation(
+                    at=at,
+                    node_id=f"worker-{draw(st.integers(0, NUM_NODES - 1)):03d}",
+                    duration=draw(st.floats(min_value=1.0, max_value=60.0)),
+                    factor=draw(st.floats(min_value=1.1, max_value=8.0)),
+                )
+            )
     return FaultPlan(events)
 
 
-@given(plan=fault_plans(), seed=st.integers(min_value=0, max_value=100))
+@given(
+    plan=fault_plans(),
+    seed=st.integers(min_value=0, max_value=100),
+    stale_views=st.booleans(),
+)
 @settings(max_examples=15, deadline=None)
-def test_every_job_finishes_despite_faults(plan, seed):
+def test_every_job_finishes_despite_faults(plan, seed, stale_views):
     """Liveness: no bounded fault plan may wedge the system."""
     result = run_experiment(
-        ExperimentConfig(seed=seed, **BASE), fault_plan=plan
+        ExperimentConfig(
+            seed=seed,
+            detector_timeout=15.0 if stale_views else None,
+            **BASE,
+        ),
+        fault_plan=plan,
     )
     assert result.metrics.unfinished_jobs == 0
 
@@ -63,15 +117,21 @@ def test_every_job_finishes_despite_faults(plan, seed):
 @given(plan=fault_plans(), seed=st.integers(min_value=0, max_value=100))
 @settings(max_examples=10, deadline=None)
 def test_task_conservation_despite_faults(plan, seed):
-    """Every non-cancelled task finishes exactly once, even when requeued."""
+    """Every task finishes exactly once or is accounted as abandoned."""
     result = run_experiment(
         ExperimentConfig(seed=seed, timeline_enabled=True, **BASE),
         fault_plan=plan,
     )
     finish_ids = [r.subject for r in result.timeline.of_kind("task.finish")]
     assert len(finish_ids) == len(set(finish_ids))
-    total_tasks = sum(len(j.all_tasks) for a in result.apps for j in a.jobs)
-    assert len(finish_ids) == total_tasks
+    finish_set = set(finish_ids)
+    tasks = [t for a in result.apps for j in a.jobs for t in j.all_tasks]
+    for task in tasks:
+        # XOR: finished exactly once, or cancelled (abandoned) — never
+        # both, never neither.
+        assert (task.task_id in finish_set) != task.cancelled
+    cancelled = sum(1 for t in tasks if t.cancelled)
+    assert len(finish_ids) == len(tasks) - cancelled
 
 
 @given(plan=fault_plans())

@@ -15,6 +15,10 @@ Commands
 ``chaos``
     Fault-injection sweep: the same seeded fault plan replayed against
     every manager at increasing fault rates.  ``--smoke`` is the CI gate.
+``trace``
+    One fully traced run (optionally under a chaos fault plan), exported as
+    Chrome/Perfetto ``trace_event`` JSON — open the file in
+    ``ui.perfetto.dev``.  ``--smoke`` is the observability CI gate.
 
 Examples::
 
@@ -24,13 +28,16 @@ Examples::
     python -m repro scenarios
     python -m repro perf --flows 100,1000,10000 --events 30
     python -m repro chaos --levels 0,1,2 --nodes 20 --detector-timeout 15
+    python -m repro trace --manager custody --faults 1 --out run.trace.json --summary
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.common.units import GB
@@ -41,7 +48,7 @@ from repro.experiments.figures import (
     figure9_input_stage,
     figure10_scheduler_delay,
 )
-from repro.experiments.persistence import save_result
+from repro.experiments.persistence import result_to_dict, save_result
 from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import (
     chaos_sweep,
@@ -83,12 +90,23 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["incremental", "reference"],
                        help="flow-rate allocator (reference = full recompute)")
 
+    def add_trace_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="also export a Chrome/Perfetto trace of the run "
+                            "(open in ui.perfetto.dev); multi-run commands "
+                            "insert the manager/level into the filename")
+
     run_p = sub.add_parser("run", help="run one experiment")
     add_common(run_p)
+    add_trace_flag(run_p)
     run_p.add_argument("--manager", default="custody",
                        choices=["custody", "standalone", "yarn", "mesos"])
     run_p.add_argument("--save", metavar="PATH", default=None,
                        help="write the result as JSON")
+    run_p.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH", dest="json_out",
+                       help="emit the full result payload as JSON "
+                            "(to stdout, or to PATH when given)")
     run_p.add_argument("--utilization", action="store_true",
                        help="also print a slot-utilization report")
     run_p.add_argument("--perf", action="store_true",
@@ -96,8 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="compare managers on one trace")
     add_common(cmp_p)
+    add_trace_flag(cmp_p)
     cmp_p.add_argument("--managers", default="standalone,custody",
                        help="comma-separated manager list")
+    cmp_p.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH", dest="json_out",
+                       help="emit per-manager result payloads as JSON "
+                            "(to stdout, or to PATH when given)")
 
     fig_p = sub.add_parser("figures", help="regenerate a paper figure")
     fig_p.add_argument("--figure", required=True, choices=["7", "8", "9", "10"])
@@ -124,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="fault-injection sweep: same fault plan, every manager"
     )
     add_common(chaos_p)
+    add_trace_flag(chaos_p)
     chaos_p.add_argument("--managers", default="custody,standalone,yarn,mesos",
                          help="comma-separated manager list")
     chaos_p.add_argument("--levels", default="0,1,2",
@@ -137,6 +161,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="small fixed CI gate: one fault level, all four "
                               "managers, asserts zero lost tasks and visible "
                               "recovery traffic")
+
+    trace_p = sub.add_parser(
+        "trace", help="one fully traced run, exported for ui.perfetto.dev"
+    )
+    add_common(trace_p)
+    trace_p.add_argument("--manager", default="custody",
+                         choices=["custody", "standalone", "yarn", "mesos"])
+    trace_p.add_argument("--out", metavar="PATH", default="run.trace.json",
+                         help="Chrome trace_event JSON output path")
+    trace_p.add_argument("--jsonl", metavar="PATH", default=None,
+                         help="also stream raw events to PATH as JSON lines")
+    trace_p.add_argument("--summary", action="store_true",
+                         help="print the text timeline summary "
+                              "(phase breakdown, slowest jobs)")
+    trace_p.add_argument("--faults", type=int, default=0,
+                         help="chaos fault level to inject (0 = fault-free)")
+    trace_p.add_argument("--horizon", type=float, default=300.0,
+                         help="fault plan horizon (s)")
+    trace_p.add_argument("--detector-timeout", type=float, default=15.0,
+                         help="failure-detector timeout (s); 0 = ground truth")
+    trace_p.add_argument("--smoke", action="store_true",
+                         help="observability CI gate: small chaos run, "
+                              "schema-validate the export, require events "
+                              "from all five instrumented layers")
     return parser
 
 
@@ -156,7 +204,31 @@ def _config(args: argparse.Namespace, manager: str) -> ExperimentConfig:
         timeline_enabled=getattr(args, "utilization", False),
         network_engine=args.network_engine,
         perf_counters=getattr(args, "perf", False),
+        trace=getattr(args, "trace", None) is not None,
     )
+
+
+def _suffixed(path: str, tag: str) -> Path:
+    """``run.trace.json`` + ``custody`` -> ``run.trace.custody.json``."""
+    p = Path(path)
+    return p.with_name(f"{p.stem}.{tag}{p.suffix or '.json'}")
+
+
+def _write_trace(result, path: str) -> Path:
+    from repro.obs.export import write_chrome_trace
+
+    meta = {"manager": result.config.manager, "seed": result.config.seed,
+            "workload": result.config.workload}
+    return write_chrome_trace(result.trace_events or [], path, other_data=meta)
+
+
+def _emit_json(payload, dest: str) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text)
+    else:
+        Path(dest).write_text(text + "\n")
+        print(f"json: {dest}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -179,6 +251,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.save:
         path = save_result(result, args.save)
         print(f"\nsaved: {path}")
+    if args.trace:
+        print(f"trace: {_write_trace(result, args.trace)}")
+    if args.json_out:
+        _emit_json(result_to_dict(result), args.json_out)
     return 0
 
 
@@ -186,10 +262,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     managers = [m.strip() for m in args.managers.split(",") if m.strip()]
     results = {}
     for manager in managers:
-        results[manager] = run_experiment(_config(args, manager)).metrics
+        results[manager] = run_experiment(_config(args, manager))
     print(comparison_table(
-        results, title=f"{args.workload} on {args.nodes} nodes (common trace)"
+        {m: r.metrics for m, r in results.items()},
+        title=f"{args.workload} on {args.nodes} nodes (common trace)",
     ))
+    if args.trace:
+        for manager, result in results.items():
+            print(f"trace: {_write_trace(result, str(_suffixed(args.trace, manager)))}")
+    if args.json_out:
+        _emit_json({m: result_to_dict(r) for m, r in results.items()},
+                   args.json_out)
     return 0
 
 
@@ -310,6 +393,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         perf_counters=True,
     )
     sweep = chaos_sweep(base, levels=levels, managers=managers, horizon=horizon)
+    if args.trace:
+        for (manager, level), result in sorted(sweep.results.items()):
+            out = _suffixed(args.trace, f"{manager}.L{level}")
+            print(f"trace: {_write_trace(result, str(out))}")
     print(format_table(
         ["manager", "level", "loc%", "min loc%", "avg JCT", "requeued",
          "failed att.", "abandoned", "data loss", "dead launch",
@@ -355,6 +442,86 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.faults.chaos import build_chaos_plan
+    from repro.obs.events import LAYERS
+    from repro.obs.export import chrome_trace, validate_chrome_trace
+    from repro.obs.sinks import JsonlSink, RingSink
+    from repro.obs.tracer import Tracer
+
+    if args.smoke:
+        # Same fixed scenario as the chaos gate so CI always traces a run
+        # with real faults, recovery traffic and all five layers active.
+        args.nodes, args.apps, args.jobs = 12, 2, 2
+        args.workload = "wordcount"
+        args.faults = max(args.faults, 1)
+        args.horizon, args.detector_timeout = 40.0, 10.0
+    detector_timeout = args.detector_timeout if args.detector_timeout > 0 else None
+    config = replace(
+        _config(args, args.manager),
+        trace=True,
+        detector_timeout=detector_timeout,
+    )
+    fault_plan = None
+    if args.faults > 0:
+        rng = np.random.default_rng([config.seed, 7919, args.faults])
+        fault_plan = build_chaos_plan(
+            config.num_nodes, config.executors_per_node, rng,
+            node_failures=args.faults, partitions=args.faults,
+            degradations=args.faults, executor_failures=args.faults,
+            slowdowns=args.faults, horizon=args.horizon,
+        )
+
+    ring = RingSink()
+    sinks = [ring]
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    tracer = Tracer(sinks=sinks)
+    result = run_experiment(config, fault_plan=fault_plan, tracer=tracer)
+    tracer.close()
+    events = ring.events()
+
+    meta = {"manager": args.manager, "seed": config.seed,
+            "workload": config.workload, "faults": args.faults}
+    data = chrome_trace(events, other_data=meta)
+    Path(args.out).write_text(json.dumps(data))
+
+    counts = {layer: 0 for layer in LAYERS}
+    for event in events:
+        counts[event.cat] = counts.get(event.cat, 0) + 1
+    print(f"trace: {args.out}  ({len(events)} events"
+          f"{f', {ring.dropped} dropped' if ring.dropped else ''})")
+    print("  " + "   ".join(f"{layer}: {counts[layer]}" for layer in LAYERS))
+    if args.jsonl:
+        print(f"jsonl: {args.jsonl}")
+    print(f"simulated time: {result.sim_time:.1f} s   "
+          f"finished jobs: {result.metrics.finished_jobs}")
+
+    if args.summary:
+        from repro.obs.report import trace_summary
+
+        print("\n" + trace_summary(events, dropped=ring.dropped))
+
+    problems = validate_chrome_trace(data)
+    missing = [layer for layer in LAYERS if not counts[layer]]
+    if args.smoke and (problems or missing):
+        print("\ntrace smoke FAILED:", file=sys.stderr)
+        for p in problems[:20]:
+            print(f"  - schema: {p}", file=sys.stderr)
+        for layer in missing:
+            print(f"  - no events from layer {layer!r}", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("\ntrace smoke passed: export validates against the schema, "
+              "all five layers emitted events.")
+    elif problems:
+        print(f"\nwarning: export has {len(problems)} schema problems",
+              file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -365,6 +532,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "perf": _cmd_perf,
         "chaos": _cmd_chaos,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

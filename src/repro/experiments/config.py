@@ -66,6 +66,8 @@ class ExperimentConfig:
     validate_plans: bool = False
     network_engine: str = "incremental"  # flow-rate allocator: incremental | reference
     perf_counters: bool = False  # collect PerfCounters from the network hot path
+    trace: bool = False  # attach a repro.obs Tracer (ring sink) to the run
+    trace_sample_interval: float = 5.0  # sim-seconds between time-series samples
     # ------------------------------------------------ failure-handling knobs
     heartbeat_interval: float = 3.0  # worker heartbeat period (seconds)
     detector_timeout: Optional[float] = None  # None: managers see ground truth
@@ -152,6 +154,11 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "re_replication_parallelism must be >= 1, "
                 f"got {self.re_replication_parallelism}"
+            )
+        if self.trace_sample_interval <= 0:
+            raise ConfigurationError(
+                f"trace_sample_interval must be positive, "
+                f"got {self.trace_sample_interval}"
             )
         if self.app_weights is not None:
             if len(self.app_weights) != self.num_apps:

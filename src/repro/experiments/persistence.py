@@ -32,8 +32,13 @@ _FORMAT_VERSION = 1
 
 
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
-    """The JSON-serialisable projection of a result."""
-    return {
+    """The JSON-serialisable projection of a result.
+
+    ``perf`` and ``faults`` appear only when the run collected them
+    (``load_result`` reads its fixed keys and passes these through
+    untouched, so their presence does not bump the format version).
+    """
+    payload = {
         "format_version": _FORMAT_VERSION,
         "config": asdict(result.config),
         "metrics": asdict(result.metrics),
@@ -42,6 +47,11 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
         "speculative_launches": result.speculative_launches,
         "speculative_wins": result.speculative_wins,
     }
+    if result.perf is not None:
+        payload["perf"] = result.perf.as_dict()
+    if result.faults is not None:
+        payload["faults"] = result.faults.as_dict()
+    return payload
 
 
 def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:

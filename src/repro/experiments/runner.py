@@ -45,6 +45,10 @@ from repro.metrics.collector import (
     PerfCounters,
 )
 from repro.network.fabric import NetworkFabric
+from repro.obs.events import DRIVER, ENGINE, NETWORK
+from repro.obs.sinks import RingSink
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.obs.tracer import Tracer
 from repro.scheduling.driver import ApplicationDriver
 from repro.scheduling.policies import (
     DelayScheduler,
@@ -79,6 +83,9 @@ class ExperimentResult:
     speculative_wins: int = 0
     perf: Optional[PerfCounters] = None
     faults: Optional[FaultStats] = None
+    tracer: Optional[Tracer] = None
+    trace_events: Optional[list] = None
+    sampler: Optional[TimeSeriesSampler] = None
 
 
 def _make_placement(config: ExperimentConfig) -> PlacementPolicy:
@@ -112,6 +119,7 @@ def _make_manager(
     cluster: Cluster,
     streams: RngStreams,
     timeline: Optional[Timeline],
+    tracer: Optional[Tracer] = None,
 ) -> ClusterManager:
     weights = None
     if config.app_weights is not None:
@@ -125,10 +133,16 @@ def _make_manager(
             spread=config.spread,
             weights=weights,
             timeline=timeline,
+            tracer=tracer,
         )
     if config.manager == "yarn":
         return YarnManager(
-            sim, cluster, num_apps=config.num_apps, weights=weights, timeline=timeline
+            sim,
+            cluster,
+            num_apps=config.num_apps,
+            weights=weights,
+            timeline=timeline,
+            tracer=tracer,
         )
     if config.manager == "mesos":
         return MesosManager(
@@ -138,6 +152,7 @@ def _make_manager(
             offer_interval=config.mesos_offer_interval,
             weights=weights,
             timeline=timeline,
+            tracer=tracer,
         )
     return CustodyManager(
         sim,
@@ -147,7 +162,57 @@ def _make_manager(
         validate=config.validate_plans,
         weights=weights,
         timeline=timeline,
+        tracer=tracer,
     )
+
+
+def _make_sampler(
+    config: ExperimentConfig,
+    sim: Simulation,
+    tracer: Tracer,
+    cluster: Cluster,
+    fabric: NetworkFabric,
+    drivers: Dict[str, ApplicationDriver],
+) -> TimeSeriesSampler:
+    """Standard time-series probes: utilization, queues, locality, network."""
+    sampler = TimeSeriesSampler(sim, tracer, interval=config.trace_sample_interval)
+    executors = cluster.executors
+    total_slots = sum(e.slots for e in executors) or 1
+
+    def busy_fraction() -> float:
+        return sum(len(e.running_tasks) for e in executors) / total_slots
+
+    def pending_tasks() -> float:
+        return float(sum(len(d.runnable_tasks) for d in drivers.values()))
+
+    def local_job_fraction() -> float:
+        decided = locals_ = 0
+        for driver in drivers.values():
+            for job in driver.app.jobs:
+                if job.is_local_job is not None:
+                    decided += 1
+                    locals_ += bool(job.is_local_job)
+        return locals_ / decided if decided else 0.0
+
+    sampler.add_series("executors.busy_fraction", busy_fraction, cat=DRIVER)
+    sampler.add_series("tasks.pending", pending_tasks, cat=DRIVER)
+    sampler.add_series("jobs.local_fraction", local_job_fraction, cat=DRIVER)
+    sampler.add_series(
+        "net.throughput", fabric.aggregate_rate, cat=NETWORK, track="fabric"
+    )
+    sampler.add_series(
+        "engine.pending_events",
+        lambda: float(sim.pending_events),
+        cat=ENGINE,
+        track="engine",
+    )
+    sampler.add_series(
+        "engine.events_processed",
+        lambda: float(sim.events_processed),
+        cat=ENGINE,
+        track="engine",
+    )
+    return sampler
 
 
 def run_experiment(
@@ -156,6 +221,7 @@ def run_experiment(
     max_sim_time: float = 1e7,
     fault_plan: Optional[FaultPlan] = None,
     trace: Optional[SubmissionTrace] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ExperimentResult:
     """Execute one evaluation run; see module docstring.
 
@@ -168,16 +234,25 @@ def run_experiment(
     generated common schedule — its app ids must be a subset of
     ``config.app_ids`` and its per-app job indices contiguous from zero
     (one job is built per event, in trace order).
+    ``tracer`` attaches an observability tracer (:mod:`repro.obs`) to every
+    layer of the stack; when None and ``config.trace`` is set, a default
+    :class:`Tracer` with an in-memory ring sink is built.  The tracer's
+    clock is bound to this run's virtual clock either way.
     """
     streams = RngStreams(seed=config.seed)
     sim = Simulation()
     timeline = Timeline(clock=lambda: sim.now, enabled=config.timeline_enabled)
     perf = PerfCounters() if config.perf_counters else None
+    if tracer is None and config.trace:
+        tracer = Tracer(sinks=[RingSink()])
+    if tracer is not None:
+        tracer.clock = lambda: sim.now
     fabric = NetworkFabric(
         sim,
         timeline=timeline if config.timeline_enabled else None,
         engine=config.network_engine,
         counters=perf,
+        tracer=tracer,
     )
     cluster = Cluster(
         ClusterConfig(
@@ -232,7 +307,7 @@ def run_experiment(
             input_fraction=config.kmn_fraction,
         )
 
-    manager = _make_manager(config, sim, cluster, streams, timeline)
+    manager = _make_manager(config, sim, cluster, streams, timeline, tracer)
     injector: Optional[FaultInjector] = None
     detector: Optional[FailureDetector] = None
     if fault_plan is not None and len(fault_plan):
@@ -241,6 +316,7 @@ def run_experiment(
                 sim,
                 interval=config.heartbeat_interval,
                 timeout=config.detector_timeout,
+                tracer=tracer,
             )
         injector = FaultInjector(
             sim, cluster, hdfs, fault_plan,
@@ -249,6 +325,7 @@ def run_experiment(
             detector=detector,
             network_timeout=config.network_timeout,
             re_replication_parallelism=config.re_replication_parallelism,
+            tracer=tracer,
         )
         injector.bind_manager(manager)
         manager.fault_injector = injector
@@ -274,6 +351,7 @@ def run_experiment(
             blacklist_threshold=config.blacklist_threshold,
             blacklist_window=config.blacklist_window,
             blacklist_timeout=config.blacklist_timeout,
+            tracer=tracer,
         )
         drivers[app_id] = driver
         manager.register_driver(driver)
@@ -281,6 +359,11 @@ def run_experiment(
     for event in trace:
         job = jobs[(event.app_id, event.job_index)]
         sim.schedule_at(event.time, drivers[event.app_id].submit_job, job)
+
+    sampler: Optional[TimeSeriesSampler] = None
+    if tracer is not None and tracer.enabled:
+        sampler = _make_sampler(config, sim, tracer, cluster, fabric, drivers)
+        sampler.start()
 
     # Drain events up to the safety cap without advancing the clock past the
     # last real event (run(until=...) would park the clock at the cap).
@@ -339,4 +422,7 @@ def run_experiment(
         speculative_wins=sum(d.speculative_wins for d in drivers.values()),
         perf=perf,
         faults=faults,
+        tracer=tracer,
+        trace_events=tracer.events() if tracer is not None else None,
+        sampler=sampler,
     )

@@ -18,9 +18,11 @@ exactly equivalent and costs O(#outage intervals) per query.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
+from repro.obs.events import HeartbeatMiss
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.engine import Simulation
 
 __all__ = ["FailureDetector", "NodeHealthHistory"]
@@ -89,7 +91,14 @@ class FailureDetector:
         Must be at least ``interval`` or healthy nodes would flap.
     """
 
-    def __init__(self, sim: Simulation, *, interval: float = 3.0, timeout: float = 15.0):
+    def __init__(
+        self,
+        sim: Simulation,
+        *,
+        interval: float = 3.0,
+        timeout: float = 15.0,
+        tracer: Optional[Tracer] = None,
+    ):
         if interval <= 0:
             raise ConfigurationError(f"heartbeat interval must be positive, got {interval}")
         if timeout < interval:
@@ -99,6 +108,7 @@ class FailureDetector:
         self.sim = sim
         self.interval = interval
         self.timeout = timeout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._history: Dict[str, NodeHealthHistory] = {}
         #: node id → last time a failed launch was reported against it
         self._reported: Dict[str, float] = {}
@@ -128,6 +138,10 @@ class FailureDetector:
         succeeds (the node actually recovered)."""
         self._reported[node_id] = max(self._reported.get(node_id, 0.0), self.sim.now)
         self.reported_failures += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                HeartbeatMiss(self.sim.now, track=node_id, attrs={"node": node_id})
+            )
 
     def last_heartbeat(self, node_id: str) -> float:
         """Arrival time of the node's most recent successful heartbeat.

@@ -37,6 +37,8 @@ from repro.faults.plan import (
 )
 from repro.hdfs.filesystem import HDFS
 from repro.network.fabric import NetworkFabric
+from repro.obs.events import FaultHealed, FaultInjected, RecoveryFlow
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.engine import Simulation
 from repro.simulation.process import Process
 from repro.simulation.timeline import Timeline
@@ -75,6 +77,7 @@ class FaultInjector:
         detector: Optional[FailureDetector] = None,
         network_timeout: float = 30.0,
         re_replication_parallelism: int = 4,
+        tracer: Optional[Tracer] = None,
     ):
         if network_timeout <= 0:
             raise ConfigurationError(
@@ -90,6 +93,7 @@ class FaultInjector:
         self.hdfs = hdfs
         self.plan = plan
         self.timeline = timeline
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fabric = fabric
         self.detector = detector
         self.network_timeout = network_timeout
@@ -211,6 +215,15 @@ class FaultInjector:
         if self.manager is not None:
             self.manager.on_executors_changed()
 
+    # -------------------------------------------------------------- tracing
+    def _trace_fault(self, kind: str, target: str, *, healed: bool = False, **attrs) -> None:
+        """Emit a FaultInjected/FaultHealed instant on the target's track."""
+        if not self.tracer.enabled:
+            return
+        cls = FaultHealed if healed else FaultInjected
+        attrs.update(kind=kind, target=target)
+        self.tracer.emit(cls(self.sim.now, track=target, attrs=attrs))
+
     # ------------------------------------------------------------- slowdowns
     def _start_slowdown(self, event: NodeSlowdown) -> None:
         self.injected += 1
@@ -222,12 +235,18 @@ class FaultInjector:
                 "fault.slowdown", event.node_id,
                 factor=event.factor, duration=event.duration,
             )
+        self._trace_fault(
+            "slowdown", event.node_id, factor=event.factor, duration=event.duration
+        )
         self.sim.schedule(event.duration, self._gc_slowdowns, event.node_id)
 
     def _gc_slowdowns(self, node_id: str) -> None:
         now = self.sim.now
         active = self._slowdowns.get(node_id, [])
+        expired = sum(1 for end, _ in active if end <= now)
         self._slowdowns[node_id] = [(end, f) for end, f in active if end > now]
+        if expired:
+            self._trace_fault("slowdown", node_id, healed=True)
 
     # -------------------------------------------------------------- executors
     def _fail_executor(self, event: ExecutorFailure) -> None:
@@ -235,6 +254,9 @@ class FaultInjector:
         self.injected += 1
         if self.timeline is not None:
             self.timeline.record("fault.executor", event.executor_id)
+        self._trace_fault(
+            "executor", event.executor_id, restart_delay=event.restart_delay
+        )
         if executor.executor_id in self._failed_executors:
             return  # already down
         self._kill_executor(executor)
@@ -266,6 +288,7 @@ class FaultInjector:
         executor.healthy = True
         if self.timeline is not None:
             self.timeline.record("fault.executor.restart", executor.executor_id)
+        self._trace_fault("executor", executor.executor_id, healed=True)
         self._notify_manager()
 
     # ------------------------------------------------------------------ disks
@@ -276,6 +299,7 @@ class FaultInjector:
             self.timeline.record(
                 "fault.disk", event.node_id, replicas_lost=len(lost)
             )
+        self._trace_fault("disk", event.node_id, replicas_lost=len(lost))
         if event.re_replicate:
             self._re_replicate(event.node_id, lost)
 
@@ -339,6 +363,7 @@ class FaultInjector:
             self.timeline.record(
                 "fault.node", node_id, restart_delay=event.restart_delay
             )
+        self._trace_fault("node", node_id, restart_delay=event.restart_delay)
         if node_id in self._down_nodes:
             return  # already down
         self._down_nodes.add(node_id)
@@ -374,6 +399,7 @@ class FaultInjector:
         self.mttr.setdefault("node", []).append(self.sim.now - failed_at)
         if self.timeline is not None:
             self.timeline.record("fault.node.restore", node_id)
+        self._trace_fault("node", node_id, healed=True, after=self.sim.now - failed_at)
         if self.fabric is not None:
             self.fabric.refresh_stalled()
         self._notify_manager()
@@ -387,6 +413,9 @@ class FaultInjector:
             self.timeline.record(
                 "fault.partition", ",".join(sorted(part)), duration=event.duration
             )
+        self._trace_fault(
+            "partition", ",".join(sorted(part)), duration=event.duration
+        )
         if self.detector is not None:
             for node in sorted(part):
                 self.detector.begin_outage(node)
@@ -404,6 +433,12 @@ class FaultInjector:
         self.mttr.setdefault("partition", []).append(self.sim.now - started)
         if self.timeline is not None:
             self.timeline.record("fault.partition.heal", ",".join(sorted(part)))
+        self._trace_fault(
+            "partition",
+            ",".join(sorted(part)),
+            healed=True,
+            after=self.sim.now - started,
+        )
         if self.fabric is not None:
             self.fabric.refresh_stalled()
         self._notify_manager()
@@ -419,6 +454,9 @@ class FaultInjector:
                 "fault.degradation", event.node_id,
                 factor=event.factor, duration=event.duration,
             )
+        self._trace_fault(
+            "degradation", event.node_id, factor=event.factor, duration=event.duration
+        )
         self._apply_link_scale(event.node_id)
         self.sim.schedule(
             event.duration, self._end_degradation, event.node_id, self.sim.now
@@ -431,6 +469,7 @@ class FaultInjector:
         self.mttr.setdefault("degradation", []).append(now - started)
         if self.timeline is not None:
             self.timeline.record("fault.degradation.end", node_id)
+        self._trace_fault("degradation", node_id, healed=True, after=now - started)
         self._apply_link_scale(node_id)
 
     def _apply_link_scale(self, node_id: str) -> None:
@@ -530,6 +569,7 @@ class FaultInjector:
             yield transfer.done
         except TransferFailedError:
             self._rr_active -= 1
+            self._trace_recovery(transfer, block, target, "transfer-failed")
             self._rr_retry(block.block_id, exclude, retries, "transfer-failed")
             self._pump_re_replication()
             return
@@ -541,4 +581,28 @@ class FaultInjector:
             self.hdfs.datanodes[target].store(block)
             self.hdfs.namenode.add_replica(block.block_id, target)
             self.replicas_restored += 1
+            self._trace_recovery(transfer, block, target, "restored")
+        else:
+            self._trace_recovery(transfer, block, target, "superseded")
         self._pump_re_replication()
+
+    def _trace_recovery(self, transfer, block, target: str, outcome: str) -> None:
+        """Emit one re-replication copy's lifetime as a RecoveryFlow span."""
+        if not self.tracer.enabled:
+            return
+        now = self.sim.now
+        self.tracer.emit(
+            RecoveryFlow(
+                transfer.started_at,
+                dur=now - transfer.started_at,
+                track=transfer.src,
+                lane=f"recovery:{transfer.src}",
+                attrs={
+                    "block": block.block_id,
+                    "src": transfer.src,
+                    "dst": target,
+                    "bytes": block.size,
+                    "outcome": outcome,
+                },
+            )
+        )

@@ -16,6 +16,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.cluster.cluster import Cluster
 from repro.cluster.executor import Executor
 from repro.common.errors import AllocationError, ConfigurationError
+from repro.obs.events import AllocationRound, ExecutorGrant
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.engine import Simulation
 from repro.simulation.timeline import Timeline
 from repro.workload.job import Job
@@ -40,6 +42,7 @@ class ClusterManager(abc.ABC):
         num_apps: int,
         weights: Optional[Dict[str, float]] = None,
         timeline: Optional[Timeline] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if num_apps < 1:
             raise ConfigurationError(f"num_apps must be >= 1, got {num_apps}")
@@ -53,6 +56,7 @@ class ClusterManager(abc.ABC):
         self.num_apps = num_apps
         self.weights = weights
         self.timeline = timeline
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.drivers: Dict[str, "ApplicationDriver"] = {}
         self.allocation_rounds = 0
         #: set by the experiment runner under fault injection; None otherwise.
@@ -125,6 +129,20 @@ class ClusterManager(abc.ABC):
                     app=driver.app_id,
                     node=executor.node_id,
                 )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ExecutorGrant(
+                        self.sim.now,
+                        track=executor.node_id,
+                        lane=executor.executor_id,
+                        attrs={
+                            "app": driver.app_id,
+                            "executor": executor.executor_id,
+                            "node": executor.node_id,
+                            "ok": False,
+                        },
+                    )
+                )
             return False
         executor.allocate(driver.app_id)
         if self.timeline is not None:
@@ -133,6 +151,20 @@ class ClusterManager(abc.ABC):
                 executor.executor_id,
                 app=driver.app_id,
                 node=executor.node_id,
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ExecutorGrant(
+                    self.sim.now,
+                    track=executor.node_id,
+                    lane=executor.executor_id,
+                    attrs={
+                        "app": driver.app_id,
+                        "executor": executor.executor_id,
+                        "node": executor.node_id,
+                        "ok": True,
+                    },
+                )
             )
         driver.attach_executor(executor)
         return True
@@ -151,7 +183,30 @@ class ClusterManager(abc.ABC):
             self.timeline.record(
                 "executor.release", executor.executor_id, app=driver.app_id
             )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "executor.release",
+                "manager",
+                track=executor.node_id,
+                lane=executor.executor_id,
+                app=driver.app_id,
+            )
         return True
+
+    def trace_round(self, **attrs) -> None:
+        """Emit one :class:`AllocationRound` event for the pass just run.
+
+        Subclasses call this at the end of their allocation entry point with
+        their policy-specific decision detail; the round ordinal and policy
+        name are filled in here.  No-op while tracing is off.
+        """
+        if not self.tracer.enabled:
+            return
+        attrs.setdefault("round", self.allocation_rounds)
+        attrs.setdefault("manager", self.name)
+        self.tracer.emit(
+            AllocationRound(self.sim.now, track=f"manager:{self.name}", attrs=attrs)
+        )
 
     def free_pool(self) -> List[Executor]:
         """Free executors *as the master believes them* (creation order).

@@ -54,9 +54,15 @@ class CustodyManager(ClusterManager):
         validate: bool = False,
         weights=None,
         timeline: Optional[Timeline] = None,
+        tracer=None,
     ):
         super().__init__(
-            sim, cluster, num_apps=num_apps, weights=weights, timeline=timeline
+            sim,
+            cluster,
+            num_apps=num_apps,
+            weights=weights,
+            timeline=timeline,
+            tracer=tracer,
         )
         self.allocator = DataAwareAllocator(
             fill=fill, executor_capacity=cluster.config.executor_slots
@@ -113,6 +119,18 @@ class CustodyManager(ClusterManager):
                 granted=plan.total_granted,
                 promised=len(plan.assignment),
             )
+        # Algorithm 1/2 decision record: which apps demanded, how much idle
+        # capacity the max-min pass saw, and the grant pick order it chose.
+        self.trace_round(
+            demand_apps=sum(1 for a in demands if a.jobs),
+            demand_tasks=sum(len(j.tasks) for a in demands for j in a.jobs),
+            idle=len(idle),
+            granted=plan.total_granted,
+            promised=len(plan.assignment),
+            grants=",".join(
+                f"{app}:{len(execs)}" for app, execs in plan.grants.items() if execs
+            ),
+        )
         self.last_plan = plan
         return plan
 

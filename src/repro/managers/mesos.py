@@ -44,9 +44,15 @@ class MesosManager(ClusterManager):
         offer_interval: float = 1.0,
         weights=None,
         timeline: Optional[Timeline] = None,
+        tracer=None,
     ):
         super().__init__(
-            sim, cluster, num_apps=num_apps, weights=weights, timeline=timeline
+            sim,
+            cluster,
+            num_apps=num_apps,
+            weights=weights,
+            timeline=timeline,
+            tracer=tracer,
         )
         if offer_interval <= 0:
             raise ValueError(f"offer_interval must be positive, got {offer_interval}")
@@ -80,9 +86,17 @@ class MesosManager(ClusterManager):
     # -------------------------------------------------------------------- offers
     def _offer_all_free(self) -> None:
         self.allocation_rounds += 1
+        made_before, rejected_before = self.offers_made, self.offers_rejected
+        offered = 0
         for executor in self.free_pool():
             if executor.is_free:  # may have been taken earlier this sweep
                 self._offer_one(executor)
+                offered += 1
+        self.trace_round(
+            executors_offered=offered,
+            offers=self.offers_made - made_before,
+            rejected=self.offers_rejected - rejected_before,
+        )
 
     def _offer_one(self, executor: Executor) -> None:
         """Offer one executor round-robin; arm a retry if everyone declines."""

@@ -49,9 +49,15 @@ class StandaloneManager(ClusterManager):
         spread: bool = False,
         weights=None,
         timeline: Optional[Timeline] = None,
+        tracer=None,
     ):
         super().__init__(
-            sim, cluster, num_apps=num_apps, weights=weights, timeline=timeline
+            sim,
+            cluster,
+            num_apps=num_apps,
+            weights=weights,
+            timeline=timeline,
+            tracer=tracer,
         )
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.spread = spread
@@ -67,6 +73,9 @@ class StandaloneManager(ClusterManager):
         for executor in chosen:
             self.grant(driver, executor)
         self.allocation_rounds += 1
+        self.trace_round(
+            app=driver.app_id, granted=len(chosen), quota=quota, spread=self.spread
+        )
 
     def on_executors_changed(self) -> None:
         """Node crash/restart: replace lost executors.

@@ -49,6 +49,8 @@ class YarnManager(ClusterManager):
     def _resize_all(self) -> None:
         """Shrink over-provisioned apps, then grow under-provisioned ones."""
         self.allocation_rounds += 1
+        shrunk = 0
+        grown = 0
         # Shrink first so the freed executors can serve growth below.
         for driver in self._driver_order():
             target = min(self.needed_executors(driver), self.quota_of(driver.app_id))
@@ -60,6 +62,7 @@ class YarnManager(ClusterManager):
                     break
                 if self.revoke_idle(driver, executor):
                     surplus -= 1
+                    shrunk += 1
         # Grow: first-come free executors, no data awareness.
         for driver in self._driver_order():
             target = min(self.needed_executors(driver), self.quota_of(driver.app_id))
@@ -71,6 +74,12 @@ class YarnManager(ClusterManager):
                     break
                 if self.grant(driver, executor):
                     deficit -= 1
+                    grown += 1
+        self.trace_round(
+            shrunk=shrunk,
+            granted=grown,
+            demand_tasks=sum(d.outstanding_tasks for d in self.drivers.values()),
+        )
 
     def _driver_order(self):
         """Deterministic round order: most under-provisioned first."""

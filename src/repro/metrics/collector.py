@@ -74,8 +74,10 @@ class PerfCounters:
         return (
             f"flow events: {self.flow_events}   reallocations: {self.reallocations}   "
             f"recomputes: {self.recomputes}   flows/recompute: "
-            f"{self.flows_per_recompute:.1f}   rate updates: {self.rate_updates}   "
-            f"recompute wall: {self.recompute_seconds:.3f}s"
+            f"{self.flows_per_recompute:.1f}   links touched: {self.links_touched}   "
+            f"rate updates: {self.rate_updates}   "
+            f"recompute wall: {self.recompute_seconds:.3f}s   "
+            f"realloc wall: {self.realloc_seconds:.3f}s"
         )
 
 
@@ -158,6 +160,26 @@ class ExperimentMetrics:
     def min_local_job_fraction(self) -> float:
         """The max-min objective: worst application's local-job fraction."""
         return min(self.local_job_fraction_per_app) if self.local_job_fraction_per_app else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready projection (derived min-fraction included)."""
+        return {
+            "finished_jobs": self.finished_jobs,
+            "unfinished_jobs": self.unfinished_jobs,
+            "locality_mean": self.locality_mean,
+            "locality_std": self.locality_std,
+            "locality_min": self.locality_min,
+            "local_job_fraction_per_app": list(self.local_job_fraction_per_app),
+            "min_local_job_fraction": self.min_local_job_fraction,
+            "avg_jct": self.avg_jct,
+            "avg_input_stage_time": self.avg_input_stage_time,
+            "avg_scheduler_delay": self.avg_scheduler_delay,
+            "makespan": self.makespan,
+            "fairness_index": self.fairness_index,
+            "per_workload_jct": dict(self.per_workload_jct),
+            "per_workload_locality": dict(self.per_workload_locality),
+            "locality_levels": dict(self.locality_levels),
+        }
 
 
 class MetricsCollector:

@@ -36,6 +36,8 @@ from repro.common.ids import IdFactory
 from repro.network.bandwidth import LinkCapacities, maxmin_rates
 from repro.network.rate_engine import RateEngine
 from repro.network.transfer import Transfer
+from repro.obs.events import TransferSpan
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.engine import EventHandle, Simulation
 from repro.simulation.timeline import Timeline
 
@@ -70,6 +72,7 @@ class NetworkFabric:
         timeline: Optional[Timeline] = None,
         engine: str = "incremental",
         counters: Optional[object] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if engine not in ("incremental", "reference"):
             raise ConfigurationError(
@@ -78,10 +81,11 @@ class NetworkFabric:
         self.sim = sim
         self.timeline = timeline
         self.counters = counters
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.capacities = LinkCapacities()
         self.engine_mode = engine
         self._engine: Optional[RateEngine] = (
-            RateEngine(self.capacities, counters=counters)
+            RateEngine(self.capacities, counters=counters, tracer=self.tracer)
             if engine == "incremental"
             else None
         )
@@ -154,6 +158,30 @@ class NetworkFabric:
         """Number of flows currently in flight."""
         return len(self._active)
 
+    def aggregate_rate(self) -> float:
+        """Sum of currently allocated flow rates (bytes/s) — sampler probe."""
+        return sum(t.rate for t in self._active.values())
+
+    def _trace_transfer(self, transfer: Transfer, outcome: str) -> None:
+        """Emit a finished/failed flow's lifetime as a TransferSpan."""
+        if not self.tracer.enabled:
+            return
+        now = self.sim.now
+        self.tracer.emit(
+            TransferSpan(
+                transfer.started_at,
+                dur=now - transfer.started_at,
+                track=transfer.src,
+                lane=f"nic:{transfer.src}",
+                attrs={
+                    "src": transfer.src,
+                    "dst": transfer.dst,
+                    "size": transfer.size,
+                    "outcome": outcome,
+                },
+            )
+        )
+
     def start_transfer(self, src: str, dst: str, size: float) -> Transfer:
         """Begin moving ``size`` bytes from ``src`` to ``dst``.
 
@@ -185,6 +213,9 @@ class NetworkFabric:
                 self.timeline.record(
                     "transfer.stall", transfer.transfer_id, src=src, dst=dst
                 )
+            self.tracer.instant(
+                "net.stall", "network", track=src, lane=f"nic:{src}", dst=dst
+            )
             if self.counters is not None:
                 self.counters.flow_events += 1
             return transfer
@@ -241,6 +272,7 @@ class NetworkFabric:
             self.timeline.record("transfer.fail", transfer.transfer_id, cause=cause)
         if self.counters is not None:
             self.counters.flow_events += 1
+        self._trace_transfer(transfer, cause)
         transfer.done.fail(TransferFailedError(transfer.transfer_id, cause))
 
     def fail_transfer(self, transfer: Transfer, cause: str = "aborted") -> None:
@@ -302,6 +334,13 @@ class NetworkFabric:
                 self.timeline.record(
                     "transfer.unstall", tid, src=transfer.src, dst=transfer.dst
                 )
+            self.tracer.instant(
+                "net.unstall",
+                "network",
+                track=transfer.src,
+                lane=f"nic:{transfer.src}",
+                dst=transfer.dst,
+            )
             if self.counters is not None:
                 self.counters.flow_events += 1
         if released:
@@ -327,6 +366,7 @@ class NetworkFabric:
                 else []
             )
             changed = [(t.transfer_id, r) for t, r in zip(transfers, rates)]
+        applied = 0
         for transfer_id, rate in changed:
             transfer = self._active.get(transfer_id)
             if transfer is None or rate == transfer.rate:
@@ -335,6 +375,7 @@ class NetworkFabric:
                 # across both engine modes.
                 continue
             transfer.set_rate(now, rate)
+            applied += 1
             token = self._token.get(transfer_id, 0) + 1
             self._token[transfer_id] = token
             eta = transfer.eta(now)
@@ -351,6 +392,16 @@ class NetworkFabric:
         if counters is not None:
             counters.reallocations += 1
             counters.realloc_seconds += time.perf_counter() - started
+        # Virtual-time facts only (never the wall clock) keep traces
+        # deterministic across machines.
+        if applied and self.tracer.enabled:
+            self.tracer.instant(
+                "net.flush",
+                "network",
+                track="fabric",
+                changed=applied,
+                active=len(self._active),
+            )
 
     def _entry_live(self, entry: _HeapEntry) -> bool:
         _, _, token, transfer = entry
@@ -413,5 +464,6 @@ class NetworkFabric:
                     transfer.transfer_id,
                     duration=now - transfer.started_at,
                 )
+            self._trace_transfer(transfer, "ok")
             transfer.done.trigger(transfer)
         self.sim.defer(self, self._flush)

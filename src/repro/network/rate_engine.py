@@ -51,15 +51,26 @@ class RateEngine:
         Optional perf-counter sink (duck-typed, see
         :class:`repro.metrics.collector.PerfCounters`); when given, every
         recompute accounts its component size and wall time there.
+    tracer:
+        Optional :class:`repro.obs.tracer.Tracer`; when tracing is enabled
+        each non-trivial recompute emits a ``net.recompute`` instant with
+        the affected subgraph's size (virtual-time facts only — the wall
+        time measured for ``counters`` never enters the trace).
 
     Flows are identified by caller-chosen hashable ids.  Loopback flows
     (``src == dst``) follow the reference contract: validated, rated
     ``inf``, and never consuming capacity.
     """
 
-    def __init__(self, capacities: LinkCapacities, counters: Optional[object] = None):
+    def __init__(
+        self,
+        capacities: LinkCapacities,
+        counters: Optional[object] = None,
+        tracer: Optional[object] = None,
+    ):
         self.capacities = capacities
         self.counters = counters
+        self.tracer = tracer
         self._flows: Dict[Hashable, Tuple[str, str]] = {}
         self._seq: Dict[Hashable, int] = {}
         self._next_seq = 0
@@ -194,6 +205,14 @@ class RateEngine:
             self.counters.recomputes += 1
             self.counters.flows_touched += len(affected)
             self.counters.recompute_seconds += time.perf_counter() - started
+        if affected and self.tracer is not None and self.tracer.enabled:
+            self.tracer.instant(
+                "net.recompute",
+                "network",
+                track="fabric",
+                flows=len(affected),
+                total=len(self._flows),
+            )
         return changed
 
     def _affected_flows(self) -> Set[Hashable]:

@@ -1,0 +1,83 @@
+"""repro.obs — sim-time tracing and timeline observability.
+
+A structured trace layer threaded through the whole simulator:
+
+* :mod:`repro.obs.events` — typed, sim-time-stamped trace events (spans,
+  instants, counters) for every layer (engine, manager, driver, network,
+  faults).
+* :mod:`repro.obs.tracer` — the :class:`Tracer` fan-out object components
+  emit into, and the module-level :data:`NULL_TRACER` no-op default that
+  makes tracing-off cost ~nothing and change no behaviour.
+* :mod:`repro.obs.sinks` — bounded in-memory ring sink and JSONL file sink.
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON exporter
+  (open the output directly in ``ui.perfetto.dev``) plus the structural
+  schema validator the CI gate runs.
+* :mod:`repro.obs.timeseries` — sim-time-interval samplers for executor
+  utilisation, queue depth, local-job fraction and network throughput.
+* :mod:`repro.obs.report` — human-readable timeline summary (per-phase
+  task-time breakdown, top-N slowest jobs with the allocation decisions
+  that produced them).
+
+Every timestamp is virtual (``Simulation.now``); traces are deterministic —
+two runs from the same seed produce identical event streams.
+"""
+
+from repro.obs.events import (
+    AllocationRound,
+    CounterEvent,
+    ExecutorGrant,
+    FaultHealed,
+    FaultInjected,
+    HeartbeatMiss,
+    JobSpan,
+    RecoveryFlow,
+    SpanEvent,
+    TaskAttempt,
+    TraceEvent,
+    TransferSpan,
+)
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.sinks import JsonlSink, RingSink, TraceSink
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "AllocationRound",
+    "CounterEvent",
+    "ExecutorGrant",
+    "FaultHealed",
+    "FaultInjected",
+    "HeartbeatMiss",
+    "JobSpan",
+    "JsonlSink",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecoveryFlow",
+    "RingSink",
+    "SpanEvent",
+    "TaskAttempt",
+    "TimeSeriesSampler",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "TransferSpan",
+    "chrome_trace",
+    "trace_summary",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def __getattr__(name):
+    # trace_summary is imported lazily (PEP 562): obs.report renders tables
+    # via repro.metrics, which sits *above* the core modules that import
+    # repro.obs.events — an eager import here would be circular.
+    if name == "trace_summary":
+        from repro.obs.report import trace_summary
+
+        return trace_summary
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

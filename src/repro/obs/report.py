@@ -1,0 +1,153 @@
+"""Human-readable timeline summary of one traced run.
+
+:func:`trace_summary` turns a trace-event stream into the terminal report
+the ``repro trace --summary`` flag (and the ``trace`` subcommand by
+default) prints: a per-phase breakdown of where task time went
+(queue → input → run), the locality mix, per-layer event counts, network
+and fault tallies, and the top-N slowest jobs annotated with the
+allocation activity that produced them — the paper's story ("did the
+allocator hand the right executors out before the stage needed them?") in
+one screen.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.metrics.report import format_table
+from repro.obs.events import (
+    AllocationRound,
+    ExecutorGrant,
+    JobSpan,
+    TaskAttempt,
+    TraceEvent,
+    TransferSpan,
+)
+
+__all__ = ["trace_summary"]
+
+
+def _phase_breakdown(attempts: List[TaskAttempt]) -> str:
+    done = [a for a in attempts if a.get("outcome") == "success"]
+    if not done:
+        return "task phases: no successful attempts traced"
+    totals = {"queue": 0.0, "input": 0.0, "run": 0.0}
+    for a in done:
+        for phase in totals:
+            totals[phase] += float(a.get(phase) or 0.0)
+    grand = sum(totals.values()) or 1.0
+    rows = [
+        [phase, totals[phase], totals[phase] / len(done), 100.0 * totals[phase] / grand]
+        for phase in ("queue", "input", "run")
+    ]
+    return format_table(
+        ["phase", "total s", "mean s", "share %"],
+        rows,
+        title=f"task-time breakdown ({len(done)} successful attempts)",
+    )
+
+
+def _locality_line(attempts: List[TaskAttempt]) -> str:
+    levels = Counter(
+        a.get("locality")
+        for a in attempts
+        if a.get("outcome") == "success" and a.get("locality") is not None
+    )
+    total = sum(levels.values())
+    if not total:
+        return "locality: no input attempts traced"
+    parts = " ".join(
+        f"{lvl}: {100.0 * n / total:.1f}%" for lvl, n in sorted(levels.items())
+    )
+    return f"locality ({total} input attempts): {parts}"
+
+
+def _slowest_jobs(
+    jobs: List[JobSpan],
+    rounds: List[AllocationRound],
+    grants: List[ExecutorGrant],
+    top_n: int,
+) -> str:
+    if not jobs:
+        return "jobs: none finished in the traced window"
+    ranked = sorted(jobs, key=lambda j: (-j.dur, j.get("job") or ""))[:top_n]
+    rows = []
+    for span in ranked:
+        app = span.get("app", "")
+        window = (span.ts, span.end)
+        in_window = [r for r in rounds if window[0] <= r.ts <= window[1]]
+        app_grants = [
+            g
+            for g in grants
+            if g.get("app") == app and window[0] <= g.ts <= window[1]
+        ]
+        dead = sum(1 for g in app_grants if not g.get("ok", True))
+        nodes = sorted({g.get("node") for g in app_grants if g.get("node")})
+        rows.append(
+            [
+                span.get("job", ""),
+                app,
+                span.dur,
+                span.get("local_job"),
+                len(in_window),
+                f"{len(app_grants)}" + (f" ({dead} dead)" if dead else ""),
+                ",".join(nodes[:4]) + ("…" if len(nodes) > 4 else ""),
+            ]
+        )
+    return format_table(
+        ["job", "app", "jct s", "local", "alloc rounds", "grants to app", "nodes"],
+        rows,
+        title=f"top {len(rows)} slowest jobs (with allocation activity in their window)",
+    )
+
+
+def trace_summary(
+    events: Iterable[TraceEvent], *, top_n: int = 5, dropped: int = 0
+) -> str:
+    """Render the full text report for one run's trace."""
+    events = list(events)
+    by_layer: Counter = Counter(e.cat for e in events)
+    attempts = [e for e in events if isinstance(e, TaskAttempt)]
+    jobs = [e for e in events if isinstance(e, JobSpan)]
+    rounds = [e for e in events if isinstance(e, AllocationRound)]
+    grants = [e for e in events if isinstance(e, ExecutorGrant)]
+    transfers = [e for e in events if isinstance(e, TransferSpan)]
+    faults = [e for e in events if e.cat == "faults"]
+
+    lines: List[str] = []
+    layer_mix = " ".join(f"{k}: {v}" for k, v in sorted(by_layer.items()))
+    head = f"trace: {len(events)} events ({layer_mix})"
+    if dropped:
+        head += f"  [ring dropped {dropped} oldest events — summary is partial]"
+    lines.append(head)
+
+    span = [e.ts for e in events]
+    if span:
+        lines.append(f"window: t={min(span):.3f}s → t={max(span):.3f}s (virtual)")
+
+    failed_attempts = sum(1 for a in attempts if a.get("outcome") != "success")
+    lines.append(
+        f"attempts: {len(attempts)} traced, {failed_attempts} not successful; "
+        f"allocation rounds: {len(rounds)}; executor grants: {len(grants)} "
+        f"({sum(1 for g in grants if not g.get('ok', True))} on dead nodes)"
+    )
+    if transfers:
+        ok = [t for t in transfers if t.get("outcome") == "ok"]
+        moved = sum(float(t.get("size") or 0.0) for t in ok)
+        mean = sum(t.dur for t in ok) / len(ok) if ok else 0.0
+        lines.append(
+            f"network: {len(transfers)} transfers ({len(transfers) - len(ok)} "
+            f"failed), {moved / 1e9:.2f} GB moved, mean duration {mean:.3f}s"
+        )
+    if faults:
+        kinds = Counter(f"{e.name}" for e in faults)
+        lines.append(
+            "faults: " + " ".join(f"{k}: {v}" for k, v in sorted(kinds.items()))
+        )
+    lines.append("")
+    lines.append(_phase_breakdown(attempts))
+    lines.append(_locality_line(attempts))
+    lines.append("")
+    lines.append(_slowest_jobs(jobs, rounds, grants, top_n))
+    return "\n".join(lines)

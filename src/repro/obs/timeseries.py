@@ -1,0 +1,95 @@
+"""Sim-time-interval samplers feeding counter series into a tracer.
+
+A :class:`TimeSeriesSampler` probes a set of named callables every
+``interval`` virtual seconds and emits one
+:class:`~repro.obs.events.CounterEvent` per series per tick (plus an
+in-memory copy in :attr:`samples` for reports and tests).
+
+The sampler is careful never to keep the simulation alive on its own: the
+experiment runner runs to *quiescence* (empty event queue), so a naively
+self-rescheduling probe would tick forever.  Each tick therefore re-arms
+only while the simulation still has other pending work; when the last real
+event has fired the sampler falls silent and the run ends exactly as it
+would have untraced (the sampled values themselves are read-only probes, so
+enabling tracing never changes simulation behaviour).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.obs.events import ENGINE
+from repro.obs.tracer import Tracer
+from repro.simulation.engine import EventHandle, Simulation
+
+__all__ = ["TimeSeriesSampler"]
+
+
+class TimeSeriesSampler:
+    """Samples registered probes on a fixed virtual-time grid."""
+
+    def __init__(self, sim: Simulation, tracer: Tracer, interval: float = 5.0):
+        if interval <= 0:
+            raise ConfigurationError(
+                f"sample interval must be positive, got {interval}"
+            )
+        self.sim = sim
+        self.tracer = tracer
+        self.interval = interval
+        self._series: List[Tuple[str, str, str, Callable[[], float]]] = []
+        #: series name → [(t, value), ...] in tick order
+        self.samples: Dict[str, List[Tuple[float, float]]] = {}
+        self._event: Optional[EventHandle] = None
+        self.ticks = 0
+
+    def add_series(
+        self,
+        name: str,
+        probe: Callable[[], float],
+        *,
+        cat: str = ENGINE,
+        track: str = "cluster",
+    ) -> None:
+        """Register a probe; ``probe()`` must be read-only and cheap."""
+        if any(n == name for n, _, _, _ in self._series):
+            raise ConfigurationError(f"duplicate series {name!r}")
+        self._series.append((name, cat, track, probe))
+        self.samples[name] = []
+
+    def start(self) -> None:
+        """Take the t=0 sample and arm the periodic grid."""
+        self._sample()
+        self._arm()
+
+    def latest(self, name: str) -> Optional[float]:
+        """Most recent value of one series (None before the first tick)."""
+        points = self.samples.get(name)
+        return points[-1][1] if points else None
+
+    # ----------------------------------------------------------------- ticks
+    def _arm(self) -> None:
+        # Next grid point strictly after now (floating-robust).
+        now = self.sim.now
+        k = math.floor(now / self.interval) + 1
+        when = k * self.interval
+        if when <= now:
+            when = now + self.interval
+        self._event = self.sim.schedule_at(when, self._tick)
+
+    def _tick(self) -> None:
+        self._event = None
+        self._sample()
+        # Re-arm only while other work exists, else the probe itself would
+        # keep the event queue non-empty forever and break run-to-quiescence.
+        if self.sim.pending_events > 0 or self.sim.deferred_count > 0:
+            self._arm()
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        self.ticks += 1
+        for name, cat, track, probe in self._series:
+            value = float(probe())
+            self.samples[name].append((now, value))
+            self.tracer.counter(name, cat, value, track=track)

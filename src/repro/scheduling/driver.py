@@ -39,6 +39,8 @@ from repro.cluster.executor import Executor
 from repro.common.errors import AllocationError, TransferFailedError
 from repro.hdfs.filesystem import HDFS
 from repro.network.fabric import NetworkFabric
+from repro.obs.events import JobSpan, TaskAttempt
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.scheduling.policies import TaskScheduler
 from repro.simulation.engine import EventHandle, Simulation
 from repro.simulation.process import AllOf, Interrupt, Process, Timeout
@@ -92,6 +94,7 @@ class ApplicationDriver:
         blacklist_threshold: int = 3,
         blacklist_window: float = 60.0,
         blacklist_timeout: float = 60.0,
+        tracer: Optional[Tracer] = None,
     ):
         if not (0.0 < speculation_quantile <= 1.0):
             raise ValueError(
@@ -120,6 +123,7 @@ class ApplicationDriver:
         self.fabric = fabric
         self.scheduler = scheduler
         self.timeline = timeline
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.speculation = speculation
         self.speculation_quantile = speculation_quantile
         self.speculation_multiplier = speculation_multiplier
@@ -317,6 +321,14 @@ class ApplicationDriver:
                     until=self._blacklist[node_id],
                     failures=len(recent),
                 )
+            self.tracer.instant(
+                "node.blacklist",
+                "driver",
+                track=node_id,
+                app=self.app_id,
+                until=self._blacklist[node_id],
+                failures=len(recent),
+            )
 
     def _handle_task_failure(self, task: Task, node_id: str, reason: str) -> bool:
         """Route a failed task through retry/backoff/abandon.
@@ -353,6 +365,15 @@ class ApplicationDriver:
             self._requeue_task(task, node_id, dispatch=False)
             return True
         delay = min(self.retry_backoff * (2.0 ** (count - 2)), 60.0)
+        self.tracer.instant(
+            "task.retry",
+            "driver",
+            track=self.app_id,
+            task=task.task_id,
+            count=count,
+            delay=delay,
+            reason=reason,
+        )
         if delay <= 0:
             self._requeue_task(task, node_id, dispatch=False)
             return True
@@ -404,6 +425,9 @@ class ApplicationDriver:
             self.timeline.record(
                 "task.abandon", task.task_id, app=self.app_id, reason=reason
             )
+        self.tracer.instant(
+            "task.abandon", "driver", track=self.app_id, task=task.task_id, reason=reason
+        )
         key = (task.job_id, task.stage_index)
         remaining = self._stage_remaining.get(key, 0)
         if remaining <= 0:
@@ -470,6 +494,13 @@ class ApplicationDriver:
         when = self.scheduler.next_wakeup(self._runnable, self.sim.now)
         if when is not None and when > self.sim.now:
             self._wakeup = self.sim.schedule_at(when, self._dispatch)
+            self.tracer.instant(
+                "driver.delay_wait",
+                "driver",
+                track=self.app_id,
+                until=when,
+                queued=len(self._runnable),
+            )
 
     # ------------------------------------------------------------ speculation
     def _launch_speculative_attempts(self) -> None:
@@ -540,6 +571,43 @@ class ApplicationDriver:
         return candidates[0]
 
     # ---------------------------------------------------------------- attempts
+    def _trace_attempt(
+        self, attempt: _Attempt, outcome: str, read_time: Optional[float] = None
+    ) -> None:
+        """Emit the attempt's lifetime as a TaskAttempt span (tracing only).
+
+        The span covers launch→now on the executor's lane; successful
+        attempts carry the queue→input→run phase split and the locality
+        tag, failed/killed ones just the outcome.
+        """
+        if not self.tracer.enabled:
+            return
+        task, executor = attempt.task, attempt.executor
+        now = self.sim.now
+        attrs = {
+            "task": task.task_id,
+            "app": self.app_id,
+            "outcome": outcome,
+            "speculative": attempt.speculative,
+        }
+        if task.submitted_at is not None:
+            attrs["queue"] = attempt.started_at - task.submitted_at
+        if outcome == "success":
+            if read_time is not None:
+                attrs["input"] = read_time
+                attrs["run"] = (now - attempt.started_at) - read_time
+            if task.locality_level is not None:
+                attrs["locality"] = task.locality_level
+        self.tracer.emit(
+            TaskAttempt(
+                attempt.started_at,
+                dur=now - attempt.started_at,
+                track=executor.node_id,
+                lane=executor.executor_id,
+                attrs=attrs,
+            )
+        )
+
     def _start_attempt(self, task: Task, executor: Executor, *, speculative: bool) -> None:
         now = self.sim.now
         executor.start_task(task.task_id)
@@ -574,6 +642,7 @@ class ApplicationDriver:
         attempts = self._attempts.get(attempt.task.task_id)
         if attempts and attempt in attempts:
             attempts.remove(attempt)
+        self._trace_attempt(attempt, "killed")
         if attempt.process is not None and attempt.process.alive:
             attempt.process.interrupt("killed", immediate=True)
         # A not-yet-started process takes the async interrupt path: its
@@ -700,6 +769,7 @@ class ApplicationDriver:
                 executor=executor.executor_id,
                 reason=reason,
             )
+        self._trace_attempt(attempt, reason)
         if known and not attempts:
             self._attempts.pop(task.task_id, None)
             if not task.cancelled and task.finished_at is None:
@@ -782,6 +852,7 @@ class ApplicationDriver:
                 duration=task.duration,
                 speculative=attempt.speculative,
             )
+        self._trace_attempt(attempt, "success", read_time)
         job = self._jobs[task.job_id]
         key = (task.job_id, task.stage_index)
         self._stage_nodes[key].append(executor.node_id)
@@ -829,6 +900,21 @@ class ApplicationDriver:
                 app=self.app_id,
                 jct=job.completion_time,
                 local_job=job.is_local_job,
+            )
+        if self.tracer.enabled and job.submitted_at is not None:
+            self.tracer.emit(
+                JobSpan(
+                    job.submitted_at,
+                    dur=self.sim.now - job.submitted_at,
+                    track=self.app_id,
+                    lane=job.job_id,
+                    attrs={
+                        "job": job.job_id,
+                        "app": self.app_id,
+                        "local_job": job.is_local_job,
+                        "inputs": job.num_input_tasks,
+                    },
+                )
             )
         if self.manager is not None:
             self.manager.on_job_finished(self, job)

@@ -75,6 +75,7 @@ class Simulation:
         self._running = False
         self._finished = False
         self.events_processed = 0
+        self.deferred_flushes = 0
 
     # ------------------------------------------------------------------ clock
     @property
@@ -148,6 +149,7 @@ class Simulation:
             for callback, args in deferred.values():
                 callback(*args)
             self.events_processed += 1
+            self.deferred_flushes += 1
             return True
         if not self._queue:
             return False
@@ -194,6 +196,28 @@ class Simulation:
     def pending_events(self) -> int:
         """Number of live (non-cancelled, unfired) events in the queue."""
         return sum(1 for h in self._queue if h.pending)
+
+    @property
+    def deferred_count(self) -> int:
+        """Coalesced end-of-instant callbacks waiting to flush."""
+        return len(self._deferred)
+
+    def stats(self) -> Dict[str, Any]:
+        """Read-only event-loop counters for observability probes.
+
+        Everything here is maintained on existing paths (no extra hot-path
+        bookkeeping); a trace sampler can poll this at any frequency without
+        perturbing the run.
+        """
+        return {
+            "now": self._now,
+            "events_processed": self.events_processed,
+            "events_scheduled": self._seq,
+            "deferred_flushes": self.deferred_flushes,
+            "pending_events": self.pending_events,
+            "deferred_pending": len(self._deferred),
+            "heap_size": len(self._queue),
+        }
 
     def _drop_dead_events(self) -> None:
         """Pop cancelled events off the top of the heap."""

@@ -1,0 +1,108 @@
+"""Chrome trace_event export and the structural schema validator."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    DRIVER,
+    MANAGER,
+    NETWORK,
+    CounterEvent,
+    SpanEvent,
+    TraceEvent,
+)
+from repro.obs.export import chrome_trace, validate_chrome_trace, write_chrome_trace
+
+pytestmark = pytest.mark.obs
+
+
+def sample_events():
+    return [
+        SpanEvent(1.0, "task.attempt", DRIVER, "node-1", "exec-1",
+                  {"outcome": "success"}, dur=2.5),
+        TraceEvent(2.0, "executor.grant", MANAGER, "master", "",
+                   {"app": "a-0"}),
+        CounterEvent(5.0, "net.throughput", NETWORK, "fabric", value=3.5),
+    ]
+
+
+class TestChromeTrace:
+    def test_span_maps_to_complete_event_in_microseconds(self):
+        data = chrome_trace(sample_events())
+        spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        (span,) = spans
+        assert span["ts"] == pytest.approx(1.0e6)
+        assert span["dur"] == pytest.approx(2.5e6)
+        assert span["args"] == {"outcome": "success"}
+
+    def test_instant_gets_thread_scope(self):
+        data = chrome_trace(sample_events())
+        (inst,) = [e for e in data["traceEvents"] if e["ph"] == "i"]
+        assert inst["s"] == "t"
+        assert inst["args"] == {"app": "a-0"}
+
+    def test_counter_carries_value_arg(self):
+        data = chrome_trace(sample_events())
+        (ctr,) = [e for e in data["traceEvents"] if e["ph"] == "C"]
+        assert ctr["args"] == {"value": 3.5}
+
+    def test_tracks_become_named_processes(self):
+        data = chrome_trace(sample_events())
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        process_names = {e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        assert {"node-1", "master", "fabric"} <= process_names
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert "exec-1" in thread_names
+
+    def test_pid_tid_assignment_is_deterministic(self):
+        a = chrome_trace(sample_events())
+        b = chrome_trace(sample_events())
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_other_data_passthrough(self):
+        data = chrome_trace([], other_data={"manager": "custody", "seed": 7})
+        assert data["otherData"] == {"manager": "custody", "seed": 7}
+        assert data["displayTimeUnit"] == "ms"
+
+    def test_write_round_trip(self, tmp_path):
+        path = write_chrome_trace(sample_events(), tmp_path / "run.trace.json")
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+
+
+class TestValidator:
+    def test_valid_export_passes(self):
+        assert validate_chrome_trace(chrome_trace(sample_events())) == []
+
+    def test_top_level_must_be_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_bad_phase_flagged(self):
+        data = chrome_trace(sample_events())
+        data["traceEvents"][-1]["ph"] = "Q"
+        assert any("bad phase" in p for p in validate_chrome_trace(data))
+
+    def test_missing_name_flagged(self):
+        data = chrome_trace(sample_events())
+        data["traceEvents"][-1]["name"] = ""
+        assert any("name" in p for p in validate_chrome_trace(data))
+
+    def test_unknown_category_flagged(self):
+        data = chrome_trace([TraceEvent(1.0, "x", cat=DRIVER)])
+        for ev in data["traceEvents"]:
+            if ev["ph"] != "M":
+                ev["cat"] = "mystery"
+        assert any("cat" in p for p in validate_chrome_trace(data))
+
+    def test_negative_duration_flagged(self):
+        data = chrome_trace(sample_events())
+        for ev in data["traceEvents"]:
+            if ev["ph"] == "X":
+                ev["dur"] = -1.0
+        assert any("dur" in p for p in validate_chrome_trace(data))
+
+    def test_missing_trace_events_flagged(self):
+        assert validate_chrome_trace({"displayTimeUnit": "ms"}) != []

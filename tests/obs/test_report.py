@@ -1,0 +1,78 @@
+"""trace_summary text report over a small synthetic event stream."""
+
+import pytest
+
+from repro.obs.events import (
+    AllocationRound,
+    ExecutorGrant,
+    FaultInjected,
+    JobSpan,
+    TaskAttempt,
+    TransferSpan,
+)
+from repro.obs.report import trace_summary
+
+pytestmark = pytest.mark.obs
+
+
+def sample_stream():
+    return [
+        AllocationRound(0.0, track="master", attrs={"round": 0}),
+        ExecutorGrant(0.1, track="master",
+                      attrs={"app": "a-0", "executor": "e1", "node": "n1"}),
+        ExecutorGrant(0.2, track="master",
+                      attrs={"app": "a-0", "executor": "e2", "node": "n2",
+                             "ok": False}),
+        TaskAttempt(1.0, track="n1", lane="e1", dur=4.0,
+                    attrs={"task": "t1", "app": "a-0", "outcome": "success",
+                           "queue": 1.0, "input": 2.0, "run": 2.0,
+                           "locality": "node"}),
+        TaskAttempt(1.0, track="n2", lane="e2", dur=1.0,
+                    attrs={"task": "t2", "app": "a-0", "outcome": "killed"}),
+        TransferSpan(2.0, track="n1", dur=1.0,
+                     attrs={"src": "n1", "dst": "n2", "size": 2e9,
+                            "outcome": "ok"}),
+        FaultInjected(3.0, track="n2", attrs={"kind": "node", "target": "n2"}),
+        JobSpan(0.0, track="a-0", lane="j1", dur=6.0,
+                attrs={"job": "j1", "app": "a-0", "local_job": True}),
+    ]
+
+
+def test_summary_mentions_every_section():
+    text = trace_summary(sample_stream())
+    assert "8 events" in text
+    assert "window: t=0.000s → t=3.000s" in text
+    assert "attempts: 2 traced, 1 not successful" in text
+    assert "executor grants: 2 (1 on dead nodes)" in text
+    assert "1 transfers (0 failed), 2.00 GB moved" in text
+    assert "fault.injected: 1" in text
+    assert "task-time breakdown (1 successful attempts)" in text
+    assert "locality (1 input attempts): node: 100.0%" in text
+    assert "j1" in text and "slowest jobs" in text
+
+
+def test_phase_shares_sum_to_hundred():
+    text = trace_summary(sample_stream())
+    # queue=1, input=2, run=2 → shares 20/40/40
+    assert "20" in text and "40" in text
+
+
+def test_dropped_events_flagged():
+    text = trace_summary(sample_stream(), dropped=5)
+    assert "dropped 5" in text and "partial" in text
+
+
+def test_empty_stream_is_harmless():
+    text = trace_summary([])
+    assert "0 events" in text
+    assert "no successful attempts" in text
+    assert "none finished" in text
+
+
+def test_top_n_limits_job_table():
+    jobs = [JobSpan(0.0, lane=f"j{i}", dur=float(i + 1),
+                    attrs={"job": f"j{i}", "app": "a-0"}) for i in range(6)]
+    text = trace_summary(jobs, top_n=2)
+    assert "top 2 slowest jobs" in text
+    assert "j5" in text and "j4" in text
+    assert "j0  " not in text

@@ -1,0 +1,78 @@
+"""TimeSeriesSampler: grid ticks, probes, and the quiescence rule."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.events import CounterEvent, DRIVER
+from repro.obs.sinks import RingSink
+from repro.obs.timeseries import TimeSeriesSampler
+from repro.obs.tracer import Tracer
+
+pytestmark = pytest.mark.obs
+
+
+def make_sampler(sim, interval=5.0):
+    ring = RingSink()
+    tracer = Tracer(clock=lambda: sim.now, sinks=[ring])
+    return TimeSeriesSampler(sim, tracer, interval=interval), ring
+
+
+def test_rejects_nonpositive_interval(sim):
+    tracer = Tracer(clock=lambda: sim.now)
+    with pytest.raises(ConfigurationError):
+        TimeSeriesSampler(sim, tracer, interval=0.0)
+
+
+def test_rejects_duplicate_series(sim):
+    sampler, _ = make_sampler(sim)
+    sampler.add_series("x", lambda: 1.0)
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        sampler.add_series("x", lambda: 2.0)
+
+
+def test_samples_on_the_virtual_grid(sim):
+    sampler, ring = make_sampler(sim, interval=5.0)
+    values = iter(range(100))
+    sampler.add_series("count", lambda: float(next(values)), cat=DRIVER)
+    sim.schedule_at(17.0, lambda: None)  # keeps the sim alive to t=17
+    sampler.start()
+    sim.run()
+    times = [t for t, _ in sampler.samples["count"]]
+    assert times == [0.0, 5.0, 10.0, 15.0, 20.0]
+    emitted = [e for e in ring.events() if isinstance(e, CounterEvent)]
+    assert [e.ts for e in emitted] == times
+    assert all(e.name == "count" for e in emitted)
+
+
+def test_sampler_never_keeps_sim_alive(sim):
+    """With no other pending work the sampler must let the run end."""
+    sampler, _ = make_sampler(sim, interval=1.0)
+    sampler.add_series("x", lambda: 0.0)
+    sim.schedule_at(2.5, lambda: None)
+    sampler.start()
+    sim.run()
+    final = sim.now
+    # One trailing tick past the last real event is allowed (the grid point
+    # armed while work was still pending), but nothing beyond it.
+    assert final <= 3.0 + 1.0
+    assert sim.pending_events == 0
+
+
+def test_latest_returns_most_recent_value(sim):
+    sampler, _ = make_sampler(sim, interval=2.0)
+    box = {"v": 1.0}
+    sampler.add_series("v", lambda: box["v"])
+    assert sampler.latest("v") is None
+    sim.schedule_at(3.0, lambda: box.update(v=9.0))
+    sampler.start()
+    sim.run()
+    assert sampler.latest("v") == 9.0
+
+
+def test_probes_do_not_run_when_probe_list_empty(sim):
+    sampler, ring = make_sampler(sim)
+    sim.schedule_at(12.0, lambda: None)
+    sampler.start()
+    sim.run()
+    assert sampler.ticks >= 1
+    assert ring.events() == []

@@ -1,0 +1,118 @@
+"""Scaling bench — incremental allocation control plane vs reference.
+
+Times full Custody allocation rounds (release, demand build, two-level
+max-min, grant application) under single-app-per-instant churn at growing
+tenant counts (see :mod:`repro.experiments.allocbench` for the workload
+model) and verifies the two control planes produce identical plans every
+round.
+
+Three entry points:
+
+* ``pytest benchmarks/bench_alloc_scale.py`` — the ``bench``-marked test
+  runs the 4→32-tenant trajectory and asserts the acceptance floor (≥10×
+  at the largest size);
+* ``python benchmarks/bench_alloc_scale.py --smoke`` — the CI perf gate:
+  a small fixed point with a conservative speedup floor, exits non-zero
+  on regression;
+* ``python benchmarks/bench_alloc_scale.py`` — the printable trajectory,
+  written to ``BENCH_alloc.json``.
+"""
+
+import argparse
+import sys
+
+import pytest
+
+from common import emit
+
+from repro.experiments.allocbench import run_alloc_bench, write_alloc_trajectory
+from repro.metrics.report import format_table
+
+#: CI smoke gate: at this scale the cached control plane must beat the
+#: from-scratch rebuild by at least this factor.  The measured margin is
+#: ~7x, so the floor only trips on a genuine algorithmic regression.
+SMOKE_SIZE = (8, 12, 12, 3)  # apps, jobs/app, tasks/job, replication
+SMOKE_ROUNDS = 120
+SMOKE_MIN_SPEEDUP = 3.0
+
+#: Acceptance floor from the issue: >=10x at the largest swept size.
+#: Measured ~25x there (32 tenants, 96% demand-cache hit rate).
+ACCEPTANCE_SIZE = (32, 30, 24, 3)
+ACCEPTANCE_MIN_SPEEDUP = 10.0
+
+#: The printable trajectory (the acceptance size is the last entry).
+TRAJECTORY = [(4, 6, 8, 2), (8, 12, 12, 3), (16, 20, 16, 3), ACCEPTANCE_SIZE]
+
+
+def _emit_points(points) -> None:
+    emit(format_table(
+        ["apps", "jobs/app", "tasks/job", "repl", "reference s",
+         "incremental s", "speedup", "cache hit"],
+        [[p.apps, p.jobs_per_app, p.tasks_per_job, p.replication,
+          p.reference_seconds, p.incremental_seconds, p.speedup,
+          p.demand_cache_hit_rate] for p in points],
+        title="allocation control-plane scaling (plan-equality checked per round)",
+    ))
+
+
+@pytest.mark.bench
+@pytest.mark.slow
+def test_bench_alloc_scale():
+    """Trajectory through 32 tenants; asserts the acceptance speedup floor."""
+    points = run_alloc_bench(TRAJECTORY, rounds=200)
+    _emit_points(points)
+    write_alloc_trajectory(points)
+    top = points[-1]
+    assert (top.apps, top.jobs_per_app, top.tasks_per_job, top.replication) \
+        == ACCEPTANCE_SIZE
+    assert top.plans_equal
+    assert top.speedup >= ACCEPTANCE_MIN_SPEEDUP, (
+        f"incremental control plane only {top.speedup:.1f}x faster at "
+        f"{top.apps} apps (need >= {ACCEPTANCE_MIN_SPEEDUP}x)"
+    )
+
+
+def smoke() -> int:
+    """CI perf gate: one modest point, conservative floor, loud verdict."""
+    points = run_alloc_bench([SMOKE_SIZE], rounds=SMOKE_ROUNDS)
+    point = points[0]
+    print(
+        f"smoke: {point.apps} apps x {point.jobs_per_app} jobs x "
+        f"{point.tasks_per_job} tasks (r={point.replication}), "
+        f"{point.rounds} rounds — reference {point.reference_seconds:.3f}s, "
+        f"incremental {point.incremental_seconds:.3f}s, "
+        f"speedup {point.speedup:.1f}x (gate {SMOKE_MIN_SPEEDUP}x), "
+        f"cache hit {point.demand_cache_hit_rate:.0%}, "
+        f"plans equal: {point.plans_equal}"
+    )
+    if point.speedup < SMOKE_MIN_SPEEDUP:
+        print("PERF REGRESSION: incremental control plane lost its edge",
+              file=sys.stderr)
+        return 1
+    print("smoke ok")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI perf gate")
+    parser.add_argument("--rounds", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_alloc.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    points = run_alloc_bench(TRAJECTORY, rounds=args.rounds, seed=args.seed)
+    for p in points:
+        print(f"apps={p.apps:>3} jobs/app={p.jobs_per_app:>3} "
+              f"tasks/job={p.tasks_per_job:>3} repl={p.replication} "
+              f"ref={p.reference_seconds:.4f}s inc={p.incremental_seconds:.4f}s "
+              f"speedup={p.speedup:.1f}x cache-hit={p.demand_cache_hit_rate:.0%} "
+              f"p99 {p.reference_p99_ms:.2f}ms -> {p.incremental_p99_ms:.2f}ms")
+    if args.out:
+        print(f"saved: {write_alloc_trajectory(points, args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

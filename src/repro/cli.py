@@ -89,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--network-engine", default="incremental",
                        choices=["incremental", "reference"],
                        help="flow-rate allocator (reference = full recompute)")
+        p.add_argument("--alloc-engine", default="incremental",
+                       choices=["incremental", "reference"],
+                       help="allocation control plane (reference = per-round "
+                            "from-scratch demand rebuild)")
+        p.add_argument("--per-event-alloc", action="store_true",
+                       help="run one allocation round per job boundary instead "
+                            "of coalescing same-instant boundaries")
 
     def add_trace_flag(p: argparse.ArgumentParser) -> None:
         p.add_argument("--trace", metavar="PATH", default=None,
@@ -203,6 +210,8 @@ def _config(args: argparse.Namespace, manager: str) -> ExperimentConfig:
         speculation=args.speculation,
         timeline_enabled=getattr(args, "utilization", False),
         network_engine=args.network_engine,
+        alloc_engine=getattr(args, "alloc_engine", "incremental"),
+        alloc_coalesce=not getattr(args, "per_event_alloc", False),
         perf_counters=getattr(args, "perf", False),
         trace=getattr(args, "trace", None) is not None,
     )

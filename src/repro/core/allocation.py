@@ -21,13 +21,22 @@ to live cluster state.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.demand import AllocationPlan, AppDemand, JobDemand, TaskDemand
 from repro.core.interapp import pick_min_locality
 
-__all__ = ["DataAwareAllocator", "two_level_allocate"]
+__all__ = [
+    "ALLOCATION_ENGINES",
+    "DataAwareAllocator",
+    "two_level_allocate",
+    "two_level_allocate_incremental",
+]
+
+#: Selectable allocator implementations (both produce identical plans).
+ALLOCATION_ENGINES = ("incremental", "reference")
 
 
 @dataclass
@@ -218,16 +227,139 @@ def two_level_allocate(
     return plan
 
 
+def two_level_allocate_incremental(
+    apps: Sequence[AppDemand],
+    idle_executors: Sequence[str],
+    *,
+    fill: bool = True,
+    fill_limits: Optional[Dict[str, int]] = None,
+    executor_capacity: int = 1,
+) -> AllocationPlan:
+    """Heap-based :func:`two_level_allocate` producing bitwise-identical plans.
+
+    The reference procedure recomputes *every* application's
+    ``locality_key()`` (an O(jobs) sum each) and re-runs MINLOCALITY after
+    each single grant — O(apps × jobs) per executor handed out.  This engine
+    exploits three invariants of the round:
+
+    * an application's key changes **only** when that application itself is
+      granted (promises/satisfied-jobs are per-app state), so a heap with
+      exactly one live entry per app — pop, grant, push the new key — stays
+      consistent without ever touching the other apps;
+    * eligibility (budget left *and* a desired executor available) is
+      monotone-decreasing as the round progresses (budgets and the idle pool
+      only shrink, pending task lists only shrink), so an app popped while
+      ineligible can be dropped for the rest of the phase — and the
+      desired-step scan runs at most once per pop instead of once per
+      eligibility probe inside every MINLOCALITY pass.
+
+    The fill phase adds a third: keys do not depend on fill grants at all,
+    so the min-locality order is computed once and the remaining executors
+    are drained through a pre-built min-heap on cluster order.
+
+    Together these turn a round from O(grants × apps × jobs) into
+    O(grants × log(apps) + apps × jobs).  Same signature, same plan,
+    different cost — the equivalence suite asserts plan identity.
+    """
+    if executor_capacity < 1:
+        raise ValueError(f"executor_capacity must be >= 1, got {executor_capacity}")
+    plan = AllocationPlan()
+    rounds = {a.app_id: _AppRound(a) for a in apps}
+    available: Set[str] = set(idle_executors)
+    order = {ex: i for i, ex in enumerate(idle_executors)}
+
+    # ------------------------------------------------------- locality phase
+    # One live heap entry per app; keys are the (job %, task %, app id)
+    # tuples MINLOCALITY sorts on, unique by construction.
+    key_heap: List[Tuple[float, float, str]] = [
+        state.locality_key() for state in rounds.values()
+    ]
+    heapq.heapify(key_heap)
+
+    while available and key_heap:
+        app_id = heapq.heappop(key_heap)[2]
+        state = rounds[app_id]
+        if state.budget_left <= 0:
+            continue  # permanently ineligible — drop from the phase
+        step = state.next_desired(available, order)
+        if step is None:
+            continue  # nothing desired is (or will become) available
+        job, task, executor = step
+        available.discard(executor)
+        plan.grant(app_id, executor)
+        plan.assign(task.task_id, executor)
+        state.granted += 1
+        state.promised_tasks += 1
+        job.pending.remove(task)
+        if job.fully_promised:
+            state.satisfied_jobs += 1
+        for _ in range(executor_capacity - 1):
+            extra = _next_colocated(state, executor)
+            if extra is None:
+                break
+            extra_job, extra_task = extra
+            plan.assign(extra_task.task_id, executor)
+            state.promised_tasks += 1
+            extra_job.pending.remove(extra_task)
+            if extra_job.fully_promised:
+                state.satisfied_jobs += 1
+        heapq.heappush(key_heap, state.locality_key())
+
+    # ----------------------------------------------------------- fill phase
+    if fill and available:
+        limits = {
+            app_id: max(0, cap - rounds[app_id].granted)
+            for app_id, cap in (fill_limits or {}).items()
+        }
+        # Fill grants leave every locality key untouched, and fill
+        # eligibility (budget, per-app limit) only ever decreases — so one
+        # sorted pass, serving each app to exhaustion, reproduces the
+        # reference's pick-min-per-grant loop exactly.
+        exec_heap = [(order[ex], ex) for ex in available]
+        heapq.heapify(exec_heap)
+        for key in sorted(state.locality_key() for state in rounds.values()):
+            if not exec_heap:
+                break
+            state = rounds[key[2]]
+            while (
+                exec_heap
+                and state.budget_left > 0
+                and limits.get(key[2], 1) > 0
+            ):
+                _, executor = heapq.heappop(exec_heap)
+                available.discard(executor)
+                plan.grant(key[2], executor)
+                state.granted += 1
+                if key[2] in limits:
+                    limits[key[2]] -= 1
+
+    return plan
+
+
 class DataAwareAllocator:
-    """Object façade over :func:`two_level_allocate` with stable settings.
+    """Object façade over the allocation engines with stable settings.
 
     Keeps the fill policy in one place so the Custody manager and the
-    ablation benches construct allocation rounds identically.
+    ablation benches construct allocation rounds identically.  ``engine``
+    selects the implementation: ``"incremental"`` (heap-based, the default)
+    or ``"reference"`` (the seed from-scratch rescan) — both produce
+    bitwise-identical plans.
     """
 
-    def __init__(self, *, fill: bool = True, executor_capacity: int = 1):
+    def __init__(
+        self,
+        *,
+        fill: bool = True,
+        executor_capacity: int = 1,
+        engine: str = "incremental",
+    ):
+        if engine not in ALLOCATION_ENGINES:
+            raise ValueError(
+                f"unknown allocation engine {engine!r}; choose from {ALLOCATION_ENGINES}"
+            )
         self.fill = fill
         self.executor_capacity = executor_capacity
+        self.engine = engine
 
     def allocate(
         self,
@@ -237,7 +369,12 @@ class DataAwareAllocator:
         fill_limits: Optional[Dict[str, int]] = None,
     ) -> AllocationPlan:
         """Produce an allocation plan for one round."""
-        return two_level_allocate(
+        run = (
+            two_level_allocate_incremental
+            if self.engine == "incremental"
+            else two_level_allocate
+        )
+        return run(
             apps,
             idle_executors,
             fill=self.fill,

@@ -166,6 +166,19 @@ class AllocationPlan:
         """Tasks promised a local executor."""
         return set(self.assignment)
 
+    def signature(self) -> tuple:
+        """Canonical hashable form for plan-equality comparisons.
+
+        Grant order *within* an app is preserved (it is part of the
+        deterministic contract the engines must agree on); the order apps
+        and tasks appear in the dicts is not.
+        """
+        return (
+            tuple(sorted((a, tuple(e)) for a, e in self.grants.items())),
+            tuple(sorted(self.assignment.items())),
+            tuple(sorted((a, tuple(e)) for a, e in self.released.items())),
+        )
+
 
 def validate_plan(
     plan: AllocationPlan,

@@ -15,6 +15,7 @@ _SCHEDULERS = ("delay", "fifo", "locality-first")
 _PLACEMENTS = ("random", "rack-aware", "popularity")
 _WORKLOADS = ("pagerank", "wordcount", "sort")
 _NETWORK_ENGINES = ("incremental", "reference")
+_ALLOC_ENGINES = ("incremental", "reference")
 
 
 @dataclass(frozen=True)
@@ -65,7 +66,9 @@ class ExperimentConfig:
     timeline_enabled: bool = False
     validate_plans: bool = False
     network_engine: str = "incremental"  # flow-rate allocator: incremental | reference
-    perf_counters: bool = False  # collect PerfCounters from the network hot path
+    alloc_engine: str = "incremental"  # allocation control plane: incremental | reference
+    alloc_coalesce: bool = True  # coalesce same-instant allocation rounds
+    perf_counters: bool = False  # collect PerfCounters from the engine hot paths
     trace: bool = False  # attach a repro.obs Tracer (ring sink) to the run
     trace_sample_interval: float = 5.0  # sim-seconds between time-series samples
     # ------------------------------------------------ failure-handling knobs
@@ -122,6 +125,11 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"network_engine must be one of {_NETWORK_ENGINES}, "
                 f"got {self.network_engine!r}"
+            )
+        if self.alloc_engine not in _ALLOC_ENGINES:
+            raise ConfigurationError(
+                f"alloc_engine must be one of {_ALLOC_ENGINES}, "
+                f"got {self.alloc_engine!r}"
             )
         if self.heartbeat_interval <= 0:
             raise ConfigurationError(

@@ -120,6 +120,7 @@ def _make_manager(
     streams: RngStreams,
     timeline: Optional[Timeline],
     tracer: Optional[Tracer] = None,
+    perf: Optional[PerfCounters] = None,
 ) -> ClusterManager:
     weights = None
     if config.app_weights is not None:
@@ -134,6 +135,8 @@ def _make_manager(
             weights=weights,
             timeline=timeline,
             tracer=tracer,
+            coalesce=config.alloc_coalesce,
+            counters=perf,
         )
     if config.manager == "yarn":
         return YarnManager(
@@ -143,6 +146,8 @@ def _make_manager(
             weights=weights,
             timeline=timeline,
             tracer=tracer,
+            coalesce=config.alloc_coalesce,
+            counters=perf,
         )
     if config.manager == "mesos":
         return MesosManager(
@@ -153,6 +158,8 @@ def _make_manager(
             weights=weights,
             timeline=timeline,
             tracer=tracer,
+            coalesce=config.alloc_coalesce,
+            counters=perf,
         )
     return CustodyManager(
         sim,
@@ -163,6 +170,9 @@ def _make_manager(
         weights=weights,
         timeline=timeline,
         tracer=tracer,
+        alloc_engine=config.alloc_engine,
+        coalesce=config.alloc_coalesce,
+        counters=perf,
     )
 
 
@@ -173,6 +183,7 @@ def _make_sampler(
     cluster: Cluster,
     fabric: NetworkFabric,
     drivers: Dict[str, ApplicationDriver],
+    manager: Optional[ClusterManager] = None,
 ) -> TimeSeriesSampler:
     """Standard time-series probes: utilization, queues, locality, network."""
     sampler = TimeSeriesSampler(sim, tracer, interval=config.trace_sample_interval)
@@ -212,6 +223,13 @@ def _make_sampler(
         cat=ENGINE,
         track="engine",
     )
+    if manager is not None:
+        sampler.add_series(
+            "manager.alloc_rounds",
+            lambda: float(manager.allocation_rounds),
+            cat=DRIVER,
+            track=f"manager:{manager.name}",
+        )
     return sampler
 
 
@@ -307,7 +325,7 @@ def run_experiment(
             input_fraction=config.kmn_fraction,
         )
 
-    manager = _make_manager(config, sim, cluster, streams, timeline, tracer)
+    manager = _make_manager(config, sim, cluster, streams, timeline, tracer, perf)
     injector: Optional[FaultInjector] = None
     detector: Optional[FailureDetector] = None
     if fault_plan is not None and len(fault_plan):
@@ -362,7 +380,7 @@ def run_experiment(
 
     sampler: Optional[TimeSeriesSampler] = None
     if tracer is not None and tracer.enabled:
-        sampler = _make_sampler(config, sim, tracer, cluster, fabric, drivers)
+        sampler = _make_sampler(config, sim, tracer, cluster, fabric, drivers, manager)
         sampler.start()
 
     # Drain events up to the safety cap without advancing the clock past the

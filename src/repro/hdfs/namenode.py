@@ -52,6 +52,12 @@ class NameNode:
         #: block id → set of node ids holding an in-memory cached copy
         self._cached: Dict[str, Set[str]] = {}
         self._block_owner: Dict[str, str] = {}  # block id → file path
+        #: Metadata epoch: bumped on every mutation that can change any
+        #: block's serving locations (replica add/loss, cache churn, file
+        #: create/delete, block reports).  Memoised replica lookups — the
+        #: manager's per-round NameNode cache — are valid exactly while this
+        #: number is unchanged.
+        self.version = 0
 
     # -------------------------------------------------------------- directories
     def mkdirs(self, path: str) -> None:
@@ -105,6 +111,7 @@ class NameNode:
                 raise ConfigurationError(f"duplicate block id {block.block_id!r}")
             self._block_owner[block.block_id] = path
             self._replicas.setdefault(block.block_id, set())
+        self.version += 1
 
     def file(self, path: str) -> FileEntry:
         """Metadata of file ``path``."""
@@ -128,6 +135,7 @@ class NameNode:
             self._replicas.pop(block.block_id, None)
             self._cached.pop(block.block_id, None)
             self._block_owner.pop(block.block_id, None)
+        self.version += 1
 
     # ----------------------------------------------------------------- replicas
     def add_replica(self, block_id: str, node_id: str) -> None:
@@ -135,12 +143,14 @@ class NameNode:
         if block_id not in self._block_owner:
             raise ConfigurationError(f"unknown block {block_id!r}")
         self._replicas[block_id].add(node_id)
+        self.version += 1
 
     def remove_replica(self, block_id: str, node_id: str) -> None:
         """Record loss/eviction of one replica."""
         nodes = self._replicas.get(block_id)
         if nodes is not None:
             nodes.discard(node_id)
+            self.version += 1
 
     def locations(self, block_id: str) -> List[str]:
         """Node ids holding a replica of ``block_id`` (sorted, deterministic)."""
@@ -154,12 +164,14 @@ class NameNode:
         if block_id not in self._block_owner:
             raise ConfigurationError(f"unknown block {block_id!r}")
         self._cached.setdefault(block_id, set()).add(node_id)
+        self.version += 1
 
     def remove_cached_replica(self, block_id: str, node_id: str) -> None:
         """Record eviction of a cached copy (no-op if absent)."""
         nodes = self._cached.get(block_id)
         if nodes is not None:
             nodes.discard(node_id)
+            self.version += 1
 
     def cached_locations(self, block_id: str) -> List[str]:
         """Node ids holding a cached copy of ``block_id`` (sorted)."""
@@ -196,6 +208,7 @@ class NameNode:
                 nodes.add(node_id)
             else:
                 nodes.discard(node_id)
+        self.version += 1
 
     def stats(self) -> Dict[str, float]:
         """Aggregate metadata statistics (for reports and sanity tests)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 import math
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
@@ -43,6 +44,8 @@ class ClusterManager(abc.ABC):
         weights: Optional[Dict[str, float]] = None,
         timeline: Optional[Timeline] = None,
         tracer: Optional[Tracer] = None,
+        coalesce: bool = False,
+        counters=None,
     ):
         if num_apps < 1:
             raise ConfigurationError(f"num_apps must be >= 1, got {num_apps}")
@@ -59,6 +62,14 @@ class ClusterManager(abc.ABC):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.drivers: Dict[str, "ApplicationDriver"] = {}
         self.allocation_rounds = 0
+        #: Round coalescing: when True, demand-changing hooks defer one
+        #: allocation round to the end of the current instant instead of
+        #: running one round per hook (library default False = the seed's
+        #: synchronous semantics; the experiment runner turns it on).
+        self.coalesce = coalesce
+        #: optional :class:`repro.metrics.collector.PerfCounters`
+        self.counters = counters
+        self._round_pending = False
         #: set by the experiment runner under fault injection; None otherwise.
         #: The manager's liveness view goes through these — a detector gives
         #: the master a heartbeat-delayed (stale) picture of the cluster.
@@ -145,6 +156,7 @@ class ClusterManager(abc.ABC):
                 )
             return False
         executor.allocate(driver.app_id)
+        self._note_pool_change(executor)
         if self.timeline is not None:
             self.timeline.record(
                 "executor.grant",
@@ -179,6 +191,7 @@ class ClusterManager(abc.ABC):
             return False
         driver.detach_executor(executor)
         executor.release()
+        self._note_pool_change(executor)
         if self.timeline is not None:
             self.timeline.record(
                 "executor.release", executor.executor_id, app=driver.app_id
@@ -193,6 +206,52 @@ class ClusterManager(abc.ABC):
             )
         return True
 
+    # --------------------------------------------------------- round scheduling
+    @property
+    def round_pending(self) -> bool:
+        """True while a coalesced allocation round awaits the instant flush."""
+        return self._round_pending
+
+    def _schedule_round(self) -> None:
+        """Run (or coalesce) one allocation round.
+
+        Synchronous managers (``coalesce=False``) run the round inline —
+        grants land before the hook returns, exactly the seed behaviour.
+        With coalescing on, the first trigger at an instant defers one round
+        via :meth:`Simulation.defer`; further same-instant triggers are
+        absorbed (counted as ``alloc_rounds_coalesced``), so N job
+        boundaries cost one round.
+        """
+        if not self.coalesce:
+            self._run_round()
+            return
+        if self._round_pending:
+            if self.counters is not None:
+                self.counters.alloc_rounds_coalesced += 1
+            return
+        self._round_pending = True
+        self.sim.defer(("alloc-round", id(self)), self._flush_round)
+
+    def _flush_round(self) -> None:
+        self._round_pending = False
+        self._run_round()
+
+    def _run_round(self) -> None:
+        """Execute one allocation pass, timing it into the perf counters."""
+        if self.counters is None:
+            self._allocation_round()
+            return
+        start = perf_counter()
+        self._allocation_round()
+        self.counters.alloc_rounds += 1
+        self.counters.alloc_seconds += perf_counter() - start
+
+    def _allocation_round(self) -> None:
+        """Subclass hook: the policy's allocation pass (one round)."""
+
+    def _note_pool_change(self, executor: Executor) -> None:
+        """Subclass hook: ``executor`` just entered or left the free pool."""
+
     def trace_round(self, **attrs) -> None:
         """Emit one :class:`AllocationRound` event for the pass just run.
 
@@ -206,6 +265,12 @@ class ClusterManager(abc.ABC):
         attrs.setdefault("manager", self.name)
         self.tracer.emit(
             AllocationRound(self.sim.now, track=f"manager:{self.name}", attrs=attrs)
+        )
+        self.tracer.counter(
+            "alloc.rounds",
+            "manager",
+            value=float(self.allocation_rounds),
+            track=f"manager:{self.name}",
         )
 
     def free_pool(self) -> List[Executor]:

@@ -19,13 +19,31 @@ The manager mirrors the plugin architecture of §V:
    by default applications keep their own (delay) schedulers and ignore
    them, exactly as the paper deploys it — a
    :class:`~repro.scheduling.policies.HintedDelayScheduler` opts in.
+
+Two control-plane implementations share this round structure:
+
+* ``alloc_engine="reference"`` — the seed from-scratch path: every round
+  rebuilds every application's demand with per-task NameNode lookups and
+  full locality-history scans.
+* ``alloc_engine="incremental"`` (default) — live indexes: a per-round
+  NameNode replica memo (keyed on ``NameNode.version``) shared between
+  release, usefulness and demand building; a per-driver demand cache whose
+  entries stay valid while the driver's ``demand_epoch``, the NameNode
+  version and the free pool on the demand's *watched* replica nodes are all
+  unchanged; and the O(1) locality counters the drivers maintain through
+  ``Application.note_input_decided``.  The incremental path produces
+  byte-identical demands and plans — the equivalence suite asserts it — and
+  is bypassed under fault injection, where the master's stale liveness view
+  makes pool membership unobservable through :meth:`_note_pool_change`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.executor import Executor
 from repro.core.allocation import DataAwareAllocator
 from repro.core.demand import AllocationPlan, AppDemand, JobDemand, TaskDemand, validate_plan
 from repro.managers.base import ClusterManager
@@ -37,6 +55,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.scheduling.driver import ApplicationDriver
 
 __all__ = ["CustodyManager"]
+
+
+@dataclass
+class _DemandEntry:
+    """One driver's cached demand with its validity preconditions."""
+
+    epoch: int  # driver.demand_epoch at build time
+    nn_version: int  # NameNode.version at build time
+    pool_version: int  # manager pool clock at build time
+    watch_nodes: FrozenSet[str]  # replica nodes whose free pool the demand read
+    demand: AppDemand
+    fill_limit: int
 
 
 class CustodyManager(ClusterManager):
@@ -55,6 +85,9 @@ class CustodyManager(ClusterManager):
         weights=None,
         timeline: Optional[Timeline] = None,
         tracer=None,
+        alloc_engine: str = "incremental",
+        coalesce: bool = False,
+        counters=None,
     ):
         super().__init__(
             sim,
@@ -63,31 +96,96 @@ class CustodyManager(ClusterManager):
             weights=weights,
             timeline=timeline,
             tracer=tracer,
+            coalesce=coalesce,
+            counters=counters,
         )
         self.allocator = DataAwareAllocator(
-            fill=fill, executor_capacity=cluster.config.executor_slots
+            fill=fill,
+            executor_capacity=cluster.config.executor_slots,
+            engine=alloc_engine,
         )
+        self.alloc_engine = alloc_engine
         self.validate = validate
         self.last_plan: Optional[AllocationPlan] = None
+        # Incremental control-plane state (see module docstring).
+        self.demand_cache_hits = 0
+        self.demand_cache_misses = 0
+        self._demand_cache: Dict[str, _DemandEntry] = {}
+        #: app id → (epoch, nn version, useful replica nodes) for release
+        self._useful_cache: Dict[str, tuple] = {}
+        #: per-NameNode-version replica memo: block id → serving node list
+        self._serving_memo: Dict[str, List[str]] = {}
+        self._serving_memo_version = -1
+        #: pool clock: bumped on every grant/release, per-node high-water mark
+        self._pool_version = 0
+        self._node_version: Dict[str, int] = {}
+        #: apps whose scheduler accepts task hints (skip hint plumbing else)
+        self._hint_drivers: Set[str] = set()
 
     # -------------------------------------------------------------------- hooks
+    def _on_register(self, driver: "ApplicationDriver") -> None:
+        if getattr(driver.scheduler, "set_hints", None) is not None:
+            self._hint_drivers.add(driver.app_id)
+
     def on_job_submitted(self, driver: "ApplicationDriver", job: Job) -> None:
-        self.reallocate()
+        self._schedule_round()
 
     def on_job_finished(self, driver: "ApplicationDriver", job: Job) -> None:
-        self.reallocate()
+        self._schedule_round()
 
     def on_executors_changed(self) -> None:
         """Node crash/restart: run a full round so displaced work re-lands."""
+        self._schedule_round()
+
+    def _allocation_round(self) -> None:
         self.reallocate()
+
+    # ------------------------------------------------------- incremental indexes
+    @property
+    def _incremental_enabled(self) -> bool:
+        """Caches apply only on the incremental engine without fault injection.
+
+        Under faults the believed free pool changes through detector state
+        transitions that never pass :meth:`_note_pool_change`, so cached
+        demands could go stale invisibly; the reference rebuild is the
+        correct (and rare) path there.
+        """
+        return self.alloc_engine == "incremental" and self.fault_injector is None
+
+    def _note_pool_change(self, executor: Executor) -> None:
+        self._pool_version += 1
+        self._node_version[executor.node_id] = self._pool_version
+
+    def _serving(self, namenode, block_id: str) -> List[str]:
+        """Memoised ``NameNode.serving_locations`` (one lookup per version).
+
+        The memo lives across rounds and is dropped wholesale whenever the
+        NameNode's metadata epoch moves; within a round the same block is
+        consulted by release, usefulness and demand building, so this
+        collapses up to three sorted-set unions into one.
+        """
+        if namenode.version != self._serving_memo_version:
+            self._serving_memo = {}
+            self._serving_memo_version = namenode.version
+        nodes = self._serving_memo.get(block_id)
+        if nodes is None:
+            nodes = namenode.serving_locations(block_id)
+            self._serving_memo[block_id] = nodes
+        return nodes
 
     # --------------------------------------------------------------- allocation
     def reallocate(self) -> AllocationPlan:
         """One full Custody round: release, build demands, allocate, apply."""
         self.allocation_rounds += 1
         self._release_surplus()
-        demands, fill_limits = self._build_demands()
-        idle = [e.executor_id for e in self.free_pool()]
+        # One pool scan serves both the demand builder and the idle list —
+        # the seed scanned twice with identical results post-release.
+        pool = self.free_pool()
+        if self._incremental_enabled:
+            demands, fill_limits = self._build_demands_incremental(pool)
+        else:
+            demands, fill_limits = self._build_demands(pool)
+        idle = [e.executor_id for e in pool]
         plan = self.allocator.allocate(demands, idle, fill_limits=fill_limits)
         if self.validate:
             validate_plan(
@@ -102,8 +200,10 @@ class CustodyManager(ClusterManager):
                 self.grant(driver, self.cluster.executor(executor_id))
         # Forward the z^u_ijk suggestions to hint-aware schedulers (§V: the
         # allocation "can submit both the list of executors and the
-        # scheduling suggestions"); plain delay schedulers ignore them.
-        if plan.assignment:
+        # scheduling suggestions"); plain delay schedulers ignore them, and
+        # when no registered scheduler accepts hints the owner map is not
+        # even built.
+        if plan.assignment and self._hint_drivers:
             owner_of_task = {
                 t.task_id: a.app_id for a in demands for j in a.jobs for t in j.tasks
             }
@@ -121,9 +221,10 @@ class CustodyManager(ClusterManager):
             )
         # Algorithm 1/2 decision record: which apps demanded, how much idle
         # capacity the max-min pass saw, and the grant pick order it chose.
+        demand_tasks = sum(len(j.tasks) for a in demands for j in a.jobs)
         self.trace_round(
             demand_apps=sum(1 for a in demands if a.jobs),
-            demand_tasks=sum(len(j.tasks) for a in demands for j in a.jobs),
+            demand_tasks=demand_tasks,
             idle=len(idle),
             granted=plan.total_granted,
             promised=len(plan.assignment),
@@ -131,6 +232,19 @@ class CustodyManager(ClusterManager):
                 f"{app}:{len(execs)}" for app, execs in plan.grants.items() if execs
             ),
         )
+        if self.tracer.enabled:
+            self.tracer.counter(
+                "alloc.demand_tasks",
+                "manager",
+                value=float(demand_tasks),
+                track=f"manager:{self.name}",
+            )
+            self.tracer.counter(
+                "alloc.demand_cache_hits",
+                "manager",
+                value=float(self.demand_cache_hits),
+                track=f"manager:{self.name}",
+            )
         self.last_plan = plan
         return plan
 
@@ -138,7 +252,7 @@ class CustodyManager(ClusterManager):
     def _release_surplus(self) -> None:
         """Return idle executors that serve neither locality nor capacity."""
         for driver in self._driver_order():
-            useful_nodes = self._pending_replica_nodes(driver)
+            useful_nodes = self._useful_nodes(driver)
             needed = self.needed_executors(driver)
             for executor in driver.executors:
                 if driver.executor_count <= needed:
@@ -148,6 +262,30 @@ class CustodyManager(ClusterManager):
                 if executor.node_id in useful_nodes:
                     continue
                 self.revoke_idle(driver, executor)
+
+    def _useful_nodes(self, driver: "ApplicationDriver") -> set:
+        """Replica nodes of the driver's pending inputs, cached when possible.
+
+        The set depends only on the driver's runnable input tasks and the
+        NameNode metadata, so a ``(demand_epoch, NameNode.version)`` pair
+        keys its validity exactly.
+        """
+        if not self._incremental_enabled:
+            return self._pending_replica_nodes(driver)
+        namenode = driver.hdfs.namenode
+        cached = self._useful_cache.get(driver.app_id)
+        if (
+            cached is not None
+            and cached[0] == driver.demand_epoch
+            and cached[1] == namenode.version
+        ):
+            return cached[2]
+        nodes: set = set()
+        for task in driver.runnable_tasks:
+            if task.is_input and task.started_at is None and task.block is not None:
+                nodes.update(self._serving(namenode, task.block.block_id))
+        self._useful_cache[driver.app_id] = (driver.demand_epoch, namenode.version, nodes)
+        return nodes
 
     def _pending_replica_nodes(self, driver: "ApplicationDriver") -> set:
         """Nodes holding replicas of any pending (unstarted) input task."""
@@ -159,10 +297,10 @@ class CustodyManager(ClusterManager):
         return nodes
 
     # ------------------------------------------------------------------ demands
-    def _build_demands(self) -> tuple:
+    def _build_demands(self, pool: Optional[List[Executor]] = None) -> tuple:
         """Construct the AppDemand list and fill limits from live state."""
         free_by_node: Dict[str, List[str]] = {}
-        for executor in self.free_pool():
+        for executor in pool if pool is not None else self.free_pool():
             free_by_node.setdefault(executor.node_id, []).append(executor.executor_id)
 
         demands: List[AppDemand] = []
@@ -170,7 +308,7 @@ class CustodyManager(ClusterManager):
         for driver in self._driver_order():
             namenode = driver.hdfs.namenode
             owned_nodes = set(driver.owned_nodes())
-            job_by_id = {j.job_id: j for j in driver.app.jobs}
+            job_by_id: Optional[Dict[str, Job]] = None
             jobs: Dict[str, List[TaskDemand]] = {}
             totals: Dict[str, int] = {}
             for task in driver.runnable_tasks:
@@ -186,7 +324,12 @@ class CustodyManager(ClusterManager):
                 jobs.setdefault(task.job_id, []).append(
                     TaskDemand.of(task.task_id, candidates)
                 )
-                totals[task.job_id] = job_by_id[task.job_id].num_input_tasks
+                if task.job_id not in totals:
+                    # Lazily index the job list once per driver, and resolve
+                    # each job's task total once rather than per task.
+                    if job_by_id is None:
+                        job_by_id = {j.job_id: j for j in driver.app.jobs}
+                    totals[task.job_id] = job_by_id[task.job_id].num_input_tasks
             job_demands = [
                 JobDemand(job_id, tuple(tasks), total_tasks=totals[job_id])
                 for job_id, tasks in sorted(jobs.items())
@@ -214,6 +357,100 @@ class CustodyManager(ClusterManager):
             )
             fill_limits[driver.app_id] = max(
                 0, self.needed_executors(driver) - driver.executor_count
+            )
+        return demands, fill_limits
+
+    def _build_demands_incremental(self, pool: List[Executor]) -> tuple:
+        """Demand construction through the per-driver cache.
+
+        A cached entry is reused when (a) the driver's ``demand_epoch`` is
+        unchanged — covering runnable tasks, owned executors, task
+        starts/finishes and hence held/fill/locality counters; (b) the
+        NameNode version is unchanged — covering every replica set read; and
+        (c) no *watched* node's free pool moved since the entry was built —
+        covering candidate executor sets.  Watched nodes are the replica
+        nodes of the entry's unsatisfied tasks: satisfied tasks' skip
+        decisions read only owned nodes and replica sets, already covered
+        by (a) + (b).  Only dirty drivers pay the rebuild.
+        """
+        free_by_node: Dict[str, List[str]] = {}
+        for executor in pool:
+            free_by_node.setdefault(executor.node_id, []).append(executor.executor_id)
+
+        demands: List[AppDemand] = []
+        fill_limits: Dict[str, int] = {}
+        for driver in self._driver_order():
+            namenode = driver.hdfs.namenode
+            entry = self._demand_cache.get(driver.app_id)
+            if (
+                entry is not None
+                and entry.epoch == driver.demand_epoch
+                and entry.nn_version == namenode.version
+                and all(
+                    self._node_version.get(n, 0) <= entry.pool_version
+                    for n in entry.watch_nodes
+                )
+            ):
+                self.demand_cache_hits += 1
+                if self.counters is not None:
+                    self.counters.demand_cache_hits += 1
+                demands.append(entry.demand)
+                fill_limits[driver.app_id] = entry.fill_limit
+                continue
+            self.demand_cache_misses += 1
+            if self.counters is not None:
+                self.counters.demand_cache_misses += 1
+            epoch = driver.demand_epoch
+            owned_nodes = set(driver.owned_nodes())
+            watch: Set[str] = set()
+            job_by_id: Optional[Dict[str, Job]] = None
+            jobs: Dict[str, List[TaskDemand]] = {}
+            totals: Dict[str, int] = {}
+            for task in driver.runnable_tasks:
+                if not task.is_input or task.started_at is not None:
+                    continue
+                assert task.block is not None
+                replica_nodes = self._serving(namenode, task.block.block_id)
+                if owned_nodes.intersection(replica_nodes):
+                    continue
+                watch.update(replica_nodes)
+                candidates = [
+                    ex for node in replica_nodes for ex in free_by_node.get(node, ())
+                ]
+                jobs.setdefault(task.job_id, []).append(
+                    TaskDemand.of(task.task_id, candidates)
+                )
+                if task.job_id not in totals:
+                    if job_by_id is None:
+                        job_by_id = {j.job_id: j for j in driver.app.jobs}
+                    totals[task.job_id] = job_by_id[task.job_id].num_input_tasks
+            job_demands = [
+                JobDemand(job_id, tuple(tasks), total_tasks=totals[job_id])
+                for job_id, tasks in sorted(jobs.items())
+            ]
+            app = driver.app
+            quota = self.quota_of(driver.app_id)
+            held = min(driver.executor_count, quota)
+            demand = AppDemand(
+                app_id=driver.app_id,
+                jobs=tuple(job_demands),
+                quota=quota,
+                held=held,
+                local_jobs=app.local_job_count,
+                decided_jobs=app.decided_job_count,
+                local_tasks=app.local_task_count,
+                decided_tasks=app.decided_task_count,
+            )
+            fill_limit = max(0, self.needed_executors(driver) - driver.executor_count)
+            demands.append(demand)
+            fill_limits[driver.app_id] = fill_limit
+            self._demand_cache[driver.app_id] = _DemandEntry(
+                epoch=epoch,
+                nn_version=namenode.version,
+                pool_version=self._pool_version,
+                watch_nodes=frozenset(watch),
+                demand=demand,
+                fill_limit=fill_limit,
             )
         return demands, fill_limits
 

@@ -45,6 +45,8 @@ class MesosManager(ClusterManager):
         weights=None,
         timeline: Optional[Timeline] = None,
         tracer=None,
+        coalesce: bool = False,
+        counters=None,
     ):
         super().__init__(
             sim,
@@ -53,6 +55,8 @@ class MesosManager(ClusterManager):
             weights=weights,
             timeline=timeline,
             tracer=tracer,
+            coalesce=coalesce,
+            counters=counters,
         )
         if offer_interval <= 0:
             raise ValueError(f"offer_interval must be positive, got {offer_interval}")
@@ -64,16 +68,20 @@ class MesosManager(ClusterManager):
 
     # -------------------------------------------------------------------- hooks
     def _on_register(self, driver: "ApplicationDriver") -> None:
-        self._offer_all_free()
+        # Registration happens pre-simulation; always offer synchronously.
+        self._run_round()
 
     def on_job_submitted(self, driver: "ApplicationDriver", job: Job) -> None:
-        self._offer_all_free()
+        self._schedule_round()
 
     def on_job_finished(self, driver: "ApplicationDriver", job: Job) -> None:
-        self._offer_all_free()
+        self._schedule_round()
 
     def on_executors_changed(self) -> None:
         """Node crash/restart: re-offer whatever the master believes free."""
+        self._schedule_round()
+
+    def _allocation_round(self) -> None:
         self._offer_all_free()
 
     def on_executor_idle(self, driver: "ApplicationDriver", executor: Executor) -> None:
@@ -130,11 +138,13 @@ class MesosManager(ClusterManager):
         self.sim.schedule(self.offer_interval, self._retry)
 
     def _retry(self) -> None:
+        # Stays synchronous even under coalescing: the re-arm decision below
+        # must read the post-offer state.
         self._retry_armed = False
         free = self.free_pool()
         wanted = any(d.runnable_tasks for d in self.drivers.values())
         if free and wanted:
-            self._offer_all_free()
+            self._run_round()
         # Re-arm while there is still unplaced work and idle capacity.
         free = self.free_pool()
         wanted = any(d.runnable_tasks for d in self.drivers.values())

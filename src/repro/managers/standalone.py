@@ -50,6 +50,8 @@ class StandaloneManager(ClusterManager):
         weights=None,
         timeline: Optional[Timeline] = None,
         tracer=None,
+        coalesce: bool = False,
+        counters=None,
     ):
         super().__init__(
             sim,
@@ -58,6 +60,8 @@ class StandaloneManager(ClusterManager):
             weights=weights,
             timeline=timeline,
             tracer=tracer,
+            coalesce=coalesce,
+            counters=counters,
         )
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.spread = spread
@@ -86,6 +90,9 @@ class StandaloneManager(ClusterManager):
         executors to the most executor-starved applications still below
         their quota (no data awareness, matching the baseline's character).
         """
+        self._schedule_round()
+
+    def _allocation_round(self) -> None:
         changed = True
         while changed:
             changed = False

@@ -29,10 +29,10 @@ class YarnManager(ClusterManager):
     name = "yarn"
 
     def on_job_submitted(self, driver: "ApplicationDriver", job: Job) -> None:
-        self._resize_all()
+        self._schedule_round()
 
     def on_job_finished(self, driver: "ApplicationDriver", job: Job) -> None:
-        self._resize_all()
+        self._schedule_round()
 
     def on_executor_idle(self, driver: "ApplicationDriver", executor: "Executor") -> None:
         # Reclaim promptly when the app has no work left for the slot.
@@ -43,6 +43,9 @@ class YarnManager(ClusterManager):
 
     def on_executors_changed(self) -> None:
         """Node crash/restart: re-fit every pool to the surviving capacity."""
+        self._schedule_round()
+
+    def _allocation_round(self) -> None:
         self._resize_all()
 
     # ----------------------------------------------------------------- resize

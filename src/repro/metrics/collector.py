@@ -33,12 +33,13 @@ __all__ = ["ExperimentMetrics", "FaultStats", "MetricsCollector", "PerfCounters"
 
 @dataclass
 class PerfCounters:
-    """Opt-in hot-path counters for the network/rate-allocation machinery.
+    """Opt-in hot-path counters for the simulator's two engine hot paths:
+    the network rate machinery and the allocation control plane.
 
-    Pass an instance to :class:`~repro.network.fabric.NetworkFabric` (or set
-    ``ExperimentConfig.perf_counters=True``) and read it after the run.
-    Everything defaults to zero so the object doubles as a cheap accumulator
-    across several runs.
+    Pass an instance to :class:`~repro.network.fabric.NetworkFabric` and the
+    managers (or set ``ExperimentConfig.perf_counters=True``) and read it
+    after the run.  Everything defaults to zero so the object doubles as a
+    cheap accumulator across several runs.
     """
 
     flow_events: int = 0  #: transfer starts + cancels + completions observed
@@ -49,11 +50,22 @@ class PerfCounters:
     rate_updates: int = 0  #: transfer.set_rate calls applied (rate changed)
     recompute_seconds: float = 0.0  #: wall time inside water-filling
     realloc_seconds: float = 0.0  #: wall time inside the full flush path
+    alloc_rounds: int = 0  #: manager allocation rounds executed
+    alloc_rounds_coalesced: int = 0  #: same-instant round triggers absorbed
+    demand_cache_hits: int = 0  #: AppDemands reused from the incremental index
+    demand_cache_misses: int = 0  #: AppDemands rebuilt from live state
+    alloc_seconds: float = 0.0  #: wall time inside allocation rounds
 
     @property
     def flows_per_recompute(self) -> float:
         """Mean affected-component size — the incrementality health metric."""
         return self.flows_touched / self.recomputes if self.recomputes else 0.0
+
+    @property
+    def demand_cache_hit_rate(self) -> float:
+        """Fraction of per-round demands served from the cache."""
+        total = self.demand_cache_hits + self.demand_cache_misses
+        return self.demand_cache_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready projection (derived means included)."""
@@ -67,6 +79,12 @@ class PerfCounters:
             "recompute_seconds": self.recompute_seconds,
             "realloc_seconds": self.realloc_seconds,
             "flows_per_recompute": self.flows_per_recompute,
+            "alloc_rounds": self.alloc_rounds,
+            "alloc_rounds_coalesced": self.alloc_rounds_coalesced,
+            "demand_cache_hits": self.demand_cache_hits,
+            "demand_cache_misses": self.demand_cache_misses,
+            "demand_cache_hit_rate": self.demand_cache_hit_rate,
+            "alloc_seconds": self.alloc_seconds,
         }
 
     def describe(self) -> str:
@@ -77,7 +95,11 @@ class PerfCounters:
             f"{self.flows_per_recompute:.1f}   links touched: {self.links_touched}   "
             f"rate updates: {self.rate_updates}   "
             f"recompute wall: {self.recompute_seconds:.3f}s   "
-            f"realloc wall: {self.realloc_seconds:.3f}s"
+            f"realloc wall: {self.realloc_seconds:.3f}s   "
+            f"alloc rounds: {self.alloc_rounds} "
+            f"(+{self.alloc_rounds_coalesced} coalesced)   "
+            f"demand cache: {self.demand_cache_hit_rate:.0%} hit   "
+            f"alloc wall: {self.alloc_seconds:.3f}s"
         )
 
 

@@ -135,6 +135,13 @@ class ApplicationDriver:
         self.blacklist_window = blacklist_window
         self.blacklist_timeout = blacklist_timeout
         self.manager: Optional["ClusterManager"] = None
+        #: Demand epoch: bumped whenever this driver's allocation-relevant
+        #: state changes (runnable input tasks, owned executors, task
+        #: starts/finishes).  The manager's incremental demand index caches
+        #: a driver's AppDemand keyed on this number — any mutation here
+        #: forces a rebuild, so over-bumping is safe and under-bumping is
+        #: the only correctness hazard.
+        self.demand_epoch = 0
         self.speculative_launches = 0
         self.speculative_wins = 0
         self.requeued_tasks = 0
@@ -208,11 +215,12 @@ class ApplicationDriver:
             )
         if self.manager is not None:
             self.manager.on_job_submitted(self, job)
-        self._dispatch()
+        self._dispatch_or_defer()
 
     def _enqueue_stage(self, job: Job, stage_index: int) -> None:
         stage = job.stages[stage_index]
         now = self.sim.now
+        self.demand_epoch += 1
         key = (job.job_id, stage_index)
         # KMN quorum: the input stage barrier fires after K of N tasks.
         if stage_index == 0:
@@ -234,6 +242,7 @@ class ApplicationDriver:
                 f"cannot attach to {self.app_id!r}"
             )
         self._executors[executor.executor_id] = executor
+        self.demand_epoch += 1
         self._dispatch()
 
     def detach_executor(self, executor: Executor) -> None:
@@ -243,6 +252,7 @@ class ApplicationDriver:
                 f"{executor.executor_id} is busy; cannot detach from {self.app_id}"
             )
         self._executors.pop(executor.executor_id, None)
+        self.demand_epoch += 1
 
     def consider_offer(self, executor: Executor) -> bool:
         """Mesos-style offer: would this app use a slot on that node now?"""
@@ -286,6 +296,7 @@ class ApplicationDriver:
                 if self._handle_task_failure(task, executor.node_id, "executor-lost"):
                     requeued += 1
         self._executors.pop(executor.executor_id, None)
+        self.demand_epoch += 1
         self._dispatch()
         return requeued
 
@@ -387,6 +398,7 @@ class ApplicationDriver:
         if task in self._runnable or task.task_id in self._attempts:
             return
         self._runnable.append(task)
+        self.demand_epoch += 1
         self.requeued_tasks += 1
         if self.timeline is not None:
             self.timeline.record(
@@ -420,6 +432,7 @@ class ApplicationDriver:
         recorded as ``task.abandon`` and tallied in ``abandoned_tasks``.
         """
         task.cancelled = True
+        self.demand_epoch += 1
         self.abandoned_tasks += 1
         if self.timeline is not None:
             self.timeline.record(
@@ -440,6 +453,23 @@ class ApplicationDriver:
             self._on_stage_done(job, task.stage_index)
 
     # --------------------------------------------------------------- dispatch
+    def _dispatch_or_defer(self) -> None:
+        """Dispatch now — unless an allocation round is coalesced at this
+        instant, in which case dispatch *after* it in the same flush.
+
+        With round coalescing the manager defers its round to the end of
+        the instant; dispatching immediately would launch tasks onto the
+        pre-round executor set, whereas a synchronous manager grants first
+        and dispatches second.  Deferring the dispatch behind the pending
+        round (``defer`` preserves registration order) restores that
+        ordering for single-boundary instants.
+        """
+        manager = self.manager
+        if manager is not None and manager.round_pending:
+            self.sim.defer(("driver.dispatch", self.app_id), self._dispatch)
+        else:
+            self._dispatch()
+
     def _dispatch(self) -> None:
         """Greedily match runnable tasks to free slots, then arm the wakeup."""
         namenode = self.hdfs.namenode
@@ -617,6 +647,7 @@ class ApplicationDriver:
             task.started_at = now
             task.executor_id = executor.executor_id
             task.node_id = executor.node_id
+            self.demand_epoch += 1
         if self.timeline is not None:
             self.timeline.record(
                 "task.speculate" if speculative else "task.start",
@@ -752,6 +783,7 @@ class ApplicationDriver:
         its slot and route the task through the retry machinery."""
         task, executor = attempt.task, attempt.executor
         self.failed_attempts += 1
+        self.demand_epoch += 1
         for transfer in attempt.transfers:
             self.fabric.cancel_transfer(transfer)
         attempt.transfers.clear()
@@ -839,6 +871,7 @@ class ApplicationDriver:
         task.node_id = executor.node_id
         task.was_local = was_local
         task.read_time = read_time
+        self.demand_epoch += 1
         if task.is_input and was_local is not None:
             task.locality_level = (
                 "node" if was_local else self._remote_locality_level(task, executor)
@@ -854,6 +887,10 @@ class ApplicationDriver:
             )
         self._trace_attempt(attempt, "success", read_time)
         job = self._jobs[task.job_id]
+        if task.is_input and was_local is not None:
+            # Feed the O(1) locality history the incremental demand index
+            # reads (mirrors the fraction-property scans exactly).
+            self.app.note_input_decided(job, was_local)
         key = (task.job_id, task.stage_index)
         self._stage_nodes[key].append(executor.node_id)
         self._stage_durations[key].append(now - attempt.started_at)
@@ -871,10 +908,11 @@ class ApplicationDriver:
             and self.manager is not None
         ):
             self.manager.on_executor_idle(self, executor)
-        self._dispatch()
+        self._dispatch_or_defer()
 
     def _cancel_surplus_inputs(self, job: Job) -> None:
         """KMN: the quorum is met — cancel this job's surplus input tasks."""
+        self.demand_epoch += 1
         for task in job.input_tasks:
             if task.finished_at is not None or task.cancelled:
                 continue

@@ -23,23 +23,34 @@ class EventHandle:
     cancels or inspects them.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulation"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[..., Any]] = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> bool:
         """Prevent the callback from running.  Returns False if it already ran."""
         if self.fired:
             return False
-        self.cancelled = True
-        self.callback = None  # free references early
-        self.args = ()
+        if not self.cancelled:
+            self.cancelled = True
+            self.callback = None  # free references early
+            self.args = ()
+            if self._sim is not None:
+                self._sim._note_cancelled()
         return True
 
     @property
@@ -67,6 +78,11 @@ class Simulation:
     (['a', 'b'], 2.0)
     """
 
+    #: Compaction trigger: rebuild the heap once cancelled handles both
+    #: exceed this count and make up more than half the queue (the lazy
+    #: deletion strategy asyncio's event loop uses for its timer heap).
+    _COMPACT_MIN_DEAD = 32
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
@@ -76,6 +92,11 @@ class Simulation:
         self._finished = False
         self.events_processed = 0
         self.deferred_flushes = 0
+        #: live (pending) events in the queue — maintained, not scanned
+        self._live = 0
+        #: cancelled handles still sitting in the heap
+        self._dead = 0
+        self.heap_compactions = 0
 
     # ------------------------------------------------------------------ clock
     @property
@@ -99,9 +120,10 @@ class Simulation:
             raise SimulationError(
                 f"cannot schedule at t={time:.6g} (now is t={self._now:.6g})"
             )
-        handle = EventHandle(time, self._seq, callback, args)
+        handle = EventHandle(time, self._seq, callback, args, self)
         self._seq += 1
         heapq.heappush(self._queue, handle)
+        self._live += 1
         return handle
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
@@ -156,6 +178,7 @@ class Simulation:
         handle = heapq.heappop(self._queue)
         self._now = handle.time
         handle.fired = True
+        self._live -= 1
         callback, args = handle.callback, handle.args
         handle.callback, handle.args = None, ()
         assert callback is not None
@@ -194,8 +217,12 @@ class Simulation:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled, unfired) events in the queue."""
-        return sum(1 for h in self._queue if h.pending)
+        """Number of live (non-cancelled, unfired) events in the queue.
+
+        O(1): the count is maintained on schedule/fire/cancel, so obs
+        samplers can poll it every interval without scanning the heap.
+        """
+        return self._live
 
     @property
     def deferred_count(self) -> int:
@@ -217,10 +244,29 @@ class Simulation:
             "pending_events": self.pending_events,
             "deferred_pending": len(self._deferred),
             "heap_size": len(self._queue),
+            "cancelled_in_heap": self._dead,
+            "heap_compactions": self.heap_compactions,
         }
 
+    def _note_cancelled(self) -> None:
+        """Bookkeeping callback from :meth:`EventHandle.cancel`."""
+        self._live -= 1
+        self._dead += 1
+
     def _drop_dead_events(self) -> None:
-        """Pop cancelled events off the top of the heap."""
+        """Purge cancelled events: pop from the top, compact when bloated.
+
+        Cancelled handles deep in the heap (driver retry timers, detector
+        heartbeats) cannot be popped lazily until their time arrives; once
+        they outnumber the live events the whole heap is rebuilt in one
+        O(n) pass so every push/pop stops paying for dead weight.
+        """
         queue = self._queue
         while queue and queue[0].cancelled:
             heapq.heappop(queue)
+            self._dead -= 1
+        if self._dead > self._COMPACT_MIN_DEAD and self._dead * 2 > len(queue):
+            self._queue = [h for h in queue if not h.cancelled]
+            heapq.heapify(self._queue)
+            self._dead = 0
+            self.heap_compactions += 1

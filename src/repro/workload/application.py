@@ -25,6 +25,13 @@ class Application:
         #: σ_i — the cap on simultaneously-held executors (None = unlimited).
         self.executor_quota = executor_quota
         self.jobs: List[Job] = []
+        # Live locality history, maintained through note_input_decided():
+        # O(1) mirrors of the local_job_fraction / local_task_fraction scans
+        # for the manager's incremental demand index.
+        self.decided_job_count = 0
+        self.local_job_count = 0
+        self.decided_task_count = 0
+        self.local_task_count = 0
 
     def add_job(self, job: Job) -> None:
         """Attach a job (its ``app_id`` must match)."""
@@ -83,8 +90,29 @@ class Application:
         """
         return (self.local_job_fraction, self.local_task_fraction, self.app_id)
 
+    def note_input_decided(self, job: Job, was_local: bool) -> None:
+        """Fold one input task's locality outcome into the live history.
+
+        The driver calls this exactly once per decided input task, right
+        after setting ``task.was_local``; ``job`` must be the task's owning
+        job.  Task counters bump directly; job counters move by the
+        transition deltas the job reports (handling the KMN False→True
+        flip).  The counters then equal what the fraction-property scans
+        would recount from scratch.
+        """
+        d_decided, d_local = job.note_input_decided(was_local)
+        self.decided_task_count += 1
+        if was_local:
+            self.local_task_count += 1
+        self.decided_job_count += d_decided
+        self.local_job_count += d_local
+
     def reset_runtime(self) -> None:
         """Clear runtime state on all jobs (policy-comparison replays)."""
+        self.decided_job_count = 0
+        self.local_job_count = 0
+        self.decided_task_count = 0
+        self.local_task_count = 0
         for job in self.jobs:
             job.reset_runtime()
 

@@ -93,6 +93,13 @@ class Job:
         self.required_inputs = required_inputs
         self.submitted_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        # Live locality counters mirroring :attr:`is_local_job`'s scan.
+        # Maintained through :meth:`note_input_decided` (the driver calls it
+        # once per decided input task) so the manager's incremental demand
+        # index reads job locality in O(1) instead of rescanning all tasks.
+        self._decided_inputs = 0
+        self._local_inputs = 0
+        self._counted_local: Optional[bool] = None
 
     # -------------------------------------------------------------- structure
     @property
@@ -156,6 +163,45 @@ class Job:
             return None
         return all(t.was_local for t in decided)
 
+    @property
+    def counted_local_state(self) -> Optional[bool]:
+        """O(1) view of :attr:`is_local_job` from the live counters.
+
+        Equals the scanning property whenever every locality decision went
+        through :meth:`note_input_decided`; the incremental allocation
+        engine reads this instead of rescanning ``input_tasks``.
+        """
+        return self._counted_local
+
+    def note_input_decided(self, was_local: bool) -> "tuple[int, int]":
+        """Record one input task's locality outcome; return the job deltas.
+
+        Returns ``(d_decided_jobs, d_local_jobs)`` — how this decision moved
+        the job between the undecided/decided and non-local/local states.  A
+        KMN job can flip False→True after quorum (more of its N tasks decide
+        locally), which is why the transition is computed from the
+        before/after counter state rather than assumed monotone.
+        """
+        before = self._counted_local
+        self._decided_inputs += 1
+        if was_local:
+            self._local_inputs += 1
+        after = self._local_state_from_counts()
+        self._counted_local = after
+        d_decided = int(after is not None) - int(before is not None)
+        d_local = int(after is True) - int(before is True)
+        return d_decided, d_local
+
+    def _local_state_from_counts(self) -> Optional[bool]:
+        """Counter-based mirror of :attr:`is_local_job`'s decision rule."""
+        if self.required_inputs is not None:
+            if self._decided_inputs < self.required_inputs:
+                return None
+            return self._local_inputs >= self.required_inputs
+        if self._decided_inputs < self.num_input_tasks:
+            return None
+        return self._local_inputs == self._decided_inputs
+
     # ------------------------------------------------------------------ timing
     @property
     def finished(self) -> bool:
@@ -181,6 +227,9 @@ class Job:
         """Clear all runtime state for replay under a different policy."""
         self.submitted_at = None
         self.finished_at = None
+        self._decided_inputs = 0
+        self._local_inputs = 0
+        self._counted_local = None
         for task in self.all_tasks:
             task.reset_runtime()
 

@@ -1,0 +1,86 @@
+"""End-to-end equivalence of the allocation control planes.
+
+``--alloc-engine incremental`` (the default) must be a pure optimisation:
+for every manager, a full experiment run under either engine — at the same
+coalescing setting — produces identical metrics.  Coalescing itself is
+pinned separately: the runner's default (on) must match per-event rounds
+for the standard scenarios.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+def small_config(**kw):
+    return ExperimentConfig(
+        workload="wordcount",
+        num_nodes=8,
+        num_apps=2,
+        jobs_per_app=3,
+        seed=13,
+        **kw,
+    )
+
+
+@pytest.mark.parametrize("manager", ["custody", "standalone", "yarn", "mesos"])
+def test_engines_produce_identical_metrics(manager):
+    results = {
+        engine: run_experiment(small_config(manager=manager, alloc_engine=engine))
+        for engine in ("incremental", "reference")
+    }
+    inc, ref = results["incremental"], results["reference"]
+    assert inc.metrics.as_dict() == ref.metrics.as_dict()
+    assert inc.sim_time == ref.sim_time
+    assert inc.allocation_rounds == ref.allocation_rounds
+
+
+def test_coalescing_default_matches_per_event_rounds():
+    """The runner's coalesced rounds decide like per-event rounds here."""
+    coalesced = run_experiment(small_config(manager="custody", alloc_coalesce=True))
+    per_event = run_experiment(small_config(manager="custody", alloc_coalesce=False))
+    assert coalesced.metrics.as_dict() == per_event.metrics.as_dict()
+    assert coalesced.sim_time == per_event.sim_time
+
+
+def test_alloc_counters_populate_under_perf_counters():
+    result = run_experiment(
+        small_config(manager="custody", perf_counters=True)
+    )
+    assert result.perf is not None
+    assert result.perf.alloc_rounds > 0
+    assert result.perf.alloc_seconds > 0.0
+    # The default engine serves demands from the cache at least sometimes.
+    assert result.perf.demand_cache_hits > 0
+    payload = result.perf.as_dict()
+    for key in (
+        "alloc_rounds",
+        "alloc_rounds_coalesced",
+        "demand_cache_hits",
+        "demand_cache_misses",
+        "demand_cache_hit_rate",
+        "alloc_seconds",
+    ):
+        assert key in payload
+
+
+def test_config_validates_alloc_engine():
+    with pytest.raises(Exception, match="alloc_engine"):
+        small_config(alloc_engine="bogus")
+    config = small_config(alloc_engine="reference")
+    assert dataclasses.replace(config, alloc_engine="incremental").alloc_coalesce
+
+
+def test_reference_engine_reachable_from_cli_flags():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["run", "--manager", "custody", "--alloc-engine", "reference",
+         "--per-event-alloc"]
+    )
+    assert args.alloc_engine == "reference"
+    assert args.per_event_alloc is True

@@ -69,10 +69,25 @@ def runner_payload() -> dict:
     }
 
 
+def alloc_plans_payload() -> dict:
+    from repro.experiments.allocbench import golden_plan_stream
+
+    return {
+        "scenario": "alloc_plan_stream",
+        "size": {"apps": 3, "jobs_per_app": 4, "tasks_per_job": 6,
+                 "replication": 2},
+        "rounds": 40,
+        "seed": 5,
+        "plans": golden_plan_stream((3, 4, 6, 2), rounds=40, seed=5,
+                                    engine="reference"),
+    }
+
+
 GOLDEN = {
     "golden_fig1.json": fig1_payload,
     "golden_fig45_trace.json": fig45_payload,
     "golden_runner_trace.json": runner_payload,
+    "golden_alloc_plans.json": alloc_plans_payload,
 }
 
 

@@ -1,0 +1,92 @@
+"""Round coalescing: N same-instant triggers cost one allocation round.
+
+``coalesce=False`` (the library default) keeps the seed's synchronous
+semantics — every demand-changing hook runs a full round inline.  With
+``coalesce=True`` (the experiment runner's default) the first trigger at an
+instant defers one round via ``Simulation.defer`` and later same-instant
+triggers are absorbed, counted in ``PerfCounters.alloc_rounds_coalesced``.
+"""
+
+from repro.managers.custody import CustodyManager
+from repro.managers.mesos import MesosManager
+from repro.managers.standalone import StandaloneManager
+from repro.managers.yarn import YarnManager
+from repro.metrics.collector import PerfCounters
+
+
+def test_synchronous_default_runs_one_round_per_trigger(harness):
+    counters = PerfCounters()
+    manager = CustodyManager(
+        harness.sim, harness.cluster, num_apps=2, counters=counters
+    )
+    driver = harness.add_app(manager, "a-0")
+    for k in range(3):
+        driver.submit_job(harness.make_job("a-0", [k]))
+    assert counters.alloc_rounds == 3
+    assert counters.alloc_rounds_coalesced == 0
+    assert driver.executor_count == 3  # grants landed synchronously
+
+
+def test_coalesced_same_instant_submits_cost_one_round(harness):
+    counters = PerfCounters()
+    manager = CustodyManager(
+        harness.sim, harness.cluster, num_apps=2,
+        coalesce=True, counters=counters,
+    )
+    driver = harness.add_app(manager, "a-0")
+    for k in range(4):
+        driver.submit_job(harness.make_job("a-0", [k]))
+    # No round yet: one is deferred, three triggers were absorbed.
+    assert manager.round_pending
+    assert counters.alloc_rounds == 0
+    assert counters.alloc_rounds_coalesced == 3
+    harness.sim.step()  # flushes the deferred round at this instant
+    assert not manager.round_pending
+    assert counters.alloc_rounds == 1
+    # The single coalesced round saw all four jobs' demands at once.
+    assert {e.node_id for e in driver.executors} >= {
+        "worker-000", "worker-001", "worker-002", "worker-003"
+    }
+
+
+def test_coalesced_round_reruns_at_later_instants(harness):
+    counters = PerfCounters()
+    manager = CustodyManager(
+        harness.sim, harness.cluster, num_apps=2,
+        coalesce=True, counters=counters,
+    )
+    driver = harness.add_app(manager, "a-0")
+    harness.sim.schedule_at(1.0, driver.submit_job, harness.make_job("a-0", [0]))
+    harness.sim.schedule_at(2.0, driver.submit_job, harness.make_job("a-0", [1]))
+    harness.sim.run()
+    # Different instants coalesce nothing: one round each, plus any rounds
+    # job completions trigger.
+    assert counters.alloc_rounds_coalesced == 0
+    assert counters.alloc_rounds >= 2
+
+
+def test_all_managers_accept_the_coalescing_knob(harness):
+    """Every policy wires coalesce/counters through to the base machinery."""
+    import numpy as np
+
+    counters = PerfCounters()
+    managers = [
+        CustodyManager(harness.sim, harness.cluster, num_apps=4,
+                       coalesce=True, counters=counters),
+        StandaloneManager(harness.sim, harness.cluster, num_apps=4,
+                          rng=np.random.default_rng(0),
+                          coalesce=True, counters=counters),
+        YarnManager(harness.sim, harness.cluster, num_apps=4,
+                    coalesce=True, counters=counters),
+        MesosManager(harness.sim, harness.cluster, num_apps=4,
+                     coalesce=True, counters=counters),
+    ]
+    for manager in managers:
+        assert manager.coalesce is True
+        assert manager.counters is counters
+        manager.on_executors_changed()
+        assert manager.round_pending  # deferred, not run inline
+    harness.sim.run()
+    for manager in managers:
+        assert not manager.round_pending
+    assert counters.alloc_rounds == len(managers)

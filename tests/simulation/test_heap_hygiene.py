@@ -1,0 +1,73 @@
+"""Event-heap hygiene: lazy compaction and O(1) pending-event accounting."""
+
+from repro.simulation.engine import Simulation
+
+
+def test_cancel_is_idempotent():
+    sim = Simulation()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.pending
+    assert handle.cancel() is True
+    assert not handle.pending
+    handle.cancel()  # repeat cancel must not double-count the dead entry
+    assert sim.stats()["cancelled_in_heap"] == 1
+    fired = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert fired.cancel() is False  # already ran: cancel reports failure
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulation()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    for handle in handles[::2]:
+        handle.cancel()
+    assert sim.pending_events == 5
+
+
+def test_cancelled_events_never_fire():
+    sim = Simulation()
+    fired = []
+    keep = sim.schedule(2.0, fired.append, "keep")
+    kill = sim.schedule(1.0, fired.append, "kill")
+    kill.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.fired
+
+
+def test_compaction_triggers_when_dead_entries_dominate():
+    sim = Simulation()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+    # Cancel from the back so the dead entries are NOT at the heap top —
+    # only compaction (not top-popping) can reclaim them.
+    for handle in handles[50:]:
+        handle.cancel()
+    assert sim.pending_events == 50
+    sim.run()  # peek/step trigger the lazy sweep
+    stats = sim.stats()
+    assert stats["heap_compactions"] >= 1
+    assert stats["cancelled_in_heap"] == 0
+    assert sim.pending_events == 0
+
+
+def test_compaction_preserves_execution_order():
+    sim = Simulation()
+    fired = []
+    handles = [
+        sim.schedule(float(i + 1), fired.append, i) for i in range(120)
+    ]
+    for i, handle in enumerate(handles):
+        if i % 3:
+            handle.cancel()
+    sim.run()
+    assert fired == [i for i in range(120) if i % 3 == 0]
+
+
+def test_small_cancel_counts_do_not_compact():
+    sim = Simulation()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for handle in handles[5:]:
+        handle.cancel()
+    sim.run()
+    assert sim.stats()["heap_compactions"] == 0

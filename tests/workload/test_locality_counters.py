@@ -1,0 +1,118 @@
+"""The O(1) locality counters must mirror the scanning properties exactly.
+
+``Job.note_input_decided`` / ``Application.note_input_decided`` feed the
+incremental demand index; any drift from the ``is_local_job`` /
+``local_job_fraction`` scans would silently change Algorithm 1's ordering.
+"""
+
+import random
+
+from repro.workload.application import Application
+from repro.workload.job import Job, Stage
+from repro.workload.task import Task, TaskKind
+
+
+class _FakeBlock:
+    def __init__(self, block_id):
+        self.block_id = block_id
+
+
+def make_job(job_id, app_id, n_tasks, required=None):
+    tasks = [
+        Task(
+            f"{job_id}/t{i}", job_id=job_id, app_id=app_id, stage_index=0,
+            kind=TaskKind.INPUT, cpu_time=1.0, block=_FakeBlock(f"b{i}"),
+        )
+        for i in range(n_tasks)
+    ]
+    return Job(job_id, app_id, [Stage(0, tasks)], required_inputs=required)
+
+
+def decide(app, job, task, was_local):
+    task.was_local = was_local
+    app.note_input_decided(job, was_local)
+
+
+def assert_counters_match_scans(app):
+    decided_jobs = [j for j in app.jobs if j.is_local_job is not None]
+    assert app.decided_job_count == len(decided_jobs)
+    assert app.local_job_count == sum(1 for j in decided_jobs if j.is_local_job)
+    decided_tasks = [t for t in app.input_tasks if t.was_local is not None]
+    assert app.decided_task_count == len(decided_tasks)
+    assert app.local_task_count == sum(1 for t in decided_tasks if t.was_local)
+    for job in app.jobs:
+        assert job.counted_local_state == job.is_local_job
+
+
+def test_full_job_counters_track_the_scan():
+    app = Application("A")
+    job = make_job("j1", "A", 3)
+    app.add_job(job)
+    decide(app, job, job.input_tasks[0], True)
+    assert_counters_match_scans(app)
+    assert job.counted_local_state is None  # undecided until all tasks run
+    decide(app, job, job.input_tasks[1], True)
+    decide(app, job, job.input_tasks[2], True)
+    assert_counters_match_scans(app)
+    assert job.counted_local_state is True
+
+
+def test_one_remote_task_makes_the_job_non_local():
+    app = Application("A")
+    job = make_job("j1", "A", 2)
+    app.add_job(job)
+    decide(app, job, job.input_tasks[0], True)
+    decide(app, job, job.input_tasks[1], False)
+    assert job.counted_local_state is False
+    assert_counters_match_scans(app)
+
+
+def test_kmn_job_flips_false_to_true_after_quorum():
+    """A K-of-N job decided non-local at quorum can turn local later."""
+    app = Application("A")
+    job = make_job("j1", "A", 4, required=2)
+    app.add_job(job)
+    decide(app, job, job.input_tasks[0], False)
+    decide(app, job, job.input_tasks[1], False)
+    assert job.counted_local_state is False  # quorum reached, 0 local
+    assert_counters_match_scans(app)
+    decide(app, job, job.input_tasks[2], True)
+    decide(app, job, job.input_tasks[3], True)
+    assert job.counted_local_state is True  # 2 local >= K: flipped
+    assert_counters_match_scans(app)
+    assert app.local_job_count == 1
+
+
+def test_randomized_decision_streams_match_scans():
+    rng = random.Random(3)
+    for trial in range(30):
+        app = Application("A")
+        jobs = []
+        for j in range(rng.randint(1, 5)):
+            n = rng.randint(1, 6)
+            required = rng.randint(1, n) if rng.random() < 0.4 else None
+            job = make_job(f"j{j}", "A", n, required=required)
+            app.add_job(job)
+            jobs.append(job)
+        undecided = [
+            (job, task) for job in jobs for task in job.input_tasks
+        ]
+        rng.shuffle(undecided)
+        for job, task in undecided:
+            decide(app, job, task, rng.random() < 0.5)
+            assert_counters_match_scans(app)
+
+
+def test_reset_runtime_clears_counters():
+    app = Application("A")
+    job = make_job("j1", "A", 2)
+    app.add_job(job)
+    decide(app, job, job.input_tasks[0], True)
+    decide(app, job, job.input_tasks[1], True)
+    app.reset_runtime()
+    assert app.decided_job_count == 0
+    assert app.local_job_count == 0
+    assert app.decided_task_count == 0
+    assert app.local_task_count == 0
+    assert job.counted_local_state is None
+    assert_counters_match_scans(app)

@@ -1,0 +1,146 @@
+"""Closed-form queueing results the simulator must reproduce.
+
+The validation scenarios (:mod:`repro.scenarios`) drive small Markovian
+queues through the discrete-event engine and compare the measured means
+against these textbook formulas.  Everything here is exact arithmetic on
+the model parameters — no simulation, no randomness — so a disagreement
+is always the simulator's fault (or a tolerance band set too tight).
+
+Conventions
+-----------
+``lam`` is the arrival rate λ (customers/second), ``mu`` the per-server
+service rate μ, ``servers`` the server count *c*.  "Wait" means time in
+queue (Wq); "sojourn" means queueing plus service (W = Wq + 1/μ).  All
+formulas require a stable queue (offered load strictly below capacity).
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "utilization",
+    "mm1_mean_wait",
+    "mm1_mean_sojourn",
+    "mm1_mean_number_in_system",
+    "mm1_mean_queue_length",
+    "erlang_c",
+    "mmc_mean_wait",
+    "mmc_mean_sojourn",
+    "mmc_mean_number_in_system",
+    "priority_mm1_waits",
+]
+
+
+def _check_rates(lam: float, mu: float, servers: int = 1) -> float:
+    if lam <= 0 or mu <= 0:
+        raise ConfigurationError(f"rates must be positive, got lam={lam}, mu={mu}")
+    if servers < 1:
+        raise ConfigurationError(f"servers must be >= 1, got {servers}")
+    rho = lam / (servers * mu)
+    if rho >= 1.0:
+        raise ConfigurationError(
+            f"unstable queue: offered load {rho:.3f} >= 1 "
+            f"(lam={lam}, mu={mu}, servers={servers})"
+        )
+    return rho
+
+
+def utilization(lam: float, mu: float, servers: int = 1) -> float:
+    """Offered load ρ = λ / (cμ); must be < 1 for a stable queue."""
+    return _check_rates(lam, mu, servers)
+
+
+# ------------------------------------------------------------------- M/M/1
+def mm1_mean_wait(lam: float, mu: float) -> float:
+    """E[Wq] for M/M/1: ρ / (μ − λ).
+
+    The hockey-stick curve the validation suite probes: the wait is *not*
+    linear in load — it diverges as ρ → 1, which a broken event loop
+    (dropped wake-ups, mis-ordered same-time events) flattens or shifts.
+    """
+    rho = _check_rates(lam, mu)
+    return rho / (mu - lam)
+
+
+def mm1_mean_sojourn(lam: float, mu: float) -> float:
+    """E[W] for M/M/1: 1 / (μ − λ)."""
+    _check_rates(lam, mu)
+    return 1.0 / (mu - lam)
+
+
+def mm1_mean_number_in_system(lam: float, mu: float) -> float:
+    """E[L] for M/M/1: ρ / (1 − ρ)  (Little: L = λ·W)."""
+    rho = _check_rates(lam, mu)
+    return rho / (1.0 - rho)
+
+
+def mm1_mean_queue_length(lam: float, mu: float) -> float:
+    """E[Lq] for M/M/1: ρ² / (1 − ρ)  (Little: Lq = λ·Wq)."""
+    rho = _check_rates(lam, mu)
+    return rho * rho / (1.0 - rho)
+
+
+# ------------------------------------------------------------------- M/M/c
+def erlang_c(lam: float, mu: float, servers: int) -> float:
+    """Erlang-C: P(an arriving customer must queue) for M/M/c.
+
+    ``C(c, a) = (a^c / (c! (1 − ρ))) / (Σ_{k<c} a^k/k! + a^c/(c!(1 − ρ)))``
+    with offered traffic ``a = λ/μ`` and ρ = a/c.
+    """
+    rho = _check_rates(lam, mu, servers)
+    a = lam / mu
+    tail = (a**servers) / (factorial(servers) * (1.0 - rho))
+    head = sum((a**k) / factorial(k) for k in range(servers))
+    return tail / (head + tail)
+
+
+def mmc_mean_wait(lam: float, mu: float, servers: int) -> float:
+    """E[Wq] for M/M/c: C(c, λ/μ) / (cμ − λ)."""
+    return erlang_c(lam, mu, servers) / (servers * mu - lam)
+
+
+def mmc_mean_sojourn(lam: float, mu: float, servers: int) -> float:
+    """E[W] for M/M/c: Wq + 1/μ."""
+    return mmc_mean_wait(lam, mu, servers) + 1.0 / mu
+
+
+def mmc_mean_number_in_system(lam: float, mu: float, servers: int) -> float:
+    """E[L] for M/M/c via Little's law: λ · E[W]."""
+    return lam * mmc_mean_sojourn(lam, mu, servers)
+
+
+# --------------------------------------------------- nonpreemptive priority
+def priority_mm1_waits(
+    lams: Sequence[float], mu: float
+) -> Tuple[float, ...]:
+    """Per-class E[Wq] for a nonpreemptive priority M/M/1.
+
+    ``lams`` lists class arrival rates from highest priority to lowest;
+    every class shares the exponential service rate ``mu``.  The classic
+    Cobham result with mean residual work ``W0 = Σ λ_i E[S²]/2 = Λ/μ²``:
+
+        Wq_k = W0 / ((1 − σ_{k−1}) (1 − σ_k)),   σ_k = Σ_{i≤k} ρ_i
+
+    The low-priority class's wait explodes as total load approaches 1
+    while the top class stays near the empty-system residual — the
+    starvation signature the priority scenario asserts.
+    """
+    if not lams:
+        raise ConfigurationError("priority_mm1_waits needs at least one class")
+    total = sum(lams)
+    _check_rates(total, mu)
+    if any(lam <= 0 for lam in lams):
+        raise ConfigurationError(f"class rates must be positive, got {list(lams)}")
+    w0 = total / (mu * mu)
+    waits = []
+    sigma_prev = 0.0
+    sigma = 0.0
+    for lam in lams:
+        sigma += lam / mu
+        waits.append(w0 / ((1.0 - sigma_prev) * (1.0 - sigma)))
+        sigma_prev = sigma
+    return tuple(waits)

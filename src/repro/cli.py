@@ -169,6 +169,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "managers, asserts zero lost tasks and visible "
                               "recovery traffic")
 
+    val_p = sub.add_parser(
+        "validate",
+        help="queueing-theory validation suite: closed forms vs measurement",
+    )
+    val_p.add_argument("--smoke", action="store_true",
+                       help="CI gate: reduced sample sizes, both engine "
+                            "variants on engine-sensitive scenarios")
+    val_p.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME", dest="scenario_names",
+                       help="run only this scenario (repeatable); "
+                            "default: all registered scenarios")
+    val_p.add_argument("--seed", type=int, default=0)
+    val_p.add_argument("--network-engine", default="incremental",
+                       choices=["incremental", "reference"],
+                       help="engine for single-variant runs (ignored by the "
+                            "smoke gate, which always runs both variants)")
+    val_p.add_argument("--alloc-engine", default="incremental",
+                       choices=["incremental", "reference"])
+    val_p.add_argument("--out", metavar="PATH", default="VALIDATION.json",
+                       help="pass/fail report artifact path ('' to skip)")
+    val_p.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="list registered scenarios and exit")
+
     trace_p = sub.add_parser(
         "trace", help="one fully traced run, exported for ui.perfetto.dev"
     )
@@ -451,6 +474,77 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        ScenarioProfile,
+        all_scenarios,
+        run_suite,
+    )
+
+    if args.list_scenarios:
+        for name, scenario in all_scenarios().items():
+            tags = []
+            if scenario.engine_sensitive:
+                tags.append("engine-sensitive")
+            if not scenario.in_smoke:
+                tags.append("full-only")
+            suffix = f"  [{', '.join(tags)}]" if tags else ""
+            print(f"{name:16s} {scenario.title}{suffix}")
+        return 0
+
+    profile = ScenarioProfile(
+        smoke=args.smoke,
+        seed=args.seed,
+        network_engine=args.network_engine,
+        alloc_engine=args.alloc_engine,
+    )
+    # The smoke gate pins both self-consistent engine stacks; a manual
+    # single-variant run validates exactly the engines it was given.
+    variants = (
+        [("incremental", "incremental"), ("reference", "reference")]
+        if args.smoke
+        else [(args.network_engine, args.alloc_engine)]
+    )
+    report = run_suite(
+        args.scenario_names,
+        profile,
+        engine_variants=variants,
+        progress=lambda label: print(f"  running {label} ..."),
+    )
+
+    widths = (16, 26, 8, 6)
+    header = ["scenario", "engines", "checks", "result"]
+    print()
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in report.summary_rows():
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    for result in report.results:
+        for check in result.checks:
+            if not check.passed:
+                print(f"  FAIL {result.name}.{check.name}: "
+                      f"measured={check.measured:.6g} "
+                      f"expected={check.expected:.6g}  ({check.detail})",
+                      file=sys.stderr)
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nreport: {args.out}")
+    total = sum(len(r.checks) for r in report.results)
+    failed = sum(
+        1 for r in report.results for c in r.checks if not c.passed
+    )
+    if report.passed:
+        print(f"validate passed: {total} checks across "
+              f"{len(report.results)} scenario runs, closed forms within "
+              "tolerance.")
+        return 0
+    print(f"\nvalidate FAILED: {failed}/{total} checks out of band.",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -541,6 +635,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "perf": _cmd_perf,
         "chaos": _cmd_chaos,
+        "validate": _cmd_validate,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

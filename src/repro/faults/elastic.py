@@ -1,0 +1,113 @@
+"""Elastic node churn: autoscaler add/remove as a seeded fault plan.
+
+Cloud clusters on spot/preemptible capacity lose nodes on short notice
+and get replacements minutes later.  Composed onto the PR2 fault
+machinery, that is exactly a :class:`~repro.faults.plan.NodeFailure`
+stream: the preemption kills the node's executors and replicas (with
+re-replication traffic to heal the block inventory), and the
+``restart_delay`` models the autoscaler provisioning a replacement that
+rejoins with an empty DataNode.
+
+:func:`build_churn_plan` draws such a stream from a numpy Generator while
+guaranteeing a *capacity floor*: at no instant is more than
+``1 − min_alive_fraction`` of the cluster down, so churn degrades runs
+without wedging them (the same contract as the chaos plans).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, NodeFailure
+
+__all__ = ["build_churn_plan", "merge_plans"]
+
+
+def build_churn_plan(
+    num_nodes: int,
+    rng: np.random.Generator,
+    *,
+    events: int = 6,
+    horizon: float = 300.0,
+    min_alive_fraction: float = 0.6,
+    restart_delay_range: Tuple[float, float] = (20.0, 60.0),
+    re_replicate: bool = True,
+) -> FaultPlan:
+    """Draw ``events`` spot-preemption/replacement cycles over the horizon.
+
+    Preemption instants are uniform over ``[0.05·horizon, horizon)`` (the
+    same early-warmup exclusion as the chaos plans); victims are drawn
+    uniformly among nodes that are *up* at that instant, and a candidate
+    preemption that would push concurrent downtime past the capacity
+    floor is skipped — so very aggressive ``events`` settings saturate at
+    the floor instead of stalling the cluster.
+    """
+    if num_nodes < 2:
+        raise ConfigurationError(f"churn needs >= 2 nodes, got {num_nodes}")
+    if events < 1:
+        raise ConfigurationError(f"events must be >= 1, got {events}")
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    if not (0.0 < min_alive_fraction < 1.0):
+        raise ConfigurationError(
+            f"min_alive_fraction must be in (0, 1), got {min_alive_fraction}"
+        )
+    lo, hi = restart_delay_range
+    if lo < 0 or hi < lo:
+        raise ConfigurationError(
+            f"restart_delay_range must be 0 <= lo <= hi, got {restart_delay_range}"
+        )
+    max_down = max(1, int(num_nodes * (1.0 - min_alive_fraction)))
+
+    #: (down_at, up_at, node_index) intervals already committed
+    downtime: List[Tuple[float, float, int]] = []
+
+    def concurrent_down(t0: float, t1: float) -> int:
+        return sum(1 for d, u, _ in downtime if d < t1 and t0 < u)
+
+    def node_is_down(node: int, t0: float, t1: float) -> bool:
+        return any(
+            n == node and d < t1 and t0 < u for d, u, n in downtime
+        )
+
+    plan = FaultPlan()
+    for _ in range(events):
+        at = float(rng.uniform(horizon * 0.05, horizon))
+        delay = float(rng.uniform(lo, hi))
+        node = int(rng.integers(num_nodes))
+        until = at + delay
+        if concurrent_down(at, until) >= max_down or node_is_down(node, at, until):
+            continue  # capacity floor (or node already out): skip this draw
+        downtime.append((at, until, node))
+        plan.add(
+            NodeFailure(
+                at=at,
+                node_id=f"worker-{node:03d}",
+                restart_delay=delay,
+                re_replicate=re_replicate,
+            )
+        )
+    if not len(plan):
+        # Degenerate parameterisations (e.g. 2 nodes, tight floor) must
+        # still produce churn: force a single safe preemption.
+        plan.add(
+            NodeFailure(
+                at=float(horizon * 0.5),
+                node_id="worker-000",
+                restart_delay=float(lo),
+                re_replicate=re_replicate,
+            )
+        )
+    return plan
+
+
+def merge_plans(*plans: FaultPlan) -> FaultPlan:
+    """Compose fault plans (e.g. churn + chaos) into one time-ordered plan."""
+    merged = FaultPlan()
+    for plan in plans:
+        for event in plan:
+            merged.add(event)
+    return merged

@@ -1,0 +1,321 @@
+"""Scenario framework: checks, tolerance bands, registry and suite runner.
+
+A *validation scenario* measures something the simulator computes the hard
+way (event by event) and compares it against an independent expectation —
+a closed-form queueing result, a combinatorial bound, or a structural
+invariant of a generator.  Measurements are stochastic, so every
+comparison carries an explicit tolerance band chosen for its sample size;
+all randomness flows through :class:`~repro.common.rng.RngStreams`, so a
+scenario's verdict is a pure function of ``(seed, profile)`` and can gate
+CI without flakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "Check",
+    "ScenarioProfile",
+    "ScenarioResult",
+    "SuiteReport",
+    "ValidationScenario",
+    "register",
+    "get_scenario",
+    "all_scenarios",
+    "run_suite",
+]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One measured-vs-expected comparison with its band and verdict."""
+
+    name: str
+    measured: float
+    expected: float
+    #: Half-width of the acceptance band around ``expected`` (same units as
+    #: the comparison: relative for ``within``, absolute for bounds).
+    tolerance: float
+    passed: bool
+    kind: str  # "relative" | "upper" | "lower" | "exact"
+    detail: str = ""
+
+    # ------------------------------------------------------------ factories
+    @staticmethod
+    def within(
+        name: str, measured: float, expected: float, rel_tol: float, detail: str = ""
+    ) -> "Check":
+        """Pass iff ``|measured − expected| <= rel_tol · |expected|``."""
+        if rel_tol <= 0:
+            raise ConfigurationError(f"{name}: rel_tol must be positive")
+        err = abs(measured - expected)
+        rel_err = err / abs(expected) if expected else float("inf")
+        return Check(
+            name=name,
+            measured=measured,
+            expected=expected,
+            tolerance=rel_tol,
+            passed=err <= rel_tol * abs(expected),
+            kind="relative",
+            detail=detail or f"relative error {rel_err:.1%}",
+        )
+
+    @staticmethod
+    def at_most(
+        name: str, measured: float, bound: float, slack: float = 0.0, detail: str = ""
+    ) -> "Check":
+        """Pass iff ``measured <= bound + slack`` (absolute slack)."""
+        return Check(
+            name=name,
+            measured=measured,
+            expected=bound,
+            tolerance=slack,
+            passed=measured <= bound + slack,
+            kind="upper",
+            detail=detail,
+        )
+
+    @staticmethod
+    def at_least(
+        name: str, measured: float, bound: float, slack: float = 0.0, detail: str = ""
+    ) -> "Check":
+        """Pass iff ``measured >= bound − slack`` (absolute slack)."""
+        return Check(
+            name=name,
+            measured=measured,
+            expected=bound,
+            tolerance=slack,
+            passed=measured >= bound - slack,
+            kind="lower",
+            detail=detail,
+        )
+
+    @staticmethod
+    def that(name: str, condition: bool, detail: str = "") -> "Check":
+        """A structural invariant: pass iff ``condition``."""
+        return Check(
+            name=name,
+            measured=float(bool(condition)),
+            expected=1.0,
+            tolerance=0.0,
+            passed=bool(condition),
+            kind="exact",
+            detail=detail,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready projection."""
+        return {
+            "name": self.name,
+            "measured": self.measured,
+            "expected": self.expected,
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """How hard to drive a scenario, and against which engine variants.
+
+    ``smoke`` trades sample size for wall time (CI gate); the full profile
+    is the nightly/manual setting.  The engine fields select the network
+    and allocation implementations for the scenarios that run through the
+    full experiment stack; pure-engine queueing scenarios ignore them.
+    """
+
+    smoke: bool = False
+    seed: int = 0
+    network_engine: str = "incremental"
+    alloc_engine: str = "incremental"
+
+    def scaled(self, full: int, smoke: int) -> int:
+        """Pick a sample count for this profile."""
+        return smoke if self.smoke else full
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    name: str
+    title: str
+    profile: ScenarioProfile
+    checks: List[Check] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """True iff every check passed (a scenario with no checks fails)."""
+        return bool(self.checks) and all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> List[Check]:
+        """The checks that missed their bands."""
+        return [c for c in self.checks if not c.passed]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready projection for the report artifact."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "passed": self.passed,
+            "profile": {
+                "smoke": self.profile.smoke,
+                "seed": self.profile.seed,
+                "network_engine": self.profile.network_engine,
+                "alloc_engine": self.profile.alloc_engine,
+            },
+            "params": dict(self.params),
+            "checks": [c.as_dict() for c in self.checks],
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class ValidationScenario:
+    """Base class: subclasses set the metadata and implement :meth:`build`.
+
+    ``engine_sensitive`` marks scenarios whose measurements flow through
+    the network/allocation engines — the validate CLI repeats those under
+    each engine variant, so both the optimized and the seed implementation
+    obey the same physics.
+    """
+
+    name: str = ""
+    title: str = ""
+    #: runs through run_experiment → repeat under each engine variant
+    engine_sensitive: bool = False
+    #: included in ``repro validate --smoke`` (the CI gate)
+    in_smoke: bool = True
+
+    def build(self, profile: ScenarioProfile, result: ScenarioResult) -> None:
+        """Measure and append checks to ``result`` (subclass hook)."""
+        raise NotImplementedError
+
+    def run(self, profile: ScenarioProfile) -> ScenarioResult:
+        """Execute the scenario under ``profile``."""
+        import time
+
+        result = ScenarioResult(name=self.name, title=self.title, profile=profile)
+        t0 = time.perf_counter()
+        self.build(profile, result)
+        result.wall_seconds = time.perf_counter() - t0
+        return result
+
+
+_REGISTRY: Dict[str, ValidationScenario] = {}
+
+
+def register(scenario_cls: type) -> type:
+    """Class decorator: instantiate and add to the suite registry."""
+    scenario = scenario_cls()
+    if not scenario.name:
+        raise ConfigurationError(f"{scenario_cls.__name__} has no name")
+    if scenario.name in _REGISTRY:
+        raise ConfigurationError(f"duplicate scenario {scenario.name!r}")
+    _REGISTRY[scenario.name] = scenario
+    return scenario_cls
+
+
+def get_scenario(name: str) -> ValidationScenario:
+    """Look up one registered scenario."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_scenarios() -> Dict[str, ValidationScenario]:
+    """Registered scenarios, keyed by name (insertion-ordered)."""
+    return dict(_REGISTRY)
+
+
+@dataclass
+class SuiteReport:
+    """All results of one validate invocation."""
+
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True iff every scenario passed."""
+        return bool(self.results) and all(r.passed for r in self.results)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready projection (the ``VALIDATION.json`` artifact)."""
+        return {
+            "passed": self.passed,
+            "scenarios": [r.as_dict() for r in self.results],
+        }
+
+    def summary_rows(self) -> List[List[Any]]:
+        """Rows for the CLI table: scenario, engines, checks, verdict."""
+        rows = []
+        for r in self.results:
+            engines = (
+                f"{r.profile.network_engine}/{r.profile.alloc_engine}"
+                if get_scenario(r.name).engine_sensitive
+                else "-"
+            )
+            rows.append([
+                r.name,
+                engines,
+                f"{sum(c.passed for c in r.checks)}/{len(r.checks)}",
+                "pass" if r.passed else "FAIL",
+            ])
+        return rows
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    profile: ScenarioProfile = ScenarioProfile(),
+    *,
+    engine_variants: Optional[Sequence[tuple]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SuiteReport:
+    """Run scenarios (all registered ones by default) under ``profile``.
+
+    ``engine_variants`` is a sequence of ``(network_engine, alloc_engine)``
+    pairs; engine-sensitive scenarios run once per pair (pure-engine
+    scenarios run once, under the profile's own engines).  In smoke mode,
+    scenarios with ``in_smoke = False`` are skipped unless explicitly named.
+    """
+    from dataclasses import replace
+
+    registry = all_scenarios()
+    if names:
+        picked = [(n, get_scenario(n)) for n in names]
+    else:
+        picked = [
+            (n, s)
+            for n, s in registry.items()
+            if s.in_smoke or not profile.smoke
+        ]
+    report = SuiteReport()
+    for name, scenario in picked:
+        if scenario.engine_sensitive and engine_variants:
+            profiles = [
+                replace(profile, network_engine=net, alloc_engine=alloc)
+                for net, alloc in engine_variants
+            ]
+        else:
+            profiles = [profile]
+        for p in profiles:
+            if progress is not None:
+                tag = (
+                    f" [{p.network_engine}/{p.alloc_engine}]"
+                    if scenario.engine_sensitive
+                    else ""
+                )
+                progress(f"{name}{tag}")
+            report.results.append(scenario.run(p))
+    return report

@@ -1,0 +1,353 @@
+"""Queueing-theory scenarios: Markovian queues on the raw event engine.
+
+These scenarios bypass the cluster stack entirely and build M/M/1, M/M/c
+and nonpreemptive-priority queues directly on
+:class:`~repro.simulation.engine.Simulation` — the same loop that orders
+every transfer completion and allocation round.  If the engine fires
+events late, drops wake-ups, or breaks same-instant FIFO order, the
+measured waits drift off the closed forms in
+:mod:`repro.analysis.queueing` and these checks fail.
+
+Two estimator families deliberately use *different* bookkeeping paths:
+
+* per-customer records (arrival/start/departure timestamps) give Ŵ;
+* a state integral, maintained incrementally at every queue transition,
+  gives L̂.
+
+Little's law ties them together (L = λW).  The two paths share no code,
+so agreement is evidence about the engine, not about one counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.queueing import (
+    mm1_mean_wait,
+    mmc_mean_wait,
+    priority_mm1_waits,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStreams
+from repro.scenarios.base import (
+    Check,
+    ScenarioProfile,
+    ScenarioResult,
+    ValidationScenario,
+    register,
+)
+from repro.simulation.engine import Simulation
+
+__all__ = [
+    "QueueMeasurement",
+    "simulate_mmc_queue",
+    "simulate_priority_queue",
+    "MM1Scenario",
+    "MMCScenario",
+    "PriorityScenario",
+]
+
+
+@dataclass
+class QueueMeasurement:
+    """Post-warmup measurements of one simulated queue."""
+
+    lam: float
+    mu: float
+    servers: int
+    customers: int  #: measured customers (after warmup)
+    mean_wait: float  #: Ŵq — mean time in queue
+    mean_sojourn: float  #: Ŵ — queue + service
+    mean_number_in_system: float  #: L̂ — from the state-integral path
+    arrival_rate: float  #: λ̂ — measured arrivals / measurement window
+    window: float  #: measurement window length (sim seconds)
+
+    @property
+    def littles_error(self) -> float:
+        """Relative gap |L̂ − λ̂·Ŵ| / (λ̂·Ŵ) — Little's-law consistency."""
+        rhs = self.arrival_rate * self.mean_sojourn
+        return abs(self.mean_number_in_system - rhs) / rhs if rhs else 0.0
+
+
+class _QueueSim:
+    """Event-driven c-server FIFO queue with optional priority classes."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        servers: int,
+        num_classes: int,
+        warmup: int,
+    ):
+        self.sim = sim
+        self.servers = servers
+        self.busy = 0
+        #: per-class FIFO of (arrival_time, service_time, cls)
+        self.queues: List[List] = [[] for _ in range(num_classes)]
+        self.warmup = warmup
+        self.arrived = 0
+        self.departed = 0
+        # Measurement state (activated once the warmup customer arrives).
+        self.measuring = False
+        self.t0 = 0.0
+        self.t_last = 0.0
+        self.in_system = 0
+        self.area = 0.0  #: ∫ (number in system) dt over the window
+        self.measured_arrivals = 0
+        self.waits: List[List[float]] = [[] for _ in range(num_classes)]
+        self.sojourns: List[float] = []
+
+    # ------------------------------------------------------------ accounting
+    def _advance_area(self) -> None:
+        now = self.sim.now
+        if self.measuring:
+            self.area += self.in_system * (now - self.t_last)
+        self.t_last = now
+
+    def arrive(self, service_time: float, cls: int) -> None:
+        self._advance_area()
+        if self.arrived == self.warmup:
+            # Reset the integral path at the warmup boundary; customers
+            # already in the system keep contributing to L (steady state).
+            self.measuring = True
+            self.t0 = self.sim.now
+            self.area = 0.0
+        self.arrived += 1
+        if self.measuring:
+            self.measured_arrivals += 1
+        self.in_system += 1
+        now = self.sim.now
+        if self.busy < self.servers:
+            self.busy += 1
+            self._start_service(now, service_time, cls)
+        else:
+            self.queues[cls].append((now, service_time, cls))
+
+    def _start_service(self, arrived_at: float, service_time: float, cls: int) -> None:
+        now = self.sim.now
+        if self.measuring and arrived_at >= self.t0:
+            self.waits[cls].append(now - arrived_at)
+        self.sim.schedule(service_time, self.depart, arrived_at)
+
+    def depart(self, arrived_at: float) -> None:
+        self._advance_area()
+        self.in_system -= 1
+        self.departed += 1
+        now = self.sim.now
+        if self.measuring and arrived_at >= self.t0:
+            self.sojourns.append(now - arrived_at)
+        for queue in self.queues:  # highest-priority class first
+            if queue:
+                self._start_service(*queue.pop(0))
+                return
+        self.busy -= 1
+
+
+def _run_queue(
+    lam_per_class: Sequence[float],
+    mu: float,
+    servers: int,
+    customers: int,
+    rng: np.random.Generator,
+    warmup_fraction: float = 0.15,
+) -> _QueueSim:
+    """Drive a queue to completion; returns the measurement bookkeeping.
+
+    The merged arrival process draws each class's stream independently
+    (exponential gaps), pre-materialised so the whole run is a pure
+    function of ``rng``.
+    """
+    if customers < 10:
+        raise ConfigurationError(f"need >= 10 customers, got {customers}")
+    total = customers
+    warmup = int(total * warmup_fraction)
+    sim = Simulation()
+    queue = _QueueSim(sim, servers, len(lam_per_class), warmup)
+    arrivals = []
+    for cls, lam in enumerate(lam_per_class):
+        share = lam / sum(lam_per_class)
+        n = max(1, int(round(total * share)))
+        times = np.cumsum(rng.exponential(1.0 / lam, size=n))
+        services = rng.exponential(1.0 / mu, size=n)
+        arrivals.extend((float(t), float(s), cls) for t, s in zip(times, services))
+    arrivals.sort()
+    for t, s, cls in arrivals:
+        sim.schedule_at(t, queue.arrive, s, cls)
+    sim.run()
+    if queue.departed != queue.arrived:
+        raise ConfigurationError(
+            f"queue did not drain: {queue.departed}/{queue.arrived} departed"
+        )
+    return queue
+
+
+def simulate_mmc_queue(
+    lam: float,
+    mu: float,
+    servers: int,
+    customers: int,
+    rng: np.random.Generator,
+) -> QueueMeasurement:
+    """Simulate a single-class M/M/c queue and measure its steady state."""
+    q = _run_queue([lam], mu, servers, customers, rng)
+    window = q.t_last - q.t0
+    return QueueMeasurement(
+        lam=lam,
+        mu=mu,
+        servers=servers,
+        customers=len(q.sojourns),
+        mean_wait=float(np.mean(q.waits[0])) if q.waits[0] else 0.0,
+        mean_sojourn=float(np.mean(q.sojourns)) if q.sojourns else 0.0,
+        mean_number_in_system=q.area / window if window > 0 else 0.0,
+        arrival_rate=q.measured_arrivals / window if window > 0 else 0.0,
+        window=window,
+    )
+
+
+def simulate_priority_queue(
+    lams: Sequence[float],
+    mu: float,
+    customers: int,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Nonpreemptive priority M/M/1: per-class mean waits (class 0 first)."""
+    q = _run_queue(list(lams), mu, 1, customers, rng)
+    return [float(np.mean(w)) if w else 0.0 for w in q.waits]
+
+
+# ---------------------------------------------------------------- scenarios
+@register
+class MM1Scenario(ValidationScenario):
+    """M/M/1 wait-time nonlinearity against ρ/(μ(1−ρ)), plus Little's law.
+
+    Probes the hockey-stick at three utilization points; the band widens
+    with ρ because the wait's variance (and its autocorrelation) grows as
+    the queue approaches saturation.
+    """
+
+    name = "mm1"
+    title = "M/M/1 wait-time curve vs closed form"
+
+    #: (rho, relative tolerance) — bands sized for the sample counts below.
+    POINTS = ((0.3, 0.10), (0.6, 0.10), (0.85, 0.15))
+
+    def build(self, profile: ScenarioProfile, result: ScenarioResult) -> None:
+        streams = RngStreams(seed=profile.seed)
+        mu = 1.0
+        customers = profile.scaled(60_000, 20_000)
+        result.params = {"mu": mu, "customers": customers,
+                         "points": [p[0] for p in self.POINTS]}
+        measured_waits = []
+        for rho, tol in self.POINTS:
+            lam = rho * mu
+            m = simulate_mmc_queue(
+                lam, mu, 1, customers, streams.get(f"scenarios.mm1.rho{rho}")
+            )
+            expected = mm1_mean_wait(lam, mu)
+            measured_waits.append(m.mean_wait)
+            result.checks.append(
+                Check.within(
+                    f"mm1.wait.rho={rho}", m.mean_wait, expected, tol,
+                    detail=f"{m.customers} customers",
+                )
+            )
+            result.checks.append(
+                Check.at_most(
+                    f"mm1.littles_law.rho={rho}", m.littles_error, 0.05,
+                    detail="|L − λW| / λW from independent estimator paths",
+                )
+            )
+        # The curve must be convex-increasing: the jump from mid to high
+        # load dwarfs the jump from low to mid (closed form: 0.43→1.5→5.67).
+        lo, mid, hi = measured_waits
+        result.checks.append(
+            Check.at_least(
+                "mm1.nonlinearity", hi / lo if lo else 0.0,
+                mm1_mean_wait(0.85, mu) / mm1_mean_wait(0.3, mu) * 0.6,
+                detail="W(0.85)/W(0.3) within 40% of the closed-form ratio",
+            )
+        )
+        result.checks.append(
+            Check.that(
+                "mm1.monotone", lo < mid < hi,
+                detail="mean wait strictly increasing in offered load",
+            )
+        )
+
+
+@register
+class MMCScenario(ValidationScenario):
+    """M/M/c wait against Erlang-C — multi-server FIFO hand-off."""
+
+    name = "mmc"
+    title = "M/M/c wait vs Erlang-C"
+
+    POINTS = ((0.5, 0.15), (0.8, 0.15))
+    SERVERS = 4
+
+    def build(self, profile: ScenarioProfile, result: ScenarioResult) -> None:
+        streams = RngStreams(seed=profile.seed)
+        mu = 1.0
+        customers = profile.scaled(60_000, 20_000)
+        result.params = {"mu": mu, "servers": self.SERVERS,
+                         "customers": customers}
+        for rho, tol in self.POINTS:
+            lam = rho * self.SERVERS * mu
+            m = simulate_mmc_queue(
+                lam, mu, self.SERVERS, customers,
+                streams.get(f"scenarios.mmc.rho{rho}"),
+            )
+            expected = mmc_mean_wait(lam, mu, self.SERVERS)
+            result.checks.append(
+                Check.within(
+                    f"mmc.wait.rho={rho}", m.mean_wait, expected, tol,
+                    detail=f"c={self.SERVERS}, {m.customers} customers",
+                )
+            )
+            result.checks.append(
+                Check.at_most(
+                    f"mmc.littles_law.rho={rho}", m.littles_error, 0.05,
+                )
+            )
+
+
+@register
+class PriorityScenario(ValidationScenario):
+    """Nonpreemptive two-class priority: Cobham waits and starvation.
+
+    The high class's wait must stay near the empty-system residual while
+    the low class's wait balloons — the starvation mechanism that delay
+    scheduling's bounded wait (and Custody's max-min fill) exists to avoid.
+    """
+
+    name = "priority"
+    title = "Nonpreemptive priority M/M/1 vs Cobham closed form"
+
+    def build(self, profile: ScenarioProfile, result: ScenarioResult) -> None:
+        streams = RngStreams(seed=profile.seed)
+        mu = 1.0
+        lams = (0.4, 0.4)  # total ρ = 0.8
+        customers = profile.scaled(80_000, 24_000)
+        result.params = {"mu": mu, "lams": list(lams), "customers": customers}
+        measured = simulate_priority_queue(
+            lams, mu, customers, streams.get("scenarios.priority")
+        )
+        expected = priority_mm1_waits(lams, mu)
+        for cls, (got, want) in enumerate(zip(measured, expected)):
+            result.checks.append(
+                Check.within(
+                    f"priority.wait.class{cls}", got, want, 0.15,
+                    detail="Cobham nonpreemptive-priority closed form",
+                )
+            )
+        result.checks.append(
+            Check.at_least(
+                "priority.starvation_ratio",
+                measured[1] / measured[0] if measured[0] else 0.0,
+                (expected[1] / expected[0]) * 0.6,
+                detail="low class waits ~5x the high class at ρ=0.8",
+            )
+        )

@@ -14,14 +14,19 @@ that every compared policy replays identically.
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Union
 
 import numpy as np
 
 from repro.common.errors import ConfigurationError
 
 __all__ = ["SubmissionEvent", "SubmissionTrace", "common_schedule"]
+
+#: Column order of the portable CSV projection.
+_CSV_FIELDS = ("time", "app_id", "job_index")
 
 
 @dataclass(frozen=True)
@@ -78,6 +83,64 @@ class SubmissionTrace:
                 for r in records
             ]
         )
+
+    # ------------------------------------------------------------------- CSV
+    def validate(self) -> "SubmissionTrace":
+        """Check replay-fixture invariants; returns self or raises.
+
+        Every application's job indices must be contiguous from zero and
+        *monotone with time* — job ``k`` may not be submitted after job
+        ``k+1``.  The experiment runner builds one job per event in trace
+        order, so a violation would silently shuffle job identities
+        between compared policies.
+        """
+        for app_id, events in self.per_app().items():
+            # per_app() groups in global (time-sorted) order.
+            indices = [e.job_index for e in events]
+            if indices != list(range(len(indices))):
+                raise ConfigurationError(
+                    f"{app_id}: job indices must be contiguous from 0 and "
+                    f"monotone with submission time, got {indices}"
+                )
+        return self
+
+    def to_csv(self) -> str:
+        """Portable CSV projection (``time,app_id,job_index`` header)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(_CSV_FIELDS)
+        for e in self.events:
+            writer.writerow([repr(e.time), e.app_id, e.job_index])
+        return buf.getvalue()
+
+    @staticmethod
+    def from_csv(source: Union[str, Iterable[str]]) -> "SubmissionTrace":
+        """Parse :meth:`to_csv` output (a string or an iterable of lines).
+
+        Loading validates the replay invariants (see :meth:`validate`), so
+        a hand-edited or truncated fixture fails loudly at load time, not
+        as a subtle mid-experiment job mix-up.
+        """
+        lines = source.splitlines() if isinstance(source, str) else source
+        reader = csv.DictReader(lines)
+        if reader.fieldnames is None or tuple(reader.fieldnames) != _CSV_FIELDS:
+            raise ConfigurationError(
+                f"trace CSV must start with header {','.join(_CSV_FIELDS)!r}, "
+                f"got {reader.fieldnames}"
+            )
+        events: List[SubmissionEvent] = []
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                events.append(
+                    SubmissionEvent(
+                        float(row["time"]), str(row["app_id"]), int(row["job_index"])
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"trace CSV line {lineno}: {row!r}: {exc}"
+                ) from None
+        return SubmissionTrace(events).validate()
 
 
 def common_schedule(

@@ -3,6 +3,8 @@ convergence."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.expectations import (
     expected_node_coverage,
@@ -49,6 +51,71 @@ class TestProbBlockCovered:
             prob_block_covered(10, 11, 3)
         with pytest.raises(ConfigurationError):
             prob_block_covered(10, 5, 0)
+
+    def test_replication_beyond_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prob_block_covered(10, 5, 11)
+        with pytest.raises(ConfigurationError):
+            prob_block_covered(10, 5, -1)
+
+    def test_single_node_cluster(self):
+        # One node, one replica: coverage is all-or-nothing.
+        assert prob_block_covered(1, 0, 1) == 0.0
+        assert prob_block_covered(1, 1, 1) == 1.0
+
+    def test_full_replication_always_covered(self):
+        # r = N puts a replica everywhere: any nonzero coverage hits.
+        assert prob_block_covered(8, 1, 8) == 1.0
+        assert prob_block_covered(8, 0, 8) == 0.0
+
+
+class TestProbBlockCoveredProperties:
+    """Hypothesis: the closed form behaves like a probability everywhere."""
+
+    @given(
+        num_nodes=st.integers(min_value=1, max_value=200),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_in_unit_interval(self, num_nodes, data):
+        covered = data.draw(st.integers(0, num_nodes), label="covered")
+        replication = data.draw(st.integers(1, num_nodes), label="replication")
+        p = prob_block_covered(num_nodes, covered, replication)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=200),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_covered_nodes(self, num_nodes, data):
+        replication = data.draw(st.integers(1, num_nodes), label="replication")
+        covered = data.draw(st.integers(0, num_nodes - 1), label="covered")
+        assert prob_block_covered(
+            num_nodes, covered, replication
+        ) <= prob_block_covered(num_nodes, covered + 1, replication)
+
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=200),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_replication(self, num_nodes, data):
+        covered = data.draw(st.integers(0, num_nodes), label="covered")
+        replication = data.draw(st.integers(1, num_nodes - 1), label="replication")
+        assert prob_block_covered(
+            num_nodes, covered, replication
+        ) <= prob_block_covered(num_nodes, covered, replication + 1)
+
+    @given(
+        num_nodes=st.integers(min_value=1, max_value=200),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_edges_are_exact(self, num_nodes, data):
+        replication = data.draw(st.integers(1, num_nodes), label="replication")
+        assert prob_block_covered(num_nodes, 0, replication) == 0.0
+        assert prob_block_covered(num_nodes, num_nodes, replication) == 1.0
 
 
 class TestExpectedNodeCoverage:

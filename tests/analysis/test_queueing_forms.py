@@ -1,0 +1,141 @@
+"""Closed-form queueing formulas: exact values, identities, guard rails."""
+
+import pytest
+
+from repro.analysis.queueing import (
+    erlang_c,
+    mm1_mean_number_in_system,
+    mm1_mean_queue_length,
+    mm1_mean_sojourn,
+    mm1_mean_wait,
+    mmc_mean_number_in_system,
+    mmc_mean_sojourn,
+    mmc_mean_wait,
+    priority_mm1_waits,
+    utilization,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestMM1:
+    def test_textbook_point(self):
+        # λ=0.5, μ=1: ρ=0.5, Wq = 0.5/0.5 = 1, W = 2, L = 1, Lq = 0.5.
+        assert mm1_mean_wait(0.5, 1.0) == pytest.approx(1.0)
+        assert mm1_mean_sojourn(0.5, 1.0) == pytest.approx(2.0)
+        assert mm1_mean_number_in_system(0.5, 1.0) == pytest.approx(1.0)
+        assert mm1_mean_queue_length(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_littles_law_identities(self):
+        lam, mu = 0.7, 1.3
+        assert mm1_mean_number_in_system(lam, mu) == pytest.approx(
+            lam * mm1_mean_sojourn(lam, mu)
+        )
+        assert mm1_mean_queue_length(lam, mu) == pytest.approx(
+            lam * mm1_mean_wait(lam, mu)
+        )
+
+    def test_sojourn_is_wait_plus_service(self):
+        lam, mu = 0.4, 1.0
+        assert mm1_mean_sojourn(lam, mu) == pytest.approx(
+            mm1_mean_wait(lam, mu) + 1.0 / mu
+        )
+
+    def test_wait_diverges_near_saturation(self):
+        assert mm1_mean_wait(0.99, 1.0) > 50 * mm1_mean_wait(0.5, 1.0)
+
+    def test_unstable_and_invalid(self):
+        with pytest.raises(ConfigurationError):
+            mm1_mean_wait(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            mm1_mean_wait(1.5, 1.0)
+        with pytest.raises(ConfigurationError):
+            mm1_mean_wait(-0.5, 1.0)
+        with pytest.raises(ConfigurationError):
+            mm1_mean_wait(0.5, 0.0)
+
+
+class TestErlangC:
+    def test_single_server_reduces_to_rho(self):
+        # For c=1, P(queue) = ρ.
+        for lam in (0.2, 0.5, 0.9):
+            assert erlang_c(lam, 1.0, 1) == pytest.approx(lam)
+
+    def test_mmc_reduces_to_mm1(self):
+        lam, mu = 0.6, 1.0
+        assert mmc_mean_wait(lam, mu, 1) == pytest.approx(mm1_mean_wait(lam, mu))
+        assert mmc_mean_sojourn(lam, mu, 1) == pytest.approx(
+            mm1_mean_sojourn(lam, mu)
+        )
+
+    def test_textbook_two_servers(self):
+        # λ=1, μ=1, c=2: a=1, ρ=0.5 → C = (1/2·2)/(1+1+1/2·2)·... = 1/3.
+        assert erlang_c(1.0, 1.0, 2) == pytest.approx(1.0 / 3.0)
+        assert mmc_mean_wait(1.0, 1.0, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_probability_bounds(self):
+        for servers in (2, 4, 8):
+            for rho in (0.1, 0.5, 0.9):
+                c = erlang_c(rho * servers, 1.0, servers)
+                assert 0.0 < c < 1.0
+
+    def test_pooling_helps(self):
+        # Same offered load per server: more servers → shorter queueing.
+        assert mmc_mean_wait(3.2, 1.0, 4) < mmc_mean_wait(1.6, 1.0, 2)
+        assert mmc_mean_wait(1.6, 1.0, 2) < mm1_mean_wait(0.8, 1.0)
+
+    def test_littles_law_identity(self):
+        lam, mu, c = 2.5, 1.0, 4
+        assert mmc_mean_number_in_system(lam, mu, c) == pytest.approx(
+            lam * mmc_mean_sojourn(lam, mu, c)
+        )
+
+    def test_unstable(self):
+        with pytest.raises(ConfigurationError):
+            erlang_c(4.0, 1.0, 4)
+        with pytest.raises(ConfigurationError):
+            mmc_mean_wait(2.0, 1.0, 0)
+
+
+class TestPriority:
+    def test_single_class_reduces_to_fifo(self):
+        lam, mu = 0.6, 1.0
+        (wait,) = priority_mm1_waits([lam], mu)
+        assert wait == pytest.approx(mm1_mean_wait(lam, mu))
+
+    def test_conservation_law(self):
+        # Kleinrock's conservation: Σ ρ_k·Wq_k is invariant under the
+        # (work-conserving, nonpreemptive) discipline — equals the FIFO value.
+        lams, mu = (0.3, 0.25, 0.15), 1.0
+        total = sum(lams)
+        waits = priority_mm1_waits(lams, mu)
+        weighted = sum(lam / mu * w for lam, w in zip(lams, waits))
+        assert weighted == pytest.approx(total / mu * mm1_mean_wait(total, mu))
+
+    def test_high_class_waits_less(self):
+        waits = priority_mm1_waits((0.4, 0.3, 0.2), 1.0)
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_textbook_two_classes(self):
+        # λ=(0.4,0.4), μ=1: W0=0.8, σ=(0.4,0.8) →
+        # Wq1 = 0.8/0.6, Wq2 = 0.8/(0.6·0.2).
+        w1, w2 = priority_mm1_waits((0.4, 0.4), 1.0)
+        assert w1 == pytest.approx(0.8 / 0.6)
+        assert w2 == pytest.approx(0.8 / (0.6 * 0.2))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            priority_mm1_waits([], 1.0)
+        with pytest.raises(ConfigurationError):
+            priority_mm1_waits((0.5, 0.6), 1.0)  # total load >= 1
+        with pytest.raises(ConfigurationError):
+            priority_mm1_waits((0.5, -0.1), 1.0)
+
+
+class TestUtilization:
+    def test_values(self):
+        assert utilization(0.5, 1.0) == pytest.approx(0.5)
+        assert utilization(2.0, 1.0, servers=4) == pytest.approx(0.5)
+
+    def test_saturation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            utilization(4.0, 1.0, servers=4)

@@ -1,0 +1,161 @@
+"""Unseeded-randomness audit: every stochastic path must be reproducible.
+
+The whole experiment methodology rests on runs being pure functions of
+their seeds — golden fixtures, twin-engine equivalence and the validation
+suite all assume it.  One ``np.random.rand()`` (global legacy state) or
+``random.Random()`` (OS-entropy seeded) anywhere in ``src/repro`` silently
+breaks that.  This test AST-walks the entire package and rejects:
+
+* any use of numpy's legacy global-state API (``np.random.<dist>``) —
+  only the explicit-generator constructors are allowed;
+* ``default_rng()`` / ``random.Random()`` called *without* a seed;
+* star/function imports from ``random`` or ``numpy.random`` that would
+  hide stateful calls from this audit.
+
+Seeded constructors (``default_rng(0)``, ``random.Random(seed)``) and
+passing ``np.random.Generator`` objects around are fine — that is the
+:mod:`repro.common.rng` discipline.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src" / "repro"
+
+#: the explicit, seedable surface of numpy.random — everything else is
+#: legacy global state (np.random.seed / .rand / .choice ...)
+ALLOWED_NP_RANDOM_ATTRS = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "PCG64",
+    "SeedSequence",
+}
+#: the one acceptable attribute of the stdlib random module
+ALLOWED_STDLIB_RANDOM_ATTRS = {"Random"}
+
+
+def _is_np_random(node: ast.AST, numpy_aliases: set) -> bool:
+    """True for ``<numpy alias>.random`` attribute chains."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in numpy_aliases
+    )
+
+
+class Auditor(ast.NodeVisitor):
+    def __init__(self, path: Path):
+        self.path = path
+        self.numpy_aliases: set = set()
+        self.random_aliases: set = set()
+        self.problems: list = []
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        self.problems.append(f"{self.path}:{node.lineno}: {message}")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy":
+                self.numpy_aliases.add(alias.asname or "numpy")
+            elif alias.name == "random":
+                self.random_aliases.add(alias.asname or "random")
+            elif alias.name == "numpy.random":
+                self.flag(node, "import numpy.random directly is not auditable;"
+                                " use `import numpy as np`")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in ("random", "numpy.random"):
+            names = ", ".join(a.name for a in node.names)
+            self.flag(node, f"`from {node.module} import {names}` hides "
+                            "stateful calls from the audit; import the module")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # np.random.<attr>
+        if _is_np_random(node.value, self.numpy_aliases):
+            if node.attr not in ALLOWED_NP_RANDOM_ATTRS:
+                self.flag(node, f"np.random.{node.attr}: legacy global-state "
+                                "API; use a seeded default_rng/RngStreams")
+        # random.<attr>
+        elif (
+            isinstance(node.value, ast.Name)
+            and node.value.id in self.random_aliases
+            and node.attr not in ALLOWED_STDLIB_RANDOM_ATTRS
+        ):
+            self.flag(node, f"random.{node.attr}: module-level random state; "
+                            "use a seeded random.Random or RngStreams")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        unseeded = not node.args and not node.keywords
+        # np.random.default_rng()  — without a seed argument
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "default_rng"
+            and _is_np_random(func.value, self.numpy_aliases)
+            and unseeded
+        ):
+            self.flag(node, "default_rng() without a seed draws OS entropy")
+        # random.Random() — without a seed argument
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Random"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.random_aliases
+            and unseeded
+        ):
+            self.flag(node, "random.Random() without a seed draws OS entropy")
+        self.generic_visit(node)
+
+
+def audit_file(path: Path) -> list:
+    auditor = Auditor(path.relative_to(SRC.parent))
+    auditor.visit(ast.parse(path.read_text(), filename=str(path)))
+    return auditor.problems
+
+
+def test_src_tree_has_no_unseeded_randomness():
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"nothing to audit under {SRC}"
+    problems = [p for f in files for p in audit_file(f)]
+    assert not problems, (
+        "unseeded/unauditable randomness in src/repro:\n  "
+        + "\n  ".join(problems)
+    )
+
+
+class TestAuditorCatches:
+    """The audit itself must actually detect the failure modes it claims."""
+
+    def run_on(self, code: str) -> list:
+        auditor = Auditor(Path("snippet.py"))
+        auditor.visit(ast.parse(code))
+        return auditor.problems
+
+    def test_legacy_global_api(self):
+        assert self.run_on("import numpy as np\nx = np.random.rand(3)\n")
+        assert self.run_on("import numpy as np\nnp.random.seed(0)\n")
+
+    def test_unseeded_default_rng(self):
+        assert self.run_on("import numpy as np\nr = np.random.default_rng()\n")
+
+    def test_unseeded_stdlib_random(self):
+        assert self.run_on("import random\nr = random.Random()\n")
+        assert self.run_on("import random\nx = random.randint(0, 3)\n")
+
+    def test_hiding_imports(self):
+        assert self.run_on("from random import randint\n")
+        assert self.run_on("from numpy.random import default_rng\n")
+
+    def test_seeded_usage_is_clean(self):
+        assert not self.run_on(
+            "import numpy as np\nimport random\n"
+            "a = np.random.default_rng(0)\n"
+            "b = np.random.default_rng([1, 2])\n"
+            "c = random.Random(7)\n"
+            "def f(rng: np.random.Generator) -> None: ...\n"
+        )

@@ -83,11 +83,46 @@ def alloc_plans_payload() -> dict:
     }
 
 
+def trace_replay_payload() -> dict:
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+    from repro.workload.replay import read_cluster_trace
+
+    trace = read_cluster_trace(
+        FIXTURES / "replay_sample.csv",
+        ("app-00", "app-01"),
+        time_scale=1e-7,  # "microsecond" fixture timestamps -> ~2 min horizon
+    )
+    per_manager = {}
+    for manager in ("custody", "standalone", "yarn", "mesos"):
+        config = ExperimentConfig(
+            manager=manager,
+            workload="wordcount",
+            num_nodes=8,
+            num_apps=2,
+            jobs_per_app=8,
+            seed=13,
+            network_engine="reference",
+            alloc_engine="reference",
+        )
+        result = run_experiment(config, trace=trace)
+        per_manager[manager] = result.metrics.as_dict()
+    return {
+        "scenario": "trace_replay",
+        "trace": {"csv": "replay_sample.csv", "time_scale": 1e-7,
+                  "jobs": len(trace)},
+        "config": {"workload": "wordcount", "num_nodes": 8, "num_apps": 2,
+                   "jobs_per_app": 8, "seed": 13},
+        "metrics": per_manager,
+    }
+
+
 GOLDEN = {
     "golden_fig1.json": fig1_payload,
     "golden_fig45_trace.json": fig45_payload,
     "golden_runner_trace.json": runner_payload,
     "golden_alloc_plans.json": alloc_plans_payload,
+    "golden_trace_replay.json": trace_replay_payload,
 }
 
 

@@ -1,0 +1,58 @@
+"""The validation suite itself, as pytest-selectable regression tests.
+
+``-m scenarios`` selects exactly these (the CI ``validate-smoke`` gate runs
+them alongside ``python -m repro validate --smoke``).  Each test runs one
+registered scenario in smoke profile and asserts every check lands inside
+its tolerance band; failures print the measured-vs-expected table so a
+regression is diagnosable straight from the CI log.
+"""
+
+import pytest
+
+from repro.scenarios.base import ScenarioProfile, get_scenario, run_suite
+
+pytestmark = pytest.mark.scenarios
+
+ENGINE_VARIANTS = (("incremental", "incremental"), ("reference", "reference"))
+
+PURE = ("mm1", "mmc", "priority", "locality", "diurnal")
+ENGINE_SENSITIVE = ("littles_law", "trace_replay", "elastic_churn")
+
+
+def describe(result) -> str:
+    lines = [f"{result.name} [{result.profile.network_engine}/"
+             f"{result.profile.alloc_engine}]"]
+    for c in result.checks:
+        verdict = "pass" if c.passed else "FAIL"
+        lines.append(f"  {verdict} {c.name}: measured={c.measured:.6g} "
+                     f"expected={c.expected:.6g} tol={c.tolerance:.3g}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("name", PURE)
+def test_scenario_smoke(name):
+    result = get_scenario(name).run(ScenarioProfile(smoke=True, seed=0))
+    assert result.passed, describe(result)
+
+
+@pytest.mark.parametrize("engines", ENGINE_VARIANTS, ids=lambda e: "/".join(e))
+@pytest.mark.parametrize("name", ENGINE_SENSITIVE)
+def test_engine_sensitive_scenario_smoke(name, engines):
+    net, alloc = engines
+    profile = ScenarioProfile(
+        smoke=True, seed=0, network_engine=net, alloc_engine=alloc
+    )
+    result = get_scenario(name).run(profile)
+    assert result.passed, describe(result)
+
+
+@pytest.mark.slow
+def test_full_suite_both_variants():
+    """The complete gate, exactly as ``repro validate --smoke`` runs it."""
+    report = run_suite(
+        profile=ScenarioProfile(smoke=True, seed=0),
+        engine_variants=list(ENGINE_VARIANTS),
+    )
+    assert report.results, "suite ran nothing"
+    failing = [r for r in report.results if not r.passed]
+    assert not failing, "\n\n".join(describe(r) for r in failing)

@@ -1,0 +1,108 @@
+"""Nonhomogeneous arrivals: thinning correctness and diurnal shape."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workload.arrivals import diurnal_rate, diurnal_schedule, thinned_schedule
+
+
+class TestDiurnalRate:
+    def test_swings_around_base(self):
+        rate = diurnal_rate(1.0, amplitude=0.5, period=100.0)
+        assert rate(25.0) == pytest.approx(1.5)  # sin peak
+        assert rate(75.0) == pytest.approx(0.5)  # sin trough
+        assert rate(0.0) == pytest.approx(1.0)
+
+    def test_phase_shifts_the_peak(self):
+        rate = diurnal_rate(1.0, amplitude=1.0, period=100.0, phase=25.0)
+        assert rate(0.0) == pytest.approx(2.0)
+
+    def test_nonnegative_for_unit_amplitude(self):
+        rate = diurnal_rate(2.0, amplitude=1.0, period=50.0)
+        assert min(rate(t) for t in np.linspace(0, 200, 1000)) >= 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_rate(0.0)
+        with pytest.raises(ConfigurationError):
+            diurnal_rate(1.0, amplitude=1.5)
+        with pytest.raises(ConfigurationError):
+            diurnal_rate(1.0, period=0.0)
+
+
+class TestThinning:
+    def test_constant_rate_matches_homogeneous_mean(self):
+        # Thinning a constant rate == a plain Poisson process: the mean
+        # inter-arrival must come out at 1/rate.
+        rng = np.random.default_rng(0)
+        trace = thinned_schedule(("a",), 4000, rng, lambda t: 0.5, rate_max=0.5)
+        times = [e.time for e in trace]
+        gaps = np.diff([0.0] + times)
+        assert np.mean(gaps) == pytest.approx(2.0, rel=0.1)
+
+    def test_acceptance_fraction_scales_with_rate(self):
+        # At rate = rate_max/4, ~4 candidates are drawn per acceptance, so
+        # the realised mean gap is ~4x the candidate gap.
+        rng = np.random.default_rng(1)
+        trace = thinned_schedule(("a",), 4000, rng, lambda t: 0.25, rate_max=1.0)
+        gaps = np.diff([0.0] + [e.time for e in trace])
+        assert np.mean(gaps) == pytest.approx(4.0, rel=0.1)
+
+    def test_streams_are_independent_per_app(self):
+        rng = np.random.default_rng(2)
+        trace = thinned_schedule(("a", "b"), 50, rng, lambda t: 1.0, rate_max=1.0)
+        per_app = trace.per_app()
+        assert len(per_app["a"]) == len(per_app["b"]) == 50
+        assert [e.time for e in per_app["a"]] != [e.time for e in per_app["b"]]
+
+    def test_dominating_rate_violation_raises(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ConfigurationError, match="exceeds rate_max"):
+            thinned_schedule(("a",), 10, rng, lambda t: 2.0, rate_max=1.0)
+
+    def test_negative_rate_raises(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ConfigurationError, match="negative"):
+            thinned_schedule(("a",), 10, rng, lambda t: -0.1, rate_max=1.0)
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ConfigurationError):
+            thinned_schedule(("a",), 0, rng, lambda t: 1.0, rate_max=1.0)
+        with pytest.raises(ConfigurationError):
+            thinned_schedule(("a", "a"), 5, rng, lambda t: 1.0, rate_max=1.0)
+        with pytest.raises(ConfigurationError):
+            thinned_schedule(("a",), 5, rng, lambda t: 1.0, rate_max=0.0)
+
+
+class TestDiurnalSchedule:
+    def test_produces_replayable_trace(self):
+        rng = np.random.default_rng(6)
+        trace = diurnal_schedule(("app-00", "app-01"), 20, rng)
+        assert trace.validate() is trace
+        assert len(trace) == 40
+
+    def test_day_half_outweighs_night_half(self):
+        # Strong swing, zero phase: the rate exceeds base exactly on each
+        # period's first half, so arrivals must bunch there.
+        rng = np.random.default_rng(7)
+        period = 200.0
+        trace = diurnal_schedule(
+            ("a",), 400, rng,
+            mean_interarrival=2.0, amplitude=0.9,
+            period=period, phase=0.0,
+        )
+        day = sum(1 for e in trace if (e.time % period) < period / 2)
+        night = len(trace) - day
+        assert day > 1.5 * night
+
+    def test_deterministic_under_seed(self):
+        t1 = diurnal_schedule(("a",), 30, np.random.default_rng(8))
+        t2 = diurnal_schedule(("a",), 30, np.random.default_rng(8))
+        assert t1.to_records() == t2.to_records()
+
+    def test_invalid_mean(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_schedule(("a",), 5, np.random.default_rng(9),
+                             mean_interarrival=0.0)

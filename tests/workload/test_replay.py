@@ -1,0 +1,133 @@
+"""Cluster-trace replay adapter: mapping, scaling, strictness."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workload.replay import (
+    ALIBABA_COLUMNS,
+    GOOGLE_COLUMNS,
+    TraceColumns,
+    read_cluster_trace,
+)
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
+
+GOOGLE_STYLE = """\
+time,user
+3000000,alice
+0,bob
+1000000,alice
+2000000,carol
+4000000,bob
+"""
+
+
+class TestAdapter:
+    def test_maps_entities_round_robin_by_first_appearance(self):
+        trace = read_cluster_trace(
+            GOOGLE_STYLE.splitlines(), ("app-00", "app-01"), time_scale=1e-6
+        )
+        # Time order: bob(0), alice(1s), carol(2s), alice(3s), bob(4s).
+        # First appearances: bob -> app-00, alice -> app-01, carol -> app-00.
+        by_app = trace.per_app()
+        assert [e.time for e in by_app["app-00"]] == [0.0, 2.0, 4.0]
+        assert [e.time for e in by_app["app-01"]] == [1.0, 3.0]
+
+    def test_timeline_shifted_and_scaled(self):
+        trace = read_cluster_trace(
+            GOOGLE_STYLE.splitlines(), ("app-00",), time_scale=1e-6
+        )
+        assert trace.events[0].time == 0.0
+        assert trace.horizon == pytest.approx(4.0)
+
+    def test_job_indices_contiguous_per_app(self):
+        trace = read_cluster_trace(
+            GOOGLE_STYLE.splitlines(), ("app-00", "app-01"), time_scale=1e-6
+        )
+        for events in trace.per_app().values():
+            assert [e.job_index for e in events] == list(range(len(events)))
+
+    def test_max_jobs_truncates_in_time_order(self):
+        trace = read_cluster_trace(
+            GOOGLE_STYLE.splitlines(), ("app-00",), time_scale=1e-6, max_jobs=3
+        )
+        assert len(trace) == 3
+        assert trace.horizon == pytest.approx(2.0)
+
+    def test_max_jobs_per_app_caps_each_bucket(self):
+        trace = read_cluster_trace(
+            GOOGLE_STYLE.splitlines(),
+            ("app-00", "app-01"),
+            time_scale=1e-6,
+            max_jobs_per_app=1,
+        )
+        counts = {app: len(ev) for app, ev in trace.per_app().items()}
+        assert counts == {"app-00": 1, "app-01": 1}
+
+    def test_alibaba_columns(self):
+        text = "start_time,job_name\n100,j_1\n50,j_2\n"
+        trace = read_cluster_trace(
+            text.splitlines(), ("app-00",), columns=ALIBABA_COLUMNS
+        )
+        assert [e.time for e in trace] == [0.0, 50.0]
+
+    def test_fixture_file_loads(self):
+        trace = read_cluster_trace(
+            FIXTURES / "replay_sample.csv",
+            ("app-00", "app-01"),
+            columns=GOOGLE_COLUMNS,
+            time_scale=1e-7,
+        )
+        assert len(trace) == 16
+        assert trace.events[0].time == 0.0
+
+
+class TestStrictness:
+    def test_missing_columns(self):
+        with pytest.raises(ConfigurationError, match="missing columns"):
+            read_cluster_trace("when,who\n1,a\n".splitlines(), ("app-00",))
+
+    def test_no_header(self):
+        with pytest.raises(ConfigurationError):
+            read_cluster_trace([], ("app-00",))
+
+    def test_bad_timestamp_has_line_number(self):
+        text = "time,user\n1,a\nsoon,b\n"
+        with pytest.raises(ConfigurationError, match="line 3"):
+            read_cluster_trace(text.splitlines(), ("app-00",))
+
+    def test_negative_timestamp(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            read_cluster_trace("time,user\n-5,a\n".splitlines(), ("app-00",))
+
+    def test_empty_entity(self):
+        with pytest.raises(ConfigurationError, match="missing time/entity"):
+            read_cluster_trace("time,user\n1, \n".splitlines(), ("app-00",))
+
+    def test_no_rows(self):
+        with pytest.raises(ConfigurationError, match="no rows"):
+            read_cluster_trace(["time,user"], ("app-00",))
+
+    def test_bad_params(self):
+        lines = GOOGLE_STYLE.splitlines()
+        with pytest.raises(ConfigurationError):
+            read_cluster_trace(lines, ())
+        with pytest.raises(ConfigurationError):
+            read_cluster_trace(lines, ("a", "a"))
+        with pytest.raises(ConfigurationError):
+            read_cluster_trace(lines, ("a",), time_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            read_cluster_trace(lines, ("a",), max_jobs=0)
+        with pytest.raises(ConfigurationError):
+            read_cluster_trace(lines, ("a",), max_jobs_per_app=0)
+
+    def test_custom_columns(self):
+        text = "ts,tenant\n7,t1\n"
+        trace = read_cluster_trace(
+            text.splitlines(),
+            ("app-00",),
+            columns=TraceColumns(time="ts", entity="tenant"),
+        )
+        assert len(trace) == 1

@@ -1,0 +1,75 @@
+"""SubmissionTrace CSV round-trip and replay-invariant validation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workload.trace import SubmissionEvent, SubmissionTrace, common_schedule
+
+
+def make_trace() -> SubmissionTrace:
+    return SubmissionTrace(
+        [
+            SubmissionEvent(0.0, "app-00", 0),
+            SubmissionEvent(1.5, "app-01", 0),
+            SubmissionEvent(3.25, "app-00", 1),
+            SubmissionEvent(7.125, "app-01", 1),
+        ]
+    )
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_is_lossless(self):
+        trace = make_trace()
+        back = SubmissionTrace.from_csv(trace.to_csv())
+        assert back.to_records() == trace.to_records()
+
+    def test_round_trip_preserves_exact_floats(self):
+        # repr() serialisation must survive ugly floats bit-for-bit.
+        rng = np.random.default_rng(4)
+        trace = common_schedule(("app-00", "app-01"), 20, rng)
+        back = SubmissionTrace.from_csv(trace.to_csv())
+        assert [e.time for e in back] == [e.time for e in trace]
+
+    def test_csv_shape(self):
+        text = make_trace().to_csv()
+        lines = text.splitlines()
+        assert lines[0] == "time,app_id,job_index"
+        assert len(lines) == 1 + 4
+
+    def test_accepts_iterable_of_lines(self):
+        trace = make_trace()
+        back = SubmissionTrace.from_csv(iter(trace.to_csv().splitlines()))
+        assert back.to_records() == trace.to_records()
+
+
+class TestCsvValidation:
+    def test_bad_header_rejected(self):
+        with pytest.raises(ConfigurationError, match="header"):
+            SubmissionTrace.from_csv("when,who,what\n1,a,0\n")
+
+    def test_malformed_row_reported_with_line_number(self):
+        text = "time,app_id,job_index\n0.0,app-00,0\nnot-a-number,app-00,1\n"
+        with pytest.raises(ConfigurationError, match="line 3"):
+            SubmissionTrace.from_csv(text)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            SubmissionTrace.from_csv("time,app_id,job_index\n-1.0,app-00,0\n")
+
+    def test_noncontiguous_indices_rejected(self):
+        # app-00 submits job 0 then job 2: a hole in the sequence.
+        text = "time,app_id,job_index\n0.0,app-00,0\n5.0,app-00,2\n"
+        with pytest.raises(ConfigurationError, match="contiguous"):
+            SubmissionTrace.from_csv(text)
+
+    def test_time_order_must_match_index_order(self):
+        # Job 1 submitted before job 0: indices not monotone with time.
+        text = "time,app_id,job_index\n0.0,app-00,1\n5.0,app-00,0\n"
+        with pytest.raises(ConfigurationError, match="monotone"):
+            SubmissionTrace.from_csv(text)
+
+    def test_validate_passes_generated_schedules(self):
+        rng = np.random.default_rng(0)
+        trace = common_schedule(("a", "b", "c"), 10, rng)
+        assert trace.validate() is trace

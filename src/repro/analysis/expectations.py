@@ -27,6 +27,8 @@ __all__ = [
     "expected_node_coverage",
     "expected_random_allocation_locality",
     "uncontended_read_time",
+    "degraded_capacity_ratio",
+    "expected_brownout_inflation",
 ]
 
 
@@ -99,3 +101,42 @@ def uncontended_read_time(size: float, uplink: float, downlink: float) -> float:
     if uplink <= 0 or downlink <= 0:
         raise ConfigurationError("NIC capacities must be positive")
     return size / min(uplink, downlink)
+
+
+def _validate_brownout(num_nodes: int, slowed: int, factor: float) -> None:
+    if num_nodes < 1:
+        raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
+    if not (0 <= slowed <= num_nodes):
+        raise ConfigurationError(
+            f"slowed must be in [0, {num_nodes}], got {slowed}"
+        )
+    if factor < 1.0:
+        raise ConfigurationError(f"slowdown factor must be >= 1, got {factor}")
+
+
+def degraded_capacity_ratio(num_nodes: int, slowed: int, factor: float) -> float:
+    """Deliverable compute fraction with ``slowed`` of ``num_nodes`` nodes
+    running at ``1/factor`` speed: ``(n − k + k/s) / n``.
+
+    The brownout capacity closed form: a slowed node still contributes, at
+    a fraction of its rate.  This is the admission controller's view of a
+    gray cluster, and the denominator of the throughput-bound JCT
+    inflation under saturation.
+    """
+    _validate_brownout(num_nodes, slowed, factor)
+    return (num_nodes - slowed + slowed / factor) / num_nodes
+
+
+def expected_brownout_inflation(num_nodes: int, slowed: int, factor: float) -> float:
+    """Expected mean task-service inflation under uniform placement:
+    ``1 + (k/n)(s − 1)``.
+
+    With ``k`` of ``n`` nodes slowed by ``s`` and tasks landing uniformly,
+    a fraction ``k/n`` of compute takes ``s×`` as long.  Under light load
+    (no queueing behind slowed slots) mean JCT inflates by at most this
+    much; any single slowed job inflates by at most ``s``.  So measured
+    mean-JCT inflation must land in ``[1, 1 + (k/n)(s − 1)]`` up to
+    scheduling noise — the derived band the brownout scenario pins.
+    """
+    _validate_brownout(num_nodes, slowed, factor)
+    return 1.0 + (slowed / num_nodes) * (factor - 1.0)

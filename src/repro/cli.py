@@ -168,6 +168,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="small fixed CI gate: one fault level, all four "
                               "managers, asserts zero lost tasks and visible "
                               "recovery traffic")
+    chaos_p.add_argument("--gray", action="store_true",
+                         help="gray-failure mode: add link flaps (and, from "
+                              "level 2, a correlated rack failure) to each "
+                              "plan and enable the robustness stack — "
+                              "adaptive detector, circuit breakers, hedging, "
+                              "retry budgets, admission control.  With "
+                              "--smoke this is the gray-failure CI gate "
+                              "(slowdowns + flaps; asserts zero unfinished "
+                              "jobs and breaker reconvergence)")
+    chaos_p.add_argument("--json", metavar="PATH", default=None, dest="json_out",
+                         help="write the sweep cells (incl. MTTR, detector "
+                              "FP/FN, hedge and shed counts) to PATH as JSON")
 
     val_p = sub.add_parser(
         "validate",
@@ -409,6 +421,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         levels, managers = [1], ["custody", "standalone", "yarn", "mesos"]
         detector_timeout: Optional[float] = 10.0
         horizon = 40.0  # short enough that faults overlap the running jobs
+        if args.gray:
+            # Gray gate: level 2 adds flaps + a correlated rack failure on
+            # top of the classic kinds, robustness stack fully on.
+            levels = [2]
     else:
         try:
             levels = [int(x) for x in args.levels.split(",") if x.strip()]
@@ -424,23 +440,81 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         detector_timeout=detector_timeout,
         perf_counters=True,
     )
-    sweep = chaos_sweep(base, levels=levels, managers=managers, horizon=horizon)
+    if args.gray:
+        # Gray-failure mode brings the whole robustness stack online.  The
+        # short breaker cooldown lets recovered nodes earn their way back
+        # (half-open probes) while the run still has work to probe with.
+        base = replace(
+            base,
+            detector_mode="adaptive",
+            circuit_breaker=True,
+            hedging=True,
+            retry_jitter=True,
+            retry_budget=32,
+            retry_refill=0.5,
+            admission_control=True,
+            blacklist_timeout=10.0,
+        )
+    sweep = chaos_sweep(
+        base, levels=levels, managers=managers, horizon=horizon, gray=args.gray
+    )
     if args.trace:
         for (manager, level), result in sorted(sweep.results.items()):
             out = _suffixed(args.trace, f"{manager}.L{level}")
             print(f"trace: {_write_trace(result, str(out))}")
+    headers = ["manager", "level", "loc%", "min loc%", "avg JCT", "requeued",
+               "failed att.", "abandoned", "data loss", "dead launch",
+               "recovery flows", "blacklists", "unfinished"]
+    rows = [[c.manager, c.level, 100 * c.locality, 100 * c.min_locality,
+             c.avg_jct if c.avg_jct is not None else float("nan"),
+             c.tasks_requeued, c.failed_attempts, c.abandoned_tasks,
+             c.data_loss_tasks, c.failed_launches, c.recovery_flows,
+             c.blacklist_events, c.unfinished_jobs] for c in sweep.cells]
+    if args.gray:
+        headers += ["FP", "FN", "hedges", "hedge wins", "denied",
+                    "breaker opens", "open@end", "deferred", "shed"]
+        for row, c in zip(rows, sweep.cells):
+            row += [c.detector_false_positives, c.detector_false_negatives,
+                    c.hedges_launched, c.hedges_won, c.retries_denied,
+                    c.breaker_opens, c.breakers_open_at_end,
+                    c.admission_deferred, c.load_shed]
     print(format_table(
-        ["manager", "level", "loc%", "min loc%", "avg JCT", "requeued",
-         "failed att.", "abandoned", "data loss", "dead launch",
-         "recovery flows", "blacklists", "unfinished"],
-        [[c.manager, c.level, 100 * c.locality, 100 * c.min_locality,
-          c.avg_jct if c.avg_jct is not None else float("nan"),
-          c.tasks_requeued, c.failed_attempts, c.abandoned_tasks,
-          c.data_loss_tasks, c.failed_launches, c.recovery_flows,
-          c.blacklist_events, c.unfinished_jobs] for c in sweep.cells],
+        headers,
+        rows,
         title=f"chaos sweep — {args.workload} on {args.nodes} nodes "
-              f"(detector timeout: {detector_timeout})",
+              f"(detector timeout: {detector_timeout}"
+              f"{', gray-failure mode' if args.gray else ''})",
     ))
+    if args.json_out:
+        payload = {
+            "workload": args.workload,
+            "nodes": args.nodes,
+            "apps": args.apps,
+            "jobs_per_app": args.jobs,
+            "seed": args.seed,
+            "horizon": horizon,
+            "detector_timeout": detector_timeout,
+            "gray": args.gray,
+            "levels": list(levels),
+            "managers": list(managers),
+            "cells": [
+                {
+                    "manager": manager,
+                    "level": level,
+                    "locality": result.metrics.locality_mean,
+                    "min_locality": result.metrics.min_local_job_fraction,
+                    "avg_jct": result.metrics.avg_jct,
+                    "unfinished_jobs": result.metrics.unfinished_jobs,
+                    "sim_time": result.sim_time,
+                    "faults": (
+                        result.faults.as_dict() if result.faults else None
+                    ),
+                }
+                for (manager, level), result in sorted(sweep.results.items())
+            ],
+        }
+        Path(args.json_out).write_text(json.dumps(payload, indent=2))
+        print(f"json: {args.json_out}")
     if not args.smoke:
         return 0
 
@@ -464,13 +538,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             violations.append(f"{manager}/L{level}: {lost} tasks lost untracked")
         if level > 0 and result.faults is not None and not result.faults.recovery_flows:
             violations.append(f"{manager}/L{level}: no recovery traffic modeled")
+        if args.gray and level > 0 and result.faults is not None:
+            faults = result.faults
+            if faults.breakers_open_at_end:
+                violations.append(
+                    f"{manager}/L{level}: {faults.breakers_open_at_end} "
+                    "breakers never reconverged to closed"
+                )
+            if faults.breaker_closes > faults.breaker_probes:
+                violations.append(
+                    f"{manager}/L{level}: breaker closed without a "
+                    "half-open probe"
+                )
     if violations:
         print("\nchaos smoke FAILED:", file=sys.stderr)
         for v in violations:
             print(f"  - {v}", file=sys.stderr)
         return 1
-    print("\nchaos smoke passed: all jobs finished, every task accounted for, "
-          "recovery traffic observed under faults.")
+    if args.gray:
+        print("\ngray chaos smoke passed: all jobs finished under flaps and "
+              "correlated failures, every breaker reconverged to closed.")
+    else:
+        print("\nchaos smoke passed: all jobs finished, every task accounted "
+              "for, recovery traffic observed under faults.")
     return 0
 
 

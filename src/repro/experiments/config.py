@@ -81,6 +81,22 @@ class ExperimentConfig:
     blacklist_timeout: float = 60.0  # how long a blacklisted node stays out
     network_timeout: float = 30.0  # connect timeout for partitioned transfers
     re_replication_parallelism: int = 4  # concurrent recovery copies
+    # ------------------------------------------------------- robustness knobs
+    # All default-off / fixed-mode: a config that leaves them untouched runs
+    # the exact pre-robustness event sequence.
+    detector_mode: str = "fixed"  # fixed | adaptive (phi-accrual-style)
+    detector_suspect_after: float = 3.0  # phi threshold to suspect a node
+    detector_dead_after: float = 8.0  # phi threshold to declare it dead
+    retry_jitter: bool = False  # full-jitter the retry backoff delay
+    retry_budget: Optional[int] = None  # per-job retry token bucket (None: off)
+    retry_refill: float = 0.0  # budget tokens regained per second
+    circuit_breaker: bool = False  # breakers subsume the fixed blacklist
+    hedging: bool = False  # hedged backup launches on suspected nodes
+    hedge_quantile: float = 0.95  # runtime percentile arming a hedge
+    hedge_multiplier: float = 1.5  # threshold = multiplier * percentile
+    admission_control: bool = False  # defer job admission under overload
+    admission_factor: float = 4.0  # overload = demand > factor * capacity
+    admission_retry: float = 5.0  # seconds between admission re-checks
 
     def __post_init__(self) -> None:
         if self.manager not in _MANAGERS:
@@ -162,6 +178,44 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "re_replication_parallelism must be >= 1, "
                 f"got {self.re_replication_parallelism}"
+            )
+        if self.detector_mode not in ("fixed", "adaptive"):
+            raise ConfigurationError(
+                f"detector_mode must be 'fixed' or 'adaptive', "
+                f"got {self.detector_mode!r}"
+            )
+        if self.detector_suspect_after <= 1.0:
+            raise ConfigurationError(
+                f"detector_suspect_after must be > 1, "
+                f"got {self.detector_suspect_after}"
+            )
+        if self.detector_dead_after <= self.detector_suspect_after:
+            raise ConfigurationError(
+                "detector_dead_after must exceed detector_suspect_after"
+            )
+        if self.retry_budget is not None and self.retry_budget < 1:
+            raise ConfigurationError(
+                f"retry_budget must be >= 1, got {self.retry_budget}"
+            )
+        if self.retry_refill < 0:
+            raise ConfigurationError(
+                f"retry_refill must be >= 0, got {self.retry_refill}"
+            )
+        if not (0.0 < self.hedge_quantile <= 1.0):
+            raise ConfigurationError(
+                f"hedge_quantile must be in (0, 1], got {self.hedge_quantile}"
+            )
+        if self.hedge_multiplier < 1.0:
+            raise ConfigurationError(
+                f"hedge_multiplier must be >= 1, got {self.hedge_multiplier}"
+            )
+        if self.admission_factor <= 0:
+            raise ConfigurationError(
+                f"admission_factor must be positive, got {self.admission_factor}"
+            )
+        if self.admission_retry <= 0:
+            raise ConfigurationError(
+                f"admission_retry must be positive, got {self.admission_retry}"
             )
         if self.trace_sample_interval <= 0:
             raise ConfigurationError(

@@ -23,7 +23,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.rng import RngStreams
 from repro.common.units import BlockSpec
 from repro.experiments.config import ExperimentConfig
-from repro.faults.detector import FailureDetector
+from repro.faults.detector import AdaptiveFailureDetector, FailureDetector
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.hdfs.filesystem import HDFS
@@ -33,6 +33,7 @@ from repro.hdfs.placement import (
     RackAwarePlacement,
     RandomPlacement,
 )
+from repro.managers.admission import AdmissionController
 from repro.managers.base import ClusterManager
 from repro.managers.custody import CustodyManager
 from repro.managers.mesos import MesosManager
@@ -326,16 +327,33 @@ def run_experiment(
         )
 
     manager = _make_manager(config, sim, cluster, streams, timeline, tracer, perf)
+    if config.admission_control:
+        manager.attach_admission(
+            AdmissionController(
+                sim,
+                factor=config.admission_factor,
+                retry_interval=config.admission_retry,
+            )
+        )
     injector: Optional[FaultInjector] = None
     detector: Optional[FailureDetector] = None
     if fault_plan is not None and len(fault_plan):
         if config.detector_timeout is not None:
-            detector = FailureDetector(
-                sim,
-                interval=config.heartbeat_interval,
-                timeout=config.detector_timeout,
-                tracer=tracer,
-            )
+            if config.detector_mode == "adaptive":
+                detector = AdaptiveFailureDetector(
+                    sim,
+                    interval=config.heartbeat_interval,
+                    suspect_after=config.detector_suspect_after,
+                    dead_after=config.detector_dead_after,
+                    tracer=tracer,
+                )
+            else:
+                detector = FailureDetector(
+                    sim,
+                    interval=config.heartbeat_interval,
+                    timeout=config.detector_timeout,
+                    tracer=tracer,
+                )
         injector = FaultInjector(
             sim, cluster, hdfs, fault_plan,
             timeline=timeline if config.timeline_enabled else None,
@@ -369,6 +387,15 @@ def run_experiment(
             blacklist_threshold=config.blacklist_threshold,
             blacklist_window=config.blacklist_window,
             blacklist_timeout=config.blacklist_timeout,
+            retry_jitter_rng=(
+                streams.get(f"driver.retry.{app_id}") if config.retry_jitter else None
+            ),
+            retry_budget=config.retry_budget,
+            retry_refill=config.retry_refill,
+            circuit_breaker=config.circuit_breaker,
+            hedging=config.hedging,
+            hedge_quantile=config.hedge_quantile,
+            hedge_multiplier=config.hedge_multiplier,
             tracer=tracer,
         )
         drivers[app_id] = driver
@@ -406,6 +433,20 @@ def run_experiment(
     metrics = MetricsCollector().collect(apps)
     faults: Optional[FaultStats] = None
     if injector is not None:
+        breaker_totals = {"opens": 0, "probes": 0, "closes": 0}
+        breakers_open = 0
+        for d in drivers.values():
+            if d.breakers is not None:
+                totals = d.breakers.totals()
+                for key in breaker_totals:
+                    breaker_totals[key] += totals[key]
+                # "Open at end" means still *excluding* the node: an OPEN
+                # breaker past its cooldown denies nothing (the next launch
+                # is its probe), so it has functionally reconverged.
+                breakers_open += sum(
+                    1 for _, b in d.breakers if not b.would_allow(sim.now)
+                )
+        admission = manager.admission
         faults = FaultStats(
             injected=injector.injected,
             tasks_requeued=injector.tasks_requeued,
@@ -426,6 +467,20 @@ def run_experiment(
                 for kind, times in sorted(injector.mttr.items())
                 if times
             },
+            detector_suspicions=getattr(detector, "suspicions", 0),
+            detector_false_positives=getattr(detector, "false_positives", 0),
+            detector_false_negatives=getattr(detector, "false_negatives", 0),
+            detector_true_positives=getattr(detector, "true_positives", 0),
+            retries_denied=sum(d.retries_denied for d in drivers.values()),
+            hedges_launched=sum(d.hedges_launched for d in drivers.values()),
+            hedges_won=sum(d.hedges_won for d in drivers.values()),
+            hedges_lost=sum(d.hedges_lost for d in drivers.values()),
+            breaker_opens=breaker_totals["opens"],
+            breaker_probes=breaker_totals["probes"],
+            breaker_closes=breaker_totals["closes"],
+            breakers_open_at_end=breakers_open,
+            admission_deferred=admission.admission_deferred if admission else 0,
+            load_shed=admission.load_shed if admission else 0,
         )
     return ExperimentResult(
         config=config,

@@ -328,6 +328,16 @@ class ChaosCell:
     recovery_flows: int
     recovery_bytes: float
     blacklist_events: int
+    #: gray-failure robustness tallies (zero unless the mechanisms are on)
+    detector_false_positives: int = 0
+    detector_false_negatives: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    retries_denied: int = 0
+    breaker_opens: int = 0
+    breakers_open_at_end: int = 0
+    admission_deferred: int = 0
+    load_shed: int = 0
 
 
 @dataclass
@@ -354,6 +364,7 @@ def chaos_sweep(
     levels: Sequence[int] = (0, 1, 2),
     managers: Sequence[str] = ("custody", "standalone", "yarn", "mesos"),
     horizon: float = 300.0,
+    gray: bool = False,
 ) -> ChaosSweepResult:
     """Replay one seeded fault plan per level against every manager.
 
@@ -362,6 +373,12 @@ def chaos_sweep(
     drawn from a generator seeded by ``(base_config.seed, level)`` — so a
     level's plan is identical across managers (common-trace methodology)
     and across repeat invocations.  Level 0 is the fault-free baseline.
+
+    ``gray=True`` adds the gray-failure kinds on top: ``L`` link flaps per
+    level, plus one correlated rack failure from level 2 up.  The gray
+    draws happen after the classic ones, so a gray plan at level ``L``
+    *extends* the classic plan for the same seed rather than reshuffling
+    it.
 
     ``base_config.manager`` is ignored; ``detector_timeout`` decides
     whether managers see the heartbeat-delayed view or ground truth.
@@ -383,6 +400,8 @@ def chaos_sweep(
                 degradations=level,
                 executor_failures=level,
                 slowdowns=level,
+                link_flaps=level if gray else 0,
+                correlated_failures=(1 if gray and level >= 2 else 0),
                 horizon=horizon,
             )
         for manager in sweep.managers:
@@ -407,6 +426,21 @@ def chaos_sweep(
                     recovery_flows=faults.recovery_flows if faults else 0,
                     recovery_bytes=faults.recovery_bytes if faults else 0.0,
                     blacklist_events=faults.blacklist_events if faults else 0,
+                    detector_false_positives=(
+                        faults.detector_false_positives if faults else 0
+                    ),
+                    detector_false_negatives=(
+                        faults.detector_false_negatives if faults else 0
+                    ),
+                    hedges_launched=faults.hedges_launched if faults else 0,
+                    hedges_won=faults.hedges_won if faults else 0,
+                    retries_denied=faults.retries_denied if faults else 0,
+                    breaker_opens=faults.breaker_opens if faults else 0,
+                    breakers_open_at_end=(
+                        faults.breakers_open_at_end if faults else 0
+                    ),
+                    admission_deferred=faults.admission_deferred if faults else 0,
+                    load_shed=faults.load_shed if faults else 0,
                 )
             )
     return sweep

@@ -20,29 +20,45 @@ This package makes "wrong" schedulable:
   flows abort, new ones stall until the connect timeout.
 * :class:`LinkDegradation` — a node's NIC runs at reduced capacity for a
   window; flows re-rate under max-min fairness.
+* :class:`LinkFlap` — a node's link cycles up/down deterministically: the
+  gray failure that defeats fixed-window detection (the node is never dead
+  long enough to be declared, never healthy long enough to trust).
+* :class:`CorrelatedFailure` — a rack/group-scoped multi-node crash; the
+  only fault class that can defeat replica placement outright.
 
-A :class:`FaultPlan` is a list of such events; a :class:`FaultInjector`
-binds the plan to a live simulation.  A :class:`FailureDetector` gives the
-cluster manager a heartbeat-delayed (stale) view of node liveness instead
-of ground truth.  :func:`build_chaos_plan` draws a random but seeded plan
-for chaos sweeps.
+A :class:`FaultPlan` is a list of such events (replayable via
+``to_json``/``from_json``); a :class:`FaultInjector` binds the plan to a
+live simulation.  A :class:`FailureDetector` gives the cluster manager a
+heartbeat-delayed (stale) view of node liveness instead of ground truth;
+:class:`AdaptiveFailureDetector` replaces its fixed window with a
+phi-accrual-style suspicion score so gray nodes are *suspected* before
+being declared dead.  :func:`build_chaos_plan` draws a random but seeded
+plan for chaos sweeps.
 """
 
 from repro.faults.chaos import build_chaos_plan
-from repro.faults.detector import FailureDetector, NodeHealthHistory
+from repro.faults.detector import (
+    AdaptiveFailureDetector,
+    FailureDetector,
+    NodeHealthHistory,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    CorrelatedFailure,
     DiskFailure,
     ExecutorFailure,
     FaultEvent,
     FaultPlan,
     LinkDegradation,
+    LinkFlap,
     NetworkPartition,
     NodeFailure,
     NodeSlowdown,
 )
 
 __all__ = [
+    "AdaptiveFailureDetector",
+    "CorrelatedFailure",
     "DiskFailure",
     "ExecutorFailure",
     "FailureDetector",
@@ -50,6 +66,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "LinkDegradation",
+    "LinkFlap",
     "NetworkPartition",
     "NodeFailure",
     "NodeHealthHistory",

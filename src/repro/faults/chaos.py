@@ -13,9 +13,11 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.faults.plan import (
+    CorrelatedFailure,
     ExecutorFailure,
     FaultPlan,
     LinkDegradation,
+    LinkFlap,
     NetworkPartition,
     NodeFailure,
     NodeSlowdown,
@@ -34,6 +36,8 @@ def build_chaos_plan(
     degradations: int = 1,
     executor_failures: int = 1,
     slowdowns: int = 1,
+    link_flaps: int = 0,
+    correlated_failures: int = 0,
     horizon: float = 300.0,
 ) -> FaultPlan:
     """Draw a random fault plan over ``[horizon * 0.05, horizon)``.
@@ -42,6 +46,10 @@ def build_chaos_plan(
     naming.  Fault windows and restart delays are sized so every fault
     heals well before ``2 * horizon`` — chaos degrades runs, it must never
     wedge them.
+
+    The gray kinds (``link_flaps``, ``correlated_failures``) default to 0
+    and are drawn *after* the original kinds, so plans from existing seeds
+    are bit-identical to what earlier revisions produced.
     """
     if num_nodes < 2:
         raise ConfigurationError(f"chaos needs >= 2 nodes, got {num_nodes}")
@@ -100,6 +108,27 @@ def build_chaos_plan(
                 node_id=_node(),
                 duration=float(rng.uniform(horizon * 0.1, horizon * 0.4)),
                 factor=float(rng.uniform(1.5, 4.0)),
+            )
+        )
+    for _ in range(link_flaps):
+        plan.add(
+            LinkFlap(
+                at=_when(),
+                node_id=_node(),
+                duration=float(rng.uniform(horizon * 0.1, horizon * 0.3)),
+                period=float(rng.uniform(horizon * 0.02, horizon * 0.08)),
+                down_fraction=float(rng.uniform(0.25, 0.6)),
+            )
+        )
+    for _ in range(correlated_failures):
+        # A "rack" of 2..max(2, n//4) distinct nodes fails together.
+        size = int(rng.integers(2, max(3, num_nodes // 4 + 1)))
+        members = rng.choice(num_nodes, size=size, replace=False)
+        plan.add(
+            CorrelatedFailure(
+                at=_when(),
+                node_ids=tuple(f"worker-{int(i):03d}" for i in members),
+                restart_delay=float(rng.uniform(horizon * 0.1, horizon * 0.3)),
             )
         )
     return plan

@@ -18,14 +18,15 @@ exactly equivalent and costs O(#outage intervals) per query.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
-from repro.obs.events import HeartbeatMiss
+from repro.obs.events import HeartbeatMiss, SuspicionChange
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.engine import Simulation
 
-__all__ = ["FailureDetector", "NodeHealthHistory"]
+__all__ = ["AdaptiveFailureDetector", "FailureDetector", "NodeHealthHistory"]
 
 
 class NodeHealthHistory:
@@ -130,6 +131,25 @@ class FailureDetector:
         """The node's fault cleared; heartbeats resume from the next tick."""
         self.history(node_id).end(self.sim.now)
 
+    def begin_slow(self, node_id: str, factor: float) -> None:
+        """The node's CPU slowed by ``factor`` — heartbeats keep arriving.
+
+        The fixed-window detector ignores gray degradation entirely (a slow
+        node still beats inside the timeout); :class:`AdaptiveFailureDetector`
+        overrides this to stretch the node's emission clock.
+        """
+
+    def end_slow(self, node_id: str, factor: float) -> None:
+        """One slowdown window on the node expired (see :meth:`begin_slow`)."""
+
+    def is_suspected(self, node_id: str) -> bool:
+        """Gray-zone belief: degraded but not yet declared dead.
+
+        The fixed-window detector has no gray zone — a node is alive or
+        dead — so this is always False; the adaptive detector overrides it.
+        """
+        return False
+
     # ------------------------------------------------------------ master side
     def report_failure(self, node_id: str) -> None:
         """A launch on ``node_id`` failed: the master marks it dead at once.
@@ -188,3 +208,255 @@ class FailureDetector:
     def suspected_dead(self, node_ids) -> List[str]:
         """Subset of ``node_ids`` the master currently believes dead."""
         return [n for n in node_ids if not self.is_alive(n)]
+
+
+class AdaptiveFailureDetector(FailureDetector):
+    """Phi-accrual-style detection: suspicion from inter-heartbeat history.
+
+    Instead of one fixed silence window, the master scores each node by
+
+        ``phi(node) = elapsed_since_last_heartbeat / mean_recent_gap``
+
+    where the mean gap is estimated over the node's last ``window``
+    heartbeat arrivals.  Two thresholds split the belief into three states:
+    *alive* (``phi < suspect_after``), *suspected* (deprioritised for
+    placement but not declared) and *dead* (``phi >= dead_after``).  A node
+    whose CPU is merely slowed stretches its own gap history, so its mean
+    adapts and phi stays low — gray nodes are suspected, not declared,
+    which is exactly what the fixed window cannot express.
+
+    Like the base class the detector is event-free: slowdown windows
+    reported by the injector (:meth:`begin_slow`/:meth:`end_slow`) define a
+    per-node piecewise-constant heartbeat *emission clock* — a node slowed
+    by factor ``f`` emits every ``f * interval`` seconds — and every query
+    is answered analytically from those segments plus the outage history.
+
+    Belief-accuracy accounting is observational: state transitions are
+    recorded when queries notice them (the master only "believes" what it
+    looks at).  ``false_positives`` counts declarations of nodes that were
+    actually up; ``false_negatives`` counts outages that healed without the
+    master ever believing the node dead.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        *,
+        interval: float = 3.0,
+        suspect_after: float = 3.0,
+        dead_after: float = 8.0,
+        window: int = 8,
+        tracer: Optional[Tracer] = None,
+    ):
+        if suspect_after <= 1.0:
+            raise ConfigurationError(
+                f"suspect_after must be > 1 gap, got {suspect_after}"
+            )
+        if dead_after <= suspect_after:
+            raise ConfigurationError(
+                f"dead_after ({dead_after}) must exceed suspect_after ({suspect_after})"
+            )
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2 samples, got {window}")
+        # ``timeout`` doubles as the nominal detection delay consumers
+        # (re-replication scheduling) plan around: dead_after healthy gaps.
+        super().__init__(
+            sim, interval=interval, timeout=dead_after * interval, tracer=tracer
+        )
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.window = window
+        #: node id → [segment_start, [active factors]] (one open segment)
+        self._slow_open: Dict[str, list] = {}
+        #: node id → closed (start, end, factor) slow segments, time-ordered
+        self._slow_closed: Dict[str, List[Tuple[float, float, float]]] = {}
+        #: node id → last belief state a query observed
+        self._last_state: Dict[str, str] = {}
+        self.suspicions = 0
+        self.false_positives = 0
+        self.false_negatives = 0
+        self.true_positives = 0
+
+    # ---------------------------------------------------------- injector side
+    def begin_slow(self, node_id: str, factor: float) -> None:
+        """Open (or deepen) a slow window; effective factor is the max."""
+        now = self.sim.now
+        open_ = self._slow_open.get(node_id)
+        if open_ is None:
+            self._slow_open[node_id] = [now, [factor]]
+            return
+        start, factors = open_
+        effective = max(factors)
+        factors.append(factor)
+        if max(factors) != effective:
+            self._close_segment(node_id, start, now, effective)
+            open_[0] = now
+
+    def end_slow(self, node_id: str, factor: float) -> None:
+        """Close one slow window level; segments stay piecewise-constant."""
+        open_ = self._slow_open.get(node_id)
+        if open_ is None:
+            return  # unmatched end (injector gc after a detector swap)
+        now = self.sim.now
+        start, factors = open_
+        effective = max(factors)
+        try:
+            factors.remove(factor)
+        except ValueError:
+            return
+        if not factors:
+            self._close_segment(node_id, start, now, effective)
+            del self._slow_open[node_id]
+        elif max(factors) != effective:
+            self._close_segment(node_id, start, now, effective)
+            open_[0] = now
+
+    def _close_segment(self, node_id: str, start: float, end: float, factor: float) -> None:
+        if end > start and factor > 1.0:
+            self._slow_closed.setdefault(node_id, []).append((start, end, factor))
+
+    def end_outage(self, node_id: str) -> None:
+        """Close an outage; count a miss if the master never believed it."""
+        super().end_outage(node_id)
+        hist = self._history.get(node_id)
+        if hist is not None and not hist.is_out:
+            if self._last_state.get(node_id) == "dead":
+                self.true_positives += 1
+            else:
+                self.false_negatives += 1
+
+    # ----------------------------------------------------- emission-clock math
+    def _segments(self, node_id: str) -> List[Tuple[float, float, float]]:
+        """Closed + open slow segments of the node, clipped to ``now``."""
+        segments = list(self._slow_closed.get(node_id, ()))
+        open_ = self._slow_open.get(node_id)
+        if open_ is not None:
+            start, factors = open_
+            if factors and self.sim.now > start:
+                segments.append((start, self.sim.now, max(factors)))
+        return segments
+
+    def _virtual(self, node_id: str, t: float) -> float:
+        """Real time → emission-clock time (slow segments tick slower)."""
+        v = t
+        for start, end, factor in self._segments(node_id):
+            lo = min(start, t)
+            hi = min(end, t)
+            if hi > lo:
+                v -= (hi - lo) * (1.0 - 1.0 / factor)
+        return v
+
+    def _real(self, node_id: str, v_target: float) -> float:
+        """Emission-clock time → real time (inverse of :meth:`_virtual`)."""
+        if v_target <= 0.0:
+            return v_target
+        t = 0.0
+        v = 0.0
+        for start, end, factor in sorted(self._segments(node_id)):
+            if v_target <= v + (start - t):
+                return t + (v_target - v)
+            v += start - t
+            t = start
+            seg_v = (end - start) / factor
+            if v_target <= v + seg_v:
+                return t + (v_target - v) * factor
+            v += seg_v
+            t = end
+        return t + (v_target - v)
+
+    def _emission_index(self, node_id: str, t: float) -> int:
+        """Index of the last heartbeat emitted at or before real time ``t``."""
+        return int(math.floor(self._virtual(node_id, t) / self.interval + 1e-9))
+
+    def last_heartbeat(self, node_id: str) -> float:
+        """Most recent emission that fell outside every outage interval."""
+        now = self.sim.now
+        hist = self._history.get(node_id)
+        k = self._emission_index(node_id, now)
+        while k > 0:
+            emitted = self._real(node_id, k * self.interval)
+            covering = hist.covering_interval(emitted, now) if hist else None
+            if covering is None:
+                return emitted
+            start = covering[0]
+            if start <= 0:
+                return 0.0
+            kk = self._emission_index(node_id, start)
+            if self._real(node_id, kk * self.interval) >= start:
+                kk -= 1
+            k = kk
+        return 0.0
+
+    def mean_gap(self, node_id: str) -> float:
+        """Mean real-time gap over the node's recent heartbeat arrivals.
+
+        Uses up to ``window`` gaps ending at the last successful heartbeat;
+        floored at the nominal interval so an idle history cannot make the
+        detector hair-triggered.
+        """
+        last = self.last_heartbeat(node_id)
+        k = self._emission_index(node_id, last)
+        n = min(self.window, k)
+        if n < 1:
+            return self.interval
+        first = self._real(node_id, (k - n) * self.interval)
+        return max(self.interval, (last - first) / n)
+
+    def phi(self, node_id: str) -> float:
+        """Suspicion score: elapsed silence in units of the adaptive gap."""
+        elapsed = self.sim.now - self.last_heartbeat(node_id)
+        if elapsed <= 0.0:
+            return 0.0
+        return elapsed / self.mean_gap(node_id)
+
+    # ------------------------------------------------------------ master side
+    def state(self, node_id: str) -> str:
+        """The master's belief: "alive", "suspected" or "dead"."""
+        last = self.last_heartbeat(node_id)
+        reported = self._reported.get(node_id)
+        if reported is not None and last <= reported:
+            state = "dead"
+        else:
+            score = self.phi(node_id)
+            if score >= self.dead_after:
+                state = "dead"
+            elif score >= self.suspect_after:
+                state = "suspected"
+            else:
+                state = "alive"
+        self._observe(node_id, state)
+        return state
+
+    def is_alive(self, node_id: str) -> bool:
+        return self.state(node_id) != "dead"
+
+    def is_suspected(self, node_id: str) -> bool:
+        return self.state(node_id) == "suspected"
+
+    def _observe(self, node_id: str, state: str) -> None:
+        """Record belief transitions and score them against ground truth."""
+        prev = self._last_state.get(node_id, "alive")
+        if state == prev:
+            return
+        self._last_state[node_id] = state
+        if state == "suspected":
+            self.suspicions += 1
+        elif state == "dead":
+            hist = self._history.get(node_id)
+            if hist is not None and hist.is_out:
+                pass  # scored at end_outage (true positive if still believed)
+            else:
+                self.false_positives += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SuspicionChange(
+                    self.sim.now,
+                    track=node_id,
+                    attrs={
+                        "node": node_id,
+                        "state": state,
+                        "prev": prev,
+                        "phi": round(self.phi(node_id), 3),
+                    },
+                )
+            )

@@ -27,10 +27,12 @@ from repro.cluster.cluster import Cluster
 from repro.common.errors import ConfigurationError, TransferFailedError
 from repro.faults.detector import FailureDetector
 from repro.faults.plan import (
+    CorrelatedFailure,
     DiskFailure,
     ExecutorFailure,
     FaultPlan,
     LinkDegradation,
+    LinkFlap,
     NetworkPartition,
     NodeFailure,
     NodeSlowdown,
@@ -105,6 +107,8 @@ class FaultInjector:
         self._down_nodes: Set[str] = set()
         self._partitions: List[frozenset] = []
         self._degradations: Dict[str, List[Tuple[float, float]]] = {}
+        #: node id → count of link-flap down phases currently active
+        self._flapped: Dict[str, int] = {}
         self._rr_queue: Deque[Tuple[str, str, int]] = deque()
         self._rr_active = 0
         self.injected = 0
@@ -132,6 +136,10 @@ class FaultInjector:
                 self.sim.schedule_at(event.at, self._start_partition, event)
             elif isinstance(event, LinkDegradation):
                 self.sim.schedule_at(event.at, self._start_degradation, event)
+            elif isinstance(event, LinkFlap):
+                self.sim.schedule_at(event.at, self._start_flap, event)
+            elif isinstance(event, CorrelatedFailure):
+                self.sim.schedule_at(event.at, self._fail_group, event)
             else:
                 raise ConfigurationError(f"unknown fault event {event!r}")
 
@@ -140,7 +148,9 @@ class FaultInjector:
         nodes = set(self.cluster.node_ids)
         executors = {e.executor_id for e in self.cluster.executors}
         for event in self.plan:
-            if isinstance(event, (NodeSlowdown, DiskFailure, NodeFailure, LinkDegradation)):
+            if isinstance(
+                event, (NodeSlowdown, DiskFailure, NodeFailure, LinkDegradation, LinkFlap)
+            ):
                 if event.node_id not in nodes:
                     raise ConfigurationError(
                         f"{type(event).__name__} targets unknown node "
@@ -152,15 +162,21 @@ class FaultInjector:
                         f"ExecutorFailure targets unknown executor "
                         f"{event.executor_id!r}"
                     )
-            elif isinstance(event, NetworkPartition):
-                unknown = [n for n in event.nodes if n not in nodes]
+            elif isinstance(event, (NetworkPartition, CorrelatedFailure)):
+                members = (
+                    event.nodes if isinstance(event, NetworkPartition) else event.node_ids
+                )
+                unknown = [n for n in members if n not in nodes]
                 if unknown:
                     raise ConfigurationError(
-                        f"NetworkPartition targets unknown nodes {unknown!r}"
+                        f"{type(event).__name__} targets unknown nodes {unknown!r}"
                     )
             else:
                 raise ConfigurationError(f"unknown fault event {event!r}")
-            if isinstance(event, (NetworkPartition, LinkDegradation)) and self.fabric is None:
+            if (
+                isinstance(event, (NetworkPartition, LinkDegradation, LinkFlap))
+                and self.fabric is None
+            ):
                 raise ConfigurationError(
                     f"{type(event).__name__} requires a NetworkFabric; "
                     "construct the injector with fabric=..."
@@ -195,10 +211,13 @@ class FaultInjector:
     def reachable(self, src: str, dst: str) -> bool:
         """Ground truth: can ``src`` and ``dst`` talk right now?
 
-        False when either endpoint is down or any active partition separates
-        them (nodes on the same side of every partition stay connected).
+        False when either endpoint is down, its link is in a flap down
+        phase, or any active partition separates them (nodes on the same
+        side of every partition stay connected).
         """
         if src in self._down_nodes or dst in self._down_nodes:
+            return False
+        if self._flapped.get(src, 0) or self._flapped.get(dst, 0):
             return False
         for part in self._partitions:
             if (src in part) != (dst in part):
@@ -207,9 +226,13 @@ class FaultInjector:
 
     def node_reachable(self, node_id: str) -> bool:
         """Ground truth: can the (partition-free) master reach the node?"""
-        if node_id in self._down_nodes:
+        if node_id in self._down_nodes or self._flapped.get(node_id, 0):
             return False
         return not any(node_id in part for part in self._partitions)
+
+    def link_flapping(self, node_id: str) -> bool:
+        """Ground truth: is the node's link currently in a flap down phase?"""
+        return bool(self._flapped.get(node_id, 0))
 
     def _notify_manager(self) -> None:
         if self.manager is not None:
@@ -238,14 +261,24 @@ class FaultInjector:
         self._trace_fault(
             "slowdown", event.node_id, factor=event.factor, duration=event.duration
         )
-        self.sim.schedule(event.duration, self._gc_slowdowns, event.node_id)
+        if self.detector is not None:
+            # A slowed worker heartbeats slower too — that stretched gap is
+            # exactly what an adaptive detector keys its suspicion off.
+            self.detector.begin_slow(event.node_id, event.factor)
+        self.sim.schedule(
+            event.duration, self._gc_slowdowns, event.node_id, event.duration
+        )
 
-    def _gc_slowdowns(self, node_id: str) -> None:
+    def _gc_slowdowns(self, node_id: str, duration: float) -> None:
         now = self.sim.now
         active = self._slowdowns.get(node_id, [])
-        expired = sum(1 for end, _ in active if end <= now)
+        expired = [(end, f) for end, f in active if end <= now]
         self._slowdowns[node_id] = [(end, f) for end, f in active if end > now]
         if expired:
+            if self.detector is not None:
+                for _, factor in expired:
+                    self.detector.end_slow(node_id, factor)
+            self.mttr.setdefault("slowdown", []).append(duration)
             self._trace_fault("slowdown", node_id, healed=True)
 
     # -------------------------------------------------------------- executors
@@ -364,6 +397,29 @@ class FaultInjector:
                 "fault.node", node_id, restart_delay=event.restart_delay
             )
         self._trace_fault("node", node_id, restart_delay=event.restart_delay)
+        self._crash_node(node_id, event.restart_delay, event.re_replicate, "node")
+
+    def _fail_group(self, event: CorrelatedFailure) -> None:
+        """Correlated crash: every group member fails at the same instant."""
+        self.injected += 1
+        group = ",".join(event.node_ids)
+        if self.timeline is not None:
+            self.timeline.record(
+                "fault.correlated", group, restart_delay=event.restart_delay
+            )
+        self._trace_fault(
+            "correlated", group,
+            nodes=len(event.node_ids), restart_delay=event.restart_delay,
+        )
+        for node_id in event.node_ids:
+            self._crash_node(
+                node_id, event.restart_delay, event.re_replicate, "correlated"
+            )
+
+    def _crash_node(
+        self, node_id: str, restart_delay: float, re_replicate: bool, kind: str
+    ) -> None:
+        """Shared crash path for single and correlated node failures."""
         if node_id in self._down_nodes:
             return  # already down
         self._down_nodes.add(node_id)
@@ -375,7 +431,7 @@ class FaultInjector:
         if self.fabric is not None:
             self.fabric.fail_transfers_touching(node_id, cause="node-down")
         lost = self._wipe_storage(node_id)
-        if event.re_replicate and lost:
+        if re_replicate and lost:
             # Recovery starts once the failure is *detected* — the NameNode
             # only learns about the dead DataNode after the heartbeat
             # timeout when a detector models that delay.
@@ -383,10 +439,10 @@ class FaultInjector:
             self.sim.schedule(delay, self._begin_re_replication, node_id, lost)
         self._notify_manager()
         self.sim.schedule(
-            event.restart_delay, self._restore_node, node_id, self.sim.now
+            restart_delay, self._restore_node, node_id, self.sim.now, kind
         )
 
-    def _restore_node(self, node_id: str, failed_at: float) -> None:
+    def _restore_node(self, node_id: str, failed_at: float, kind: str = "node") -> None:
         """The crashed node rejoins — executors healthy, DataNode empty."""
         if node_id not in self._down_nodes:
             return
@@ -396,13 +452,62 @@ class FaultInjector:
             executor.healthy = True
         if self.detector is not None:
             self.detector.end_outage(node_id)
-        self.mttr.setdefault("node", []).append(self.sim.now - failed_at)
+        self.mttr.setdefault(kind, []).append(self.sim.now - failed_at)
         if self.timeline is not None:
             self.timeline.record("fault.node.restore", node_id)
         self._trace_fault("node", node_id, healed=True, after=self.sim.now - failed_at)
         if self.fabric is not None:
             self.fabric.refresh_stalled()
         self._notify_manager()
+
+    # ------------------------------------------------------------------- flaps
+    def _start_flap(self, event: LinkFlap) -> None:
+        self.injected += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                "fault.flap", event.node_id,
+                duration=event.duration, period=event.period,
+            )
+        self._trace_fault(
+            "flap", event.node_id,
+            duration=event.duration, period=event.period,
+            down_fraction=event.down_fraction,
+        )
+        windows = event.down_windows()
+        for i, (start, end) in enumerate(windows):
+            last = i == len(windows) - 1
+            self.sim.schedule_at(start, self._flap_down, event.node_id)
+            self.sim.schedule_at(
+                end, self._flap_up, event.node_id, self.sim.now if last else None
+            )
+
+    def _flap_down(self, node_id: str) -> None:
+        """One down phase begins: crossing flows abort, heartbeats stop."""
+        self._flapped[node_id] = self._flapped.get(node_id, 0) + 1
+        if self._flapped[node_id] == 1:
+            if self.detector is not None:
+                self.detector.begin_outage(node_id)
+            if self.fabric is not None:
+                self.fabric.fail_transfers_touching(node_id, cause="link-flap")
+            self._notify_manager()
+
+    def _flap_up(self, node_id: str, episode_started) -> None:
+        """One down phase ends; ``episode_started`` is set on the last one."""
+        depth = self._flapped.get(node_id, 0)
+        if depth <= 0:
+            return
+        self._flapped[node_id] = depth - 1
+        if self._flapped[node_id] == 0:
+            if self.detector is not None:
+                self.detector.end_outage(node_id)
+            if self.fabric is not None:
+                self.fabric.refresh_stalled()
+            self._notify_manager()
+        if episode_started is not None:
+            self.mttr.setdefault("flap", []).append(self.sim.now - episode_started)
+            self._trace_fault(
+                "flap", node_id, healed=True, after=self.sim.now - episode_started
+            )
 
     # -------------------------------------------------------------- partitions
     def _start_partition(self, event: NetworkPartition) -> None:

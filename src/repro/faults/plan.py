@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+import math
+from dataclasses import asdict, dataclass, field, replace
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
@@ -15,6 +17,8 @@ __all__ = [
     "NodeFailure",
     "NetworkPartition",
     "LinkDegradation",
+    "LinkFlap",
+    "CorrelatedFailure",
     "FaultPlan",
 ]
 
@@ -158,6 +162,100 @@ class LinkDegradation(FaultEvent):
             raise ConfigurationError(f"factor must be > 1, got {self.factor}")
 
 
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """``node_id``'s link cycles up/down deterministically for ``duration``
+    seconds — the classic gray failure a fixed-window detector mishandles.
+
+    Each ``period``-second cycle starts with a down phase of
+    ``down_fraction * period`` seconds (crossing flows abort, new transfers
+    stall) followed by an up phase where traffic drains normally.  Cycles
+    repeat until the episode ends; a down phase is clipped at the episode
+    boundary so the link is always healthy after ``at + duration``.
+    """
+
+    node_id: str = ""
+    duration: float = 0.0
+    period: float = 10.0
+    down_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node_id:
+            raise ConfigurationError("LinkFlap requires a node_id")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if not (0.0 < self.down_fraction < 1.0):
+            raise ConfigurationError(
+                f"down_fraction must be in (0, 1), got {self.down_fraction}"
+            )
+
+    def down_windows(self) -> List[Tuple[float, float]]:
+        """Absolute ``[start, end)`` down phases of the episode, in order."""
+        windows: List[Tuple[float, float]] = []
+        episode_end = self.at + self.duration
+        cycles = int(math.ceil(self.duration / self.period))
+        for k in range(cycles):
+            start = self.at + k * self.period
+            if start >= episode_end:
+                break
+            end = min(start + self.down_fraction * self.period, episode_end)
+            if end > start:
+                windows.append((start, end))
+        return windows
+
+
+@dataclass(frozen=True)
+class CorrelatedFailure(FaultEvent):
+    """Rack/group-scoped crash: every node in ``node_ids`` fails at once
+    (shared power feed, ToR switch, availability-zone event).  Each member
+    follows the :class:`NodeFailure` path — executors die, storage is
+    wiped, flows abort — and rejoins after ``restart_delay`` seconds.
+
+    Because the members fail together, surviving replicas of a block may
+    all be inside the group: correlated failures are how replication
+    placement actually loses data, which single-node plans cannot show.
+    """
+
+    node_ids: Tuple[str, ...] = field(default_factory=tuple)
+    restart_delay: float = 30.0
+    re_replicate: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(set(self.node_ids)) < 2:
+            raise ConfigurationError(
+                "CorrelatedFailure requires at least two distinct nodes"
+            )
+        if any(not node_id for node_id in self.node_ids):
+            raise ConfigurationError("CorrelatedFailure node ids must be non-empty")
+        if self.restart_delay < 0:
+            raise ConfigurationError(
+                f"restart_delay must be >= 0, got {self.restart_delay}"
+            )
+        object.__setattr__(self, "node_ids", tuple(sorted(set(self.node_ids))))
+
+
+#: JSON tag → event class, the serialisable surface of the fault model.
+_EVENT_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        NodeSlowdown,
+        ExecutorFailure,
+        DiskFailure,
+        NodeFailure,
+        NetworkPartition,
+        LinkDegradation,
+        LinkFlap,
+        CorrelatedFailure,
+    )
+}
+#: dataclass fields serialised as JSON arrays that must round-trip to tuples
+_TUPLE_FIELDS = ("nodes", "node_ids")
+
+
 class FaultPlan:
     """A time-ordered collection of fault events."""
 
@@ -183,3 +281,65 @@ class FaultPlan:
     def of_type(self, kind: type) -> List[FaultEvent]:
         """Events of one fault class."""
         return [e for e in self.events if isinstance(e, kind)]
+
+    # -------------------------------------------------------- (de)serialisation
+    def to_json(self, *, indent: int = 2) -> str:
+        """Serialise the plan as a replayable JSON artifact.
+
+        Mirrors ``SubmissionTrace.to_csv``: the artifact plus the config
+        seed fully determines a chaos run, so any sweep cell can be
+        re-executed (or bisected) from files alone.
+        """
+        events = [
+            {"kind": type(event).__name__, **asdict(event)}
+            for event in self.events
+        ]
+        return json.dumps({"version": 1, "events": events}, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output (strictly validated)."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise ConfigurationError("fault plan JSON needs an 'events' list")
+        version = payload.get("version", 1)
+        if version != 1:
+            raise ConfigurationError(f"unsupported fault plan version {version!r}")
+        events: List[FaultEvent] = []
+        for item in payload["events"]:
+            if not isinstance(item, dict) or "kind" not in item:
+                raise ConfigurationError(f"fault plan event needs a 'kind': {item!r}")
+            fields = dict(item)
+            kind = fields.pop("kind")
+            event_cls = _EVENT_TYPES.get(kind)
+            if event_cls is None:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; choose from {sorted(_EVENT_TYPES)}"
+                )
+            for name in _TUPLE_FIELDS:
+                if name in fields:
+                    fields[name] = tuple(fields[name])
+            try:
+                events.append(event_cls(**fields))
+            except TypeError as exc:
+                raise ConfigurationError(f"bad {kind} fields: {exc}") from exc
+        return cls(events).validate()
+
+    def validate(self) -> "FaultPlan":
+        """Re-check every event invariant; returns self for chaining.
+
+        Events validate at construction, but a plan assembled from mutated
+        or hand-edited artifacts can bypass that — ``replace`` re-runs each
+        frozen dataclass's ``__post_init__`` without copying semantics.
+        """
+        for event in self.events:
+            replace(event)
+            if not math.isfinite(event.at):
+                raise ConfigurationError(f"fault time must be finite, got {event.at}")
+        for earlier, later in zip(self.events, self.events[1:]):
+            if earlier.at > later.at:
+                raise ConfigurationError("fault plan events are not time-sorted")
+        return self

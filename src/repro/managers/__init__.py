@@ -11,8 +11,14 @@
 * :class:`CustodyManager` — the paper's contribution: allocation postponed
   to job submission, NameNode-informed demands, and the two-level
   data-aware procedure of :mod:`repro.core`.
+
+:class:`AdmissionController` is an optional overload valve any manager can
+carry: when pending demand outruns deliverable capacity (dead/suspected
+nodes excluded), new jobs' allocation rounds are deferred until a re-check
+finds headroom.
 """
 
+from repro.managers.admission import AdmissionController
 from repro.managers.base import ClusterManager
 from repro.managers.custody import CustodyManager
 from repro.managers.mesos import MesosManager
@@ -20,6 +26,7 @@ from repro.managers.standalone import StandaloneManager
 from repro.managers.yarn import YarnManager
 
 __all__ = [
+    "AdmissionController",
     "ClusterManager",
     "CustodyManager",
     "MesosManager",

@@ -77,6 +77,9 @@ class ClusterManager(abc.ABC):
         self.detector = None
         #: grants that landed on a node the master wrongly believed alive
         self.failed_launches = 0
+        #: optional :class:`repro.managers.admission.AdmissionController`;
+        #: None (the default) admits every job unconditionally.
+        self.admission = None
 
     # ------------------------------------------------------------------ quota
     @property
@@ -293,13 +296,37 @@ class ClusterManager(abc.ABC):
                 for e in self.cluster.free_executors()
                 if injector.node_reachable(e.node_id)
             ]
-        return [
+        pool = [
             e
             for e in self.cluster.executors
             if e.is_free
             and detector.is_alive(e.node_id)
             and (e.healthy or injector.node_down(e.node_id))
         ]
+        # Gray-failure deprioritisation: executors on *suspected* nodes sink
+        # to the back of the pool (stable, so order within each class is
+        # unchanged).  The fixed-window detector never suspects, so this is
+        # the identity ordering unless the adaptive detector is in play.
+        pool.sort(key=lambda e: detector.is_suspected(e.node_id))
+        return pool
+
+    # --------------------------------------------------------------- admission
+    def attach_admission(self, controller) -> None:
+        """Install an :class:`~repro.managers.admission.AdmissionController`."""
+        controller.bind(self)
+        self.admission = controller
+
+    def admit_job(self, driver: "ApplicationDriver", job: Job) -> bool:
+        """Overload gate consulted by job-submission hooks.
+
+        ``True`` (always, when no controller is attached) lets the hook
+        trigger its allocation round; ``False`` defers the round — the job
+        stays queued in its driver and the controller re-checks capacity
+        on a timer, draining deferred jobs into one coalesced round.
+        """
+        if self.admission is None:
+            return True
+        return self.admission.admit(driver, job)
 
     # -------------------------------------------------------------------- hooks
     def on_executors_changed(self) -> None:

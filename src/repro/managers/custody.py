@@ -128,6 +128,8 @@ class CustodyManager(ClusterManager):
             self._hint_drivers.add(driver.app_id)
 
     def on_job_submitted(self, driver: "ApplicationDriver", job: Job) -> None:
+        if not self.admit_job(driver, job):
+            return  # overloaded: round deferred until capacity recovers
         self._schedule_round()
 
     def on_job_finished(self, driver: "ApplicationDriver", job: Job) -> None:

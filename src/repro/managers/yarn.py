@@ -29,6 +29,8 @@ class YarnManager(ClusterManager):
     name = "yarn"
 
     def on_job_submitted(self, driver: "ApplicationDriver", job: Job) -> None:
+        if not self.admit_job(driver, job):
+            return  # overloaded: round deferred until capacity recovers
         self._schedule_round()
 
     def on_job_finished(self, driver: "ApplicationDriver", job: Job) -> None:

@@ -127,6 +127,23 @@ class FaultStats:
     recovery_bytes: float = 0.0  #: bytes moved by recovery transfers
     transfers_failed: int = 0  #: fabric transfers aborted by faults
     mttr: Dict[str, float] = field(default_factory=dict)  #: mean repair time per kind
+    # -------------------------------------------------- robustness tallies
+    # All zero unless the corresponding mechanism (adaptive detector,
+    # budgets, breakers, hedging, admission control) was enabled.
+    detector_suspicions: int = 0  #: alive -> suspected transitions observed
+    detector_false_positives: int = 0  #: declared dead while actually up
+    detector_false_negatives: int = 0  #: outage healed before detection
+    detector_true_positives: int = 0  #: outages correctly declared dead
+    retries_denied: int = 0  #: retries refused by exhausted budgets
+    hedges_launched: int = 0  #: hedged backup attempts fired
+    hedges_won: int = 0  #: hedges that beat the primary attempt
+    hedges_lost: int = 0  #: hedges cancelled when the primary won
+    breaker_opens: int = 0  #: breaker trips (closed/half-open -> open)
+    breaker_probes: int = 0  #: half-open probe launches admitted
+    breaker_closes: int = 0  #: verified recoveries (half-open -> closed)
+    breakers_open_at_end: int = 0  #: breakers still excluding a node at quiescence
+    admission_deferred: int = 0  #: job admissions deferred under overload
+    load_shed: int = 0  #: re-checks that found the overload sustained
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready projection."""
@@ -146,6 +163,20 @@ class FaultStats:
             "recovery_bytes": self.recovery_bytes,
             "transfers_failed": self.transfers_failed,
             "mttr": dict(self.mttr),
+            "detector_suspicions": self.detector_suspicions,
+            "detector_false_positives": self.detector_false_positives,
+            "detector_false_negatives": self.detector_false_negatives,
+            "detector_true_positives": self.detector_true_positives,
+            "retries_denied": self.retries_denied,
+            "hedges_launched": self.hedges_launched,
+            "hedges_won": self.hedges_won,
+            "hedges_lost": self.hedges_lost,
+            "breaker_opens": self.breaker_opens,
+            "breaker_probes": self.breaker_probes,
+            "breaker_closes": self.breaker_closes,
+            "breakers_open_at_end": self.breakers_open_at_end,
+            "admission_deferred": self.admission_deferred,
+            "load_shed": self.load_shed,
         }
 
     def describe(self) -> str:

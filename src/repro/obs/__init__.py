@@ -23,15 +23,19 @@ two runs from the same seed produce identical event streams.
 """
 
 from repro.obs.events import (
+    AdmissionDecision,
     AllocationRound,
+    BreakerTransition,
     CounterEvent,
     ExecutorGrant,
     FaultHealed,
     FaultInjected,
     HeartbeatMiss,
+    HedgeLaunch,
     JobSpan,
     RecoveryFlow,
     SpanEvent,
+    SuspicionChange,
     TaskAttempt,
     TraceEvent,
     TransferSpan,
@@ -46,12 +50,15 @@ from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "AdmissionDecision",
     "AllocationRound",
+    "BreakerTransition",
     "CounterEvent",
     "ExecutorGrant",
     "FaultHealed",
     "FaultInjected",
     "HeartbeatMiss",
+    "HedgeLaunch",
     "JobSpan",
     "JsonlSink",
     "NULL_TRACER",
@@ -59,6 +66,7 @@ __all__ = [
     "RecoveryFlow",
     "RingSink",
     "SpanEvent",
+    "SuspicionChange",
     "TaskAttempt",
     "TimeSeriesSampler",
     "TraceEvent",

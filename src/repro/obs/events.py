@@ -41,6 +41,10 @@ __all__ = [
     "FaultHealed",
     "RecoveryFlow",
     "HeartbeatMiss",
+    "SuspicionChange",
+    "BreakerTransition",
+    "HedgeLaunch",
+    "AdmissionDecision",
 ]
 
 #: The five instrumented layers; ``TraceEvent.cat`` is always one of these.
@@ -227,3 +231,52 @@ class HeartbeatMiss(TraceEvent):
 
     name: str = "heartbeat.miss"
     cat: str = FAULTS
+
+
+@dataclass(frozen=True)
+class SuspicionChange(TraceEvent):
+    """The adaptive detector's belief about a node changed.
+
+    attrs: ``node``, ``state`` ("alive" | "suspected" | "dead"),
+    ``prev``, ``phi`` (the suspicion score at the transition).
+    """
+
+    name: str = "detector.suspicion"
+    cat: str = FAULTS
+
+
+# -------------------------------------------------------- robustness (driver)
+@dataclass(frozen=True)
+class BreakerTransition(TraceEvent):
+    """A per-node circuit breaker changed state.
+
+    attrs: ``node``, ``state`` ("closed" | "open" | "half_open"), ``prev``.
+    """
+
+    name: str = "breaker.transition"
+    cat: str = DRIVER
+
+
+@dataclass(frozen=True)
+class HedgeLaunch(TraceEvent):
+    """A hedged backup attempt fired against a suspected-slow node.
+
+    attrs: ``task``, ``app``, ``primary_node``, ``hedge_node``,
+    ``elapsed`` (primary runtime when the hedge launched).
+    """
+
+    name: str = "hedge.launch"
+    cat: str = DRIVER
+
+
+# ----------------------------------------------------- robustness (manager)
+@dataclass(frozen=True)
+class AdmissionDecision(TraceEvent):
+    """The manager's admission gate deferred or re-admitted a job.
+
+    attrs: ``app``, ``job``, ``decision`` ("deferred" | "admitted" |
+    "shed"), ``pending`` (task demand), ``capacity`` (deliverable slots).
+    """
+
+    name: str = "admission.decision"
+    cat: str = MANAGER

@@ -27,7 +27,13 @@ from repro.scenarios.base import (
 )
 
 # Importing the scenario modules registers their scenarios.
-from repro.scenarios import littles_law, locality, queueing, workloads  # noqa: F401
+from repro.scenarios import (  # noqa: F401
+    degraded,
+    littles_law,
+    locality,
+    queueing,
+    workloads,
+)
 
 __all__ = [
     "Check",

@@ -39,9 +39,10 @@ from repro.cluster.executor import Executor
 from repro.common.errors import AllocationError, TransferFailedError
 from repro.hdfs.filesystem import HDFS
 from repro.network.fabric import NetworkFabric
-from repro.obs.events import JobSpan, TaskAttempt
+from repro.obs.events import BreakerTransition, HedgeLaunch, JobSpan, TaskAttempt
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.scheduling.policies import TaskScheduler
+from repro.scheduling.robustness import CLOSED, CircuitBreakerBoard, RetryBudget
 from repro.simulation.engine import EventHandle, Simulation
 from repro.simulation.process import AllOf, Interrupt, Process, Timeout
 from repro.simulation.timeline import Timeline
@@ -59,13 +60,25 @@ __all__ = ["ApplicationDriver"]
 class _Attempt:
     """One execution attempt of a task on an executor."""
 
-    __slots__ = ("task", "executor", "process", "speculative", "started_at", "transfers")
+    __slots__ = (
+        "task", "executor", "process", "speculative", "hedge",
+        "started_at", "transfers",
+    )
 
-    def __init__(self, task: Task, executor: Executor, speculative: bool, started_at: float):
+    def __init__(
+        self,
+        task: Task,
+        executor: Executor,
+        speculative: bool,
+        started_at: float,
+        hedge: bool = False,
+    ):
         self.task = task
         self.executor = executor
         self.process: Optional[Process] = None
         self.speculative = speculative
+        #: a hedged backup (suspicion-triggered, distinct from speculation)
+        self.hedge = hedge
         self.started_at = started_at
         #: in-flight transfers owned by this attempt (for kill-time cleanup)
         self.transfers: List = []
@@ -94,6 +107,13 @@ class ApplicationDriver:
         blacklist_threshold: int = 3,
         blacklist_window: float = 60.0,
         blacklist_timeout: float = 60.0,
+        retry_jitter_rng=None,
+        retry_budget: Optional[int] = None,
+        retry_refill: float = 0.0,
+        circuit_breaker: bool = False,
+        hedging: bool = False,
+        hedge_quantile: float = 0.95,
+        hedge_multiplier: float = 1.5,
         tracer: Optional[Tracer] = None,
     ):
         if not (0.0 < speculation_quantile <= 1.0):
@@ -116,6 +136,14 @@ class ApplicationDriver:
             )
         if blacklist_window <= 0 or blacklist_timeout <= 0:
             raise ValueError("blacklist window/timeout must be positive")
+        if retry_budget is not None and retry_budget < 1:
+            raise ValueError(f"retry_budget must be >= 1, got {retry_budget}")
+        if retry_refill < 0:
+            raise ValueError(f"retry_refill must be >= 0, got {retry_refill}")
+        if not (0.0 < hedge_quantile <= 1.0):
+            raise ValueError(f"hedge_quantile must be in (0, 1], got {hedge_quantile}")
+        if hedge_multiplier < 1.0:
+            raise ValueError(f"hedge_multiplier must be >= 1, got {hedge_multiplier}")
         self.sim = sim
         self.app = app
         self.cluster = cluster
@@ -134,6 +162,21 @@ class ApplicationDriver:
         self.blacklist_threshold = blacklist_threshold
         self.blacklist_window = blacklist_window
         self.blacklist_timeout = blacklist_timeout
+        self.retry_jitter_rng = retry_jitter_rng
+        self.retry_budget_tokens = retry_budget
+        self.retry_refill = retry_refill
+        self.hedging = hedging
+        self.hedge_quantile = hedge_quantile
+        self.hedge_multiplier = hedge_multiplier
+        #: per-node circuit breakers (None = legacy sliding-window blacklist)
+        self.breakers: Optional[CircuitBreakerBoard] = None
+        if circuit_breaker:
+            self.breakers = CircuitBreakerBoard(
+                threshold=blacklist_threshold,
+                window=blacklist_window,
+                cooldown=blacklist_timeout,
+                on_transition=self._on_breaker_transition,
+            )
         self.manager: Optional["ClusterManager"] = None
         #: Demand epoch: bumped whenever this driver's allocation-relevant
         #: state changes (runnable input tasks, owned executors, task
@@ -149,6 +192,10 @@ class ApplicationDriver:
         self.abandoned_tasks = 0
         self.data_loss_tasks = 0
         self.blacklist_events = 0
+        self.hedges_launched = 0
+        self.hedges_won = 0
+        self.hedges_lost = 0
+        self.retries_denied = 0
         self._executors: Dict[str, Executor] = {}
         self._runnable: List[Task] = []
         self._attempts: Dict[str, List[_Attempt]] = {}
@@ -157,8 +204,11 @@ class ApplicationDriver:
         self._stage_nodes: Dict[Tuple[str, int], List[str]] = {}
         self._shuffle_rotation: Dict[Tuple[str, int], int] = {}
         self._jobs: Dict[str, Job] = {}
+        #: job id → retry token bucket (created lazily when budgets are on)
+        self._job_budgets: Dict[str, RetryBudget] = {}
         self._wakeup: Optional[EventHandle] = None
         self._spec_wakeup: Optional[EventHandle] = None
+        self._hedge_wakeup: Optional[EventHandle] = None
         #: task id → failed attempt count (drives backoff and the budget)
         self._failure_counts: Dict[str, int] = {}
         #: node id → recent attempt-failure timestamps (blacklist window)
@@ -302,7 +352,14 @@ class ApplicationDriver:
 
     # ------------------------------------------------------- retry / blacklist
     def _blacklisted(self, node_id: str) -> bool:
-        """True while ``node_id`` is excluded from scheduling."""
+        """True while ``node_id`` is excluded from scheduling.
+
+        With circuit breakers enabled the breaker's read-only predicate
+        subsumes the timed blacklist (HALF_OPEN admits exactly one probe;
+        recovery is verified by traffic, not assumed on expiry).
+        """
+        if self.breakers is not None:
+            return not self.breakers.breaker(node_id).would_allow(self.sim.now)
         expiry = self._blacklist.get(node_id)
         if expiry is None:
             return False
@@ -311,9 +368,30 @@ class ApplicationDriver:
             return False
         return True
 
+    def _on_breaker_transition(self, node_id: str, prev: str, state: str) -> None:
+        """Board hook: record every breaker state change."""
+        if state == "open":
+            self.blacklist_events += 1
+        if self.timeline is not None:
+            self.timeline.record(
+                "node.breaker", node_id, app=self.app_id, state=state, prev=prev
+            )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                BreakerTransition(
+                    self.sim.now,
+                    track=node_id,
+                    attrs={"node": node_id, "state": state, "prev": prev,
+                           "app": self.app_id},
+                )
+            )
+
     def _note_node_failure(self, node_id: str) -> None:
         """Count an attempt failure against a node; blacklist on threshold."""
         now = self.sim.now
+        if self.breakers is not None:
+            self.breakers.breaker(node_id).on_failure(now)
+            return
         recent = [
             t
             for t in self._node_failures.get(node_id, [])
@@ -341,6 +419,15 @@ class ApplicationDriver:
                 failures=len(recent),
             )
 
+    def _budget_for(self, job_id: str) -> RetryBudget:
+        """The job's retry token bucket (budgets enabled)."""
+        budget = self._job_budgets.get(job_id)
+        if budget is None:
+            assert self.retry_budget_tokens is not None
+            budget = RetryBudget(self.retry_budget_tokens, self.retry_refill)
+            self._job_budgets[job_id] = budget
+        return budget
+
     def _handle_task_failure(self, task: Task, node_id: str, reason: str) -> bool:
         """Route a failed task through retry/backoff/abandon.
 
@@ -364,6 +451,20 @@ class ApplicationDriver:
         if count >= self.max_task_attempts:
             self._abandon_task(task, "attempts-exhausted")
             return False
+        if self.retry_budget_tokens is not None:
+            # Every retry spends one job token; a drained bucket sheds the
+            # task instead of feeding the failure loop more attempts.
+            if not self._budget_for(task.job_id).try_spend(self.sim.now):
+                self.retries_denied += 1
+                self.tracer.instant(
+                    "task.retry_denied",
+                    "driver",
+                    track=self.app_id,
+                    task=task.task_id,
+                    job=task.job_id,
+                )
+                self._abandon_task(task, "retry-budget-exhausted")
+                return False
         task.started_at = None
         task.executor_id = None
         task.node_id = None
@@ -376,6 +477,10 @@ class ApplicationDriver:
             self._requeue_task(task, node_id, dispatch=False)
             return True
         delay = min(self.retry_backoff * (2.0 ** (count - 2)), 60.0)
+        if self.retry_jitter_rng is not None and delay > 0:
+            # Full jitter (uniform over [0, cap]): correlated failures then
+            # de-synchronise instead of retrying in lockstep waves.
+            delay = float(self.retry_jitter_rng.uniform(0.0, delay))
         self.tracer.instant(
             "task.retry",
             "driver",
@@ -500,6 +605,8 @@ class ApplicationDriver:
                     break
         if self.speculation:
             self._launch_speculative_attempts()
+        if self.hedging:
+            self._launch_hedges()
         self._arm_wakeup()
 
     def _arm_wakeup(self) -> None:
@@ -513,11 +620,17 @@ class ApplicationDriver:
             return
         usable = [e for e in free if not self._blacklisted(e.node_id)]
         if not usable:
-            # Every free slot sits on a blacklisted node: wake up when the
-            # earliest blacklist expires so queued tasks are not stranded.
-            expiry = min(
-                self._blacklist.get(e.node_id, float("inf")) for e in free
-            )
+            # Every free slot sits on an excluded node: wake up when the
+            # earliest blacklist expiry / breaker probe admits one again.
+            if self.breakers is not None:
+                times = [
+                    self.breakers.breaker(e.node_id).next_probe_time() for e in free
+                ]
+                expiry = min((t for t in times if t is not None), default=float("inf"))
+            else:
+                expiry = min(
+                    self._blacklist.get(e.node_id, float("inf")) for e in free
+                )
             if expiry > self.sim.now and expiry != float("inf"):
                 self._wakeup = self.sim.schedule_at(expiry, self._dispatch)
             return
@@ -600,6 +713,115 @@ class ApplicationDriver:
                 return local[0]
         return candidates[0]
 
+    # --------------------------------------------------------------- hedging
+    def _node_suspected(self, node_id: str) -> bool:
+        """Suspicion signal feeding hedges: detector gray-zone belief or a
+        breaker that is not fully CLOSED (recovering / tripping node)."""
+        injector = self.fault_injector
+        if injector is not None and injector.detector is not None:
+            if injector.detector.is_suspected(node_id):
+                return True
+        if self.breakers is not None:
+            return self.breakers.breaker(node_id).state != CLOSED
+        return False
+
+    def _hedge_threshold(self, task: Task) -> Optional[float]:
+        """Adaptive percentile bar a running attempt must cross to hedge."""
+        key = (task.job_id, task.stage_index)
+        durations = self._stage_durations.get(key)
+        if not durations or len(durations) < 3:
+            return None  # not enough history for a meaningful percentile
+        ordered = sorted(durations)
+        idx = min(len(ordered) - 1, max(0, int(self.hedge_quantile * len(ordered))))
+        return self.hedge_multiplier * ordered[idx]
+
+    def _launch_hedges(self) -> None:
+        """Back up slow attempts running on suspected nodes.
+
+        A hedge generalises speculation: instead of waiting for most of the
+        stage to finish, it fires as soon as (a) the attempt's runtime
+        crosses an adaptive percentile of the stage's completed durations
+        and (b) the hosting node is *suspected* — the detector's gray zone
+        or a non-closed breaker.  The backup always lands on a different
+        node; first finisher wins, the loser is killed.
+        """
+        if self._hedge_wakeup is not None:
+            self._hedge_wakeup.cancel()
+            self._hedge_wakeup = None
+        free = [
+            e
+            for e in self.executors
+            if e.free_slots > 0 and not self._blacklisted(e.node_id)
+        ]
+        if not free:
+            return
+        now = self.sim.now
+        next_check: Optional[float] = None
+        for task_id, attempts in list(self._attempts.items()):
+            if not free:
+                break
+            if len(attempts) != 1:
+                continue  # already backed up (hedge or speculation)
+            attempt = attempts[0]
+            node_id = attempt.executor.node_id
+            if not self._node_suspected(node_id):
+                continue
+            threshold = self._hedge_threshold(attempt.task)
+            if threshold is None:
+                continue
+            eligible_at = attempt.started_at + threshold
+            if now < eligible_at:
+                if next_check is None or eligible_at < next_check:
+                    next_check = eligible_at
+                continue
+            executor = self._pick_hedge_slot(attempt.task, free, node_id)
+            if executor is None:
+                continue
+            self.hedges_launched += 1
+            if self.timeline is not None:
+                self.timeline.record(
+                    "task.hedge",
+                    attempt.task.task_id,
+                    app=self.app_id,
+                    primary=node_id,
+                    hedge=executor.node_id,
+                )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    HedgeLaunch(
+                        now,
+                        track=executor.node_id,
+                        attrs={
+                            "task": attempt.task.task_id,
+                            "app": self.app_id,
+                            "primary_node": node_id,
+                            "hedge_node": executor.node_id,
+                            "elapsed": now - attempt.started_at,
+                        },
+                    )
+                )
+            self._start_attempt(attempt.task, executor, speculative=True, hedge=True)
+            if executor.free_slots <= 0:
+                free.remove(executor)
+        if next_check is not None and next_check > now:
+            self._hedge_wakeup = self.sim.schedule_at(next_check, self._dispatch)
+
+    def _pick_hedge_slot(
+        self, task: Task, free: List[Executor], primary_node: str
+    ) -> Optional[Executor]:
+        """A free slot off the primary's node, preferring unsuspected hosts."""
+        candidates = [e for e in free if e.node_id != primary_node]
+        if not candidates:
+            return None
+        trusted = [e for e in candidates if not self._node_suspected(e.node_id)]
+        pool = trusted or candidates
+        if task.is_input and task.block is not None:
+            serving = set(self.hdfs.namenode.serving_locations(task.block.block_id))
+            local = [e for e in pool if e.node_id in serving]
+            if local:
+                return local[0]
+        return pool[0]
+
     # ---------------------------------------------------------------- attempts
     def _trace_attempt(
         self, attempt: _Attempt, outcome: str, read_time: Optional[float] = None
@@ -638,10 +860,16 @@ class ApplicationDriver:
             )
         )
 
-    def _start_attempt(self, task: Task, executor: Executor, *, speculative: bool) -> None:
+    def _start_attempt(
+        self, task: Task, executor: Executor, *, speculative: bool, hedge: bool = False
+    ) -> None:
         now = self.sim.now
+        if self.breakers is not None:
+            # Consume the breaker grant (an OPEN breaker past cooldown
+            # transitions to HALF_OPEN here — this launch IS the probe).
+            self.breakers.breaker(executor.node_id).allows_launch(now)
         executor.start_task(task.task_id)
-        attempt = _Attempt(task, executor, speculative, now)
+        attempt = _Attempt(task, executor, speculative, now, hedge)
         self._attempts.setdefault(task.task_id, []).append(attempt)
         if not speculative:
             task.started_at = now
@@ -650,7 +878,7 @@ class ApplicationDriver:
             self.demand_epoch += 1
         if self.timeline is not None:
             self.timeline.record(
-                "task.speculate" if speculative else "task.start",
+                "task.start" if not speculative else ("task.hedge.start" if hedge else "task.speculate"),
                 task.task_id,
                 app=self.app_id,
                 executor=executor.executor_id,
@@ -858,12 +1086,18 @@ class ApplicationDriver:
         task, executor = attempt.task, attempt.executor
         now = self.sim.now
         executor.finish_task(task.task_id)
+        if self.breakers is not None:
+            self.breakers.breaker(executor.node_id).on_success(now)
         attempts = self._attempts.pop(task.task_id, [])
         if attempt in attempts:
             attempts.remove(attempt)
         for loser in attempts:
+            if loser.hedge:
+                self.hedges_lost += 1
             self._kill_attempt(loser)
-        if attempt.speculative:
+        if attempt.hedge:
+            self.hedges_won += 1
+        elif attempt.speculative:
             self.speculative_wins += 1
         # The winning attempt defines the task's recorded outcome.
         task.finished_at = now

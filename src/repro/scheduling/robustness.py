@@ -1,0 +1,246 @@
+"""Retry budgets and circuit breakers — the driver's overload valves.
+
+Unbounded retry loops are how a degraded cluster turns into a thrashing
+one: every failure respawns work against the same sick node, retries
+synchronise, and goodput collapses exactly when capacity is scarcest.
+Two classic primitives bound that feedback:
+
+* :class:`RetryBudget` — a per-job token bucket.  Every retry spends a
+  token; tokens refill at a steady rate up to a cap.  A burst of failures
+  drains the bucket and later retries are *denied* (the task is abandoned
+  as shed work) instead of amplifying the incident.
+* :class:`CircuitBreaker` — a per-node launch gate with the canonical
+  three-state machine: CLOSED (normal) trips OPEN after enough failures in
+  a sliding window; after a cooldown the breaker admits exactly one
+  HALF_OPEN probe; the probe's outcome closes the breaker or re-opens it.
+  Unlike the fixed blacklist it subsumes, a breaker *verifies* recovery
+  with real traffic instead of trusting a timer.
+
+Both are plain deterministic state machines driven by the simulation
+clock passed into every call — they schedule nothing and draw no
+randomness, so enabling them cannot perturb event ordering elsewhere.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["CircuitBreaker", "CircuitBreakerBoard", "RetryBudget"]
+
+#: Breaker states (string-valued for cheap tracing).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class RetryBudget:
+    """Token bucket bounding how many retries a job may spend.
+
+    ``capacity`` tokens are available up front; tokens refill continuously
+    at ``refill_rate`` per second (0 = a hard total budget).  The bucket
+    never holds more than ``capacity``.
+    """
+
+    __slots__ = ("capacity", "refill_rate", "_tokens", "_updated",
+                 "spent", "denied")
+
+    def __init__(self, capacity: int, refill_rate: float = 0.0):
+        if capacity < 1:
+            raise ConfigurationError(f"retry budget must be >= 1, got {capacity}")
+        if refill_rate < 0:
+            raise ConfigurationError(
+                f"refill_rate must be >= 0, got {refill_rate}"
+            )
+        self.capacity = capacity
+        self.refill_rate = refill_rate
+        self._tokens = float(capacity)
+        self._updated = 0.0
+        self.spent = 0
+        self.denied = 0
+
+    def tokens(self, now: float) -> float:
+        """Tokens available at ``now`` (read-only)."""
+        elapsed = max(0.0, now - self._updated)
+        return min(float(self.capacity), self._tokens + elapsed * self.refill_rate)
+
+    def try_spend(self, now: float) -> bool:
+        """Spend one token if available; False means the retry is denied."""
+        self._tokens = self.tokens(now)
+        self._updated = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+
+class CircuitBreaker:
+    """Per-node launch gate: CLOSED → OPEN → HALF_OPEN → CLOSED.
+
+    Failures are counted in a sliding ``window``; ``threshold`` recent
+    failures trip the breaker OPEN for ``cooldown`` seconds.  The first
+    ``allows_launch`` after the cooldown transitions to HALF_OPEN and
+    admits exactly one probe; the next outcome on the node resolves it
+    (success closes, failure re-opens).  The machine never skips
+    HALF_OPEN on the way back to CLOSED — that invariant is what makes
+    recovery *verified* rather than assumed.
+    """
+
+    __slots__ = ("threshold", "window", "cooldown", "state", "_failures",
+                 "_opened_at", "_probe_inflight", "opens", "probes", "closes",
+                 "_on_transition")
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        window: float = 60.0,
+        cooldown: float = 60.0,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        if window <= 0 or cooldown <= 0:
+            raise ConfigurationError("window and cooldown must be positive")
+        self.threshold = threshold
+        self.window = window
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self._failures: Deque[float] = deque()
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.opens = 0
+        self.probes = 0
+        self.closes = 0
+        self._on_transition = on_transition
+
+    def _transition(self, state: str) -> None:
+        prev, self.state = self.state, state
+        if self._on_transition is not None:
+            self._on_transition(prev, state)
+
+    def _trim(self, now: float) -> None:
+        while self._failures and now - self._failures[0] > self.window:
+            self._failures.popleft()
+
+    def would_allow(self, now: float) -> bool:
+        """Read-only probe-preserving form of :meth:`allows_launch`.
+
+        Schedulers filter candidate nodes far more often than they launch;
+        this predicate answers without consuming the half-open probe (or
+        transitioning OPEN → HALF_OPEN), so only a real launch does.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            return now - self._opened_at >= self.cooldown
+        return not self._probe_inflight
+
+    def allows_launch(self, now: float) -> bool:
+        """May the driver place an attempt on this node right now?"""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self._opened_at >= self.cooldown:
+                self._transition(HALF_OPEN)
+                self._probe_inflight = True
+                self.probes += 1
+                return True  # the single half-open probe
+            return False
+        # HALF_OPEN: only the one outstanding probe may run.
+        if not self._probe_inflight:
+            self._probe_inflight = True
+            self.probes += 1
+            return True
+        return False
+
+    def on_failure(self, now: float) -> None:
+        """An attempt on the node failed (launch error or task failure)."""
+        if self.state == HALF_OPEN:
+            self._probe_inflight = False
+            self._failures.clear()
+            self._opened_at = now
+            self.opens += 1
+            self._transition(OPEN)
+            return
+        if self.state == OPEN:
+            return  # already tripped; nothing new to learn
+        self._failures.append(now)
+        self._trim(now)
+        if len(self._failures) >= self.threshold:
+            self._failures.clear()
+            self._opened_at = now
+            self.opens += 1
+            self._transition(OPEN)
+
+    def next_probe_time(self) -> Optional[float]:
+        """When an OPEN breaker will admit its probe (None otherwise).
+
+        HALF_OPEN with the probe in flight resolves on the probe's outcome
+        — an event, not a time — so there is nothing to wake up for.
+        """
+        if self.state == OPEN:
+            return self._opened_at + self.cooldown
+        return None
+
+    def on_success(self, now: float) -> None:
+        """An attempt on the node completed: a half-open probe closes it."""
+        if self.state == HALF_OPEN:
+            self._probe_inflight = False
+            self._failures.clear()
+            self.closes += 1
+            self._transition(CLOSED)
+
+
+class CircuitBreakerBoard:
+    """One breaker per node, created on demand with shared parameters."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        window: float = 60.0,
+        cooldown: float = 60.0,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+    ):
+        self.threshold = threshold
+        self.window = window
+        self.cooldown = cooldown
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._on_transition = on_transition
+
+    def breaker(self, node_id: str) -> CircuitBreaker:
+        """The (created-on-demand) breaker guarding one node."""
+        breaker = self._breakers.get(node_id)
+        if breaker is None:
+            hook = None
+            if self._on_transition is not None:
+                callback = self._on_transition
+                hook = lambda prev, state: callback(node_id, prev, state)  # noqa: E731
+            breaker = CircuitBreaker(
+                threshold=self.threshold,
+                window=self.window,
+                cooldown=self.cooldown,
+                on_transition=hook,
+            )
+            self._breakers[node_id] = breaker
+        return breaker
+
+    def __iter__(self):
+        return iter(self._breakers.items())
+
+    def open_count(self) -> int:
+        """Breakers not currently CLOSED (OPEN or HALF_OPEN)."""
+        return sum(1 for b in self._breakers.values() if b.state != CLOSED)
+
+    def totals(self) -> Dict[str, int]:
+        """Aggregate transition counters across all nodes."""
+        return {
+            "opens": sum(b.opens for b in self._breakers.values()),
+            "probes": sum(b.probes for b in self._breakers.values()),
+            "closes": sum(b.closes for b in self._breakers.values()),
+        }

@@ -1,0 +1,123 @@
+"""Gray fault kinds through the injector: link flaps and correlated crashes."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import CorrelatedFailure, FaultPlan, LinkFlap, NodeFailure
+from repro.hdfs.filesystem import HDFS
+from repro.network.fabric import NetworkFabric
+from repro.simulation.engine import Simulation
+
+pytestmark = [pytest.mark.faults, pytest.mark.robustness]
+
+
+def make_injector(plan, num_nodes=4):
+    sim = Simulation()
+    fabric = NetworkFabric(sim)
+    cluster = Cluster(ClusterConfig(num_nodes=num_nodes), fabric=fabric)
+    hdfs = HDFS(cluster)
+    return sim, cluster, FaultInjector(sim, cluster, hdfs, plan, fabric=fabric)
+
+
+class TestLinkFlap:
+    def test_reachability_tracks_down_windows(self):
+        plan = FaultPlan(
+            [LinkFlap(at=10.0, node_id="worker-000", duration=10.0, period=4.0,
+                      down_fraction=0.5)]
+        )
+        sim, _, injector = make_injector(plan)
+        # Down phases [10,12), [14,16), [18,20): reachability mirrors them.
+        expectations = [
+            (11.0, False), (13.0, True), (15.0, False),
+            (17.0, True), (19.0, False), (21.0, True),
+        ]
+        for t, up_expected in expectations:
+            sim.run(until=t)
+            assert injector.node_reachable("worker-000") is up_expected, t
+            assert injector.link_flapping("worker-000") is not up_expected, t
+
+    def test_flap_mttr_spans_the_episode(self):
+        plan = FaultPlan(
+            [LinkFlap(at=10.0, node_id="worker-000", duration=10.0, period=4.0,
+                      down_fraction=0.5)]
+        )
+        sim, _, injector = make_injector(plan)
+        sim.run(until=30.0)
+        # One healed episode, measured from injection to the last up edge.
+        assert injector.mttr["flap"] == [10.0]
+        assert injector.injected == 1
+
+    def test_flap_never_crashes_the_node(self):
+        plan = FaultPlan(
+            [LinkFlap(at=5.0, node_id="worker-000", duration=8.0, period=4.0,
+                      down_fraction=0.5)]
+        )
+        sim, cluster, injector = make_injector(plan)
+        sim.run(until=6.0)
+        assert not injector.node_down("worker-000")  # unreachable != dead
+        assert all(e.healthy for e in cluster.executors_on("worker-000"))
+
+
+class TestCorrelatedFailure:
+    def test_group_crashes_and_restores_together(self):
+        plan = FaultPlan(
+            [CorrelatedFailure(at=5.0, node_ids=("worker-000", "worker-001"),
+                               restart_delay=10.0)]
+        )
+        sim, cluster, injector = make_injector(plan)
+        sim.run(until=6.0)
+        assert injector.node_down("worker-000")
+        assert injector.node_down("worker-001")
+        assert not injector.node_down("worker-002")
+        assert not any(e.healthy for e in cluster.executors_on("worker-000"))
+        sim.run(until=16.0)
+        assert not injector.node_down("worker-000")
+        assert not injector.node_down("worker-001")
+        assert all(e.healthy for e in cluster.executors_on("worker-001"))
+        # Every member contributes one repair sample under the group kind.
+        assert injector.mttr["correlated"] == [10.0, 10.0]
+
+    def test_member_already_down_is_not_double_crashed(self):
+        plan = FaultPlan(
+            [
+                NodeFailure(at=5.0, node_id="worker-000", restart_delay=20.0),
+                CorrelatedFailure(at=6.0, node_ids=("worker-000", "worker-001"),
+                                  restart_delay=5.0),
+            ]
+        )
+        sim, _, injector = make_injector(plan)
+        sim.run(until=12.0)
+        # worker-000 keeps its original (longer) outage; worker-001 healed.
+        assert injector.node_down("worker-000")
+        assert not injector.node_down("worker-001")
+        sim.run(until=30.0)
+        assert injector.mttr["node"] == [20.0]
+        assert injector.mttr["correlated"] == [5.0]
+
+
+class TestEndToEnd:
+    def test_gray_plan_drains_under_custody(self):
+        plan = FaultPlan(
+            [
+                LinkFlap(at=8.0, node_id="worker-003", duration=12.0, period=4.0,
+                         down_fraction=0.5),
+                CorrelatedFailure(at=15.0,
+                                  node_ids=("worker-004", "worker-005"),
+                                  restart_delay=12.0),
+            ]
+        )
+        config = ExperimentConfig(
+            manager="custody", workload="sort", num_nodes=12, num_apps=2,
+            jobs_per_app=3, seed=6, detector_timeout=10.0,
+            detector_mode="adaptive", circuit_breaker=True,
+            blacklist_timeout=10.0, hedging=True,
+        )
+        result = run_experiment(config, fault_plan=plan)
+        assert result.metrics.unfinished_jobs == 0
+        injector = result.fault_injector
+        assert injector is not None
+        assert set(injector.mttr) == {"flap", "correlated"}
+        assert all(sample > 0 for kind in injector.mttr.values() for sample in kind)

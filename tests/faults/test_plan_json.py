@@ -1,0 +1,172 @@
+"""FaultPlan JSON round-trip, the gray event types, and the checked fixture."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faults.plan import (
+    CorrelatedFailure,
+    FaultPlan,
+    LinkFlap,
+    NodeFailure,
+    NodeSlowdown,
+)
+
+pytestmark = [pytest.mark.faults, pytest.mark.robustness]
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" / "fault_plan_gray.json"
+
+
+class TestLinkFlap:
+    def test_valid(self):
+        e = LinkFlap(at=10.0, node_id="n0", duration=12.0, period=4.0,
+                     down_fraction=0.5)
+        assert e.down_fraction == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"node_id": ""},
+            {"duration": 0.0},
+            {"period": 0.0},
+            {"down_fraction": 0.0},
+            {"down_fraction": 1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        base = dict(at=1.0, node_id="n0", duration=8.0, period=4.0,
+                    down_fraction=0.5)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            LinkFlap(**base)
+
+    def test_down_windows(self):
+        e = LinkFlap(at=10.0, node_id="n0", duration=10.0, period=4.0,
+                     down_fraction=0.5)
+        # Cycles at 10, 14, 18; each down for 2s; the last clipped at 20.
+        assert e.down_windows() == [(10.0, 12.0), (14.0, 16.0), (18.0, 20.0)]
+
+    def test_down_windows_clip(self):
+        e = LinkFlap(at=0.0, node_id="n0", duration=5.0, period=4.0,
+                     down_fraction=0.75)
+        # Second cycle starts at 4.0 but the flap ends at 5.0.
+        assert e.down_windows() == [(0.0, 3.0), (4.0, 5.0)]
+
+    def test_windows_lie_within_duration(self):
+        e = LinkFlap(at=3.0, node_id="n0", duration=11.0, period=3.5,
+                     down_fraction=0.4)
+        for start, end in e.down_windows():
+            assert 3.0 <= start < end <= 3.0 + 11.0
+
+
+class TestCorrelatedFailure:
+    def test_valid_sorts_and_dedups(self):
+        e = CorrelatedFailure(at=1.0, node_ids=("b", "a", "b"))
+        assert e.node_ids == ("a", "b")
+
+    @pytest.mark.parametrize(
+        "node_ids", [(), ("only",), ("dup", "dup"), ("a", "")]
+    )
+    def test_invalid_members(self, node_ids):
+        with pytest.raises(ConfigurationError):
+            CorrelatedFailure(at=1.0, node_ids=node_ids)
+
+    def test_negative_restart(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedFailure(at=1.0, node_ids=("a", "b"), restart_delay=-1.0)
+
+
+class TestJsonRoundTrip:
+    def _plan(self) -> FaultPlan:
+        plan = FaultPlan()
+        plan.add(NodeFailure(at=5.0, node_id="w0", restart_delay=20.0))
+        plan.add(LinkFlap(at=8.0, node_id="w1", duration=10.0, period=4.0,
+                          down_fraction=0.5))
+        plan.add(CorrelatedFailure(at=12.0, node_ids=("w2", "w3"),
+                                   restart_delay=9.0))
+        return plan
+
+    def test_round_trip_identity(self):
+        plan = self._plan()
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.events == plan.events
+
+    def test_validate_returns_self(self):
+        plan = self._plan()
+        assert plan.validate() is plan
+
+    def test_unsorted_json_normalised(self):
+        # The constructor time-sorts, so hand-shuffled artifacts load into
+        # the canonical order instead of erroring.
+        text = self._plan().to_json()
+        doc = json.loads(text)
+        doc["events"].reverse()
+        restored = FaultPlan.from_json(json.dumps(doc))
+        assert [e.at for e in restored.events] == [5.0, 8.0, 12.0]
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json("{not json")
+
+    def test_unsupported_version_rejected(self):
+        doc = json.loads(self._plan().to_json())
+        doc["version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            FaultPlan.from_json(json.dumps(doc))
+
+    def test_unknown_kind_rejected(self):
+        doc = json.loads(self._plan().to_json())
+        doc["events"][0]["kind"] = "MeteorStrike"
+        with pytest.raises(ConfigurationError, match="MeteorStrike"):
+            FaultPlan.from_json(json.dumps(doc))
+
+    def test_bad_field_rejected(self):
+        doc = json.loads(self._plan().to_json())
+        doc["events"][0]["warp_factor"] = 9
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json(json.dumps(doc))
+
+    def test_invalid_event_value_rejected(self):
+        doc = json.loads(self._plan().to_json())
+        doc["events"][1]["down_fraction"] = 2.0
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json(json.dumps(doc))
+
+    def test_missing_events_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json(json.dumps({"version": 1}))
+
+
+class TestFixture:
+    def test_fixture_loads_and_round_trips(self):
+        text = FIXTURE.read_text()
+        plan = FaultPlan.from_json(text)
+        assert len(plan.events) == 8
+        kinds = [type(e).__name__ for e in plan.events]
+        # One of every event type, including the gray kinds.
+        assert kinds == [
+            "NodeFailure", "NetworkPartition", "LinkDegradation",
+            "ExecutorFailure", "NodeSlowdown", "DiskFailure",
+            "LinkFlap", "CorrelatedFailure",
+        ]
+        # Serialising again reproduces the fixture byte-for-byte (modulo
+        # the trailing newline the file carries).
+        assert plan.to_json() == text.rstrip("\n")
+
+    def test_fixture_gray_payloads(self):
+        plan = FaultPlan.from_json(FIXTURE.read_text())
+        flap = next(e for e in plan.events if isinstance(e, LinkFlap))
+        assert flap.down_windows()[0] == (18.0, 20.0)
+        corr = next(e for e in plan.events if isinstance(e, CorrelatedFailure))
+        assert corr.node_ids == ("worker-008", "worker-009", "worker-010")
+
+
+def test_slowdown_round_trip_preserves_defaults():
+    plan = FaultPlan()
+    plan.add(NodeSlowdown(at=3.0, node_id="w9", duration=5.0, factor=2.5))
+    restored = FaultPlan.from_json(plan.to_json())
+    event = restored.events[0]
+    assert isinstance(event, NodeSlowdown)
+    assert event.factor == 2.5

@@ -1,0 +1,168 @@
+"""RetryBudget / CircuitBreaker state-machine unit tests."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.scheduling.robustness import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitBreakerBoard,
+    RetryBudget,
+)
+
+pytestmark = pytest.mark.robustness
+
+
+class TestRetryBudget:
+    def test_hard_budget_spend_and_deny(self):
+        budget = RetryBudget(capacity=2)
+        assert budget.try_spend(0.0)
+        assert budget.try_spend(1.0)
+        assert not budget.try_spend(2.0)
+        assert budget.spent == 2
+        assert budget.denied == 1
+
+    def test_refill_restores_tokens(self):
+        budget = RetryBudget(capacity=2, refill_rate=0.5)
+        assert budget.try_spend(0.0)
+        assert budget.try_spend(0.0)
+        assert not budget.try_spend(0.0)
+        # 2 seconds x 0.5/s = 1 token back.
+        assert budget.try_spend(2.0)
+        assert not budget.try_spend(2.0)
+
+    def test_refill_caps_at_capacity(self):
+        budget = RetryBudget(capacity=3, refill_rate=10.0)
+        assert budget.tokens(100.0) == 3.0
+
+    def test_tokens_is_read_only(self):
+        budget = RetryBudget(capacity=1, refill_rate=1.0)
+        assert budget.try_spend(0.0)
+        before = budget.tokens(0.5)
+        assert budget.tokens(0.5) == before  # repeated reads don't drain
+
+    @pytest.mark.parametrize("kwargs", [{"capacity": 0}, {"refill_rate": -1.0}])
+    def test_invalid(self, kwargs):
+        base = dict(capacity=3, refill_rate=0.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            RetryBudget(**base)
+
+
+class TestCircuitBreaker:
+    def _tripped(self, **kwargs) -> CircuitBreaker:
+        breaker = CircuitBreaker(threshold=3, window=60.0, cooldown=10.0, **kwargs)
+        for t in (0.0, 1.0, 2.0):
+            breaker.on_failure(t)
+        assert breaker.state == OPEN
+        return breaker
+
+    def test_trips_after_threshold_in_window(self):
+        breaker = CircuitBreaker(threshold=3, window=60.0, cooldown=10.0)
+        breaker.on_failure(0.0)
+        breaker.on_failure(1.0)
+        assert breaker.state == CLOSED
+        breaker.on_failure(2.0)
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+
+    def test_old_failures_age_out(self):
+        breaker = CircuitBreaker(threshold=3, window=5.0, cooldown=10.0)
+        breaker.on_failure(0.0)
+        breaker.on_failure(1.0)
+        breaker.on_failure(30.0)  # the first two are long expired
+        assert breaker.state == CLOSED
+
+    def test_open_denies_until_cooldown(self):
+        breaker = self._tripped()
+        assert not breaker.allows_launch(5.0)
+        assert not breaker.would_allow(5.0)
+        assert breaker.next_probe_time() == 12.0  # opened at 2.0 + cooldown 10
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = self._tripped()
+        assert breaker.allows_launch(13.0)  # the probe
+        assert breaker.state == HALF_OPEN
+        assert breaker.probes == 1
+        assert not breaker.allows_launch(13.5)  # second launch denied
+        assert not breaker.would_allow(13.5)
+
+    def test_probe_success_closes(self):
+        breaker = self._tripped()
+        assert breaker.allows_launch(13.0)
+        breaker.on_success(14.0)
+        assert breaker.state == CLOSED
+        assert breaker.closes == 1
+        # A closed breaker needs a fresh threshold of failures to re-trip.
+        breaker.on_failure(15.0)
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker = self._tripped()
+        assert breaker.allows_launch(13.0)
+        breaker.on_failure(14.0)
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        assert breaker.next_probe_time() == 24.0
+
+    def test_would_allow_never_mutates(self):
+        breaker = self._tripped()
+        assert breaker.would_allow(13.0)  # cooldown elapsed
+        assert breaker.state == OPEN  # ...but no transition happened
+        assert breaker.probes == 0
+
+    def test_success_when_closed_is_noop(self):
+        breaker = CircuitBreaker()
+        breaker.on_success(1.0)
+        assert breaker.state == CLOSED
+        assert breaker.closes == 0
+
+    def test_transition_hook_sees_every_edge(self):
+        seen = []
+        breaker = self._tripped(on_transition=lambda p, s: seen.append((p, s)))
+        assert breaker.allows_launch(13.0)
+        breaker.on_success(14.0)
+        assert seen == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"threshold": 0}, {"window": 0.0}, {"cooldown": 0.0}]
+    )
+    def test_invalid(self, kwargs):
+        base = dict(threshold=3, window=60.0, cooldown=60.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(**base)
+
+
+class TestCircuitBreakerBoard:
+    def test_lazy_per_node(self):
+        board = CircuitBreakerBoard(threshold=1, window=10.0, cooldown=5.0)
+        a = board.breaker("node-a")
+        assert board.breaker("node-a") is a
+        assert board.breaker("node-b") is not a
+
+    def test_totals_and_open_count(self):
+        board = CircuitBreakerBoard(threshold=1, window=10.0, cooldown=5.0)
+        board.breaker("a").on_failure(0.0)
+        board.breaker("b").on_failure(0.0)
+        assert board.open_count() == 2
+        assert board.totals() == {"opens": 2, "probes": 0, "closes": 0}
+        assert board.breaker("a").allows_launch(6.0)
+        board.breaker("a").on_success(7.0)
+        assert board.open_count() == 1
+        assert board.totals() == {"opens": 2, "probes": 1, "closes": 1}
+
+    def test_transition_hook_carries_node_id(self):
+        seen = []
+        board = CircuitBreakerBoard(
+            threshold=1, window=10.0, cooldown=5.0,
+            on_transition=lambda node, p, s: seen.append((node, p, s)),
+        )
+        board.breaker("node-x").on_failure(0.0)
+        assert seen == [("node-x", CLOSED, OPEN)]

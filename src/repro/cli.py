@@ -19,6 +19,12 @@ Commands
     One fully traced run (optionally under a chaos fault plan), exported as
     Chrome/Perfetto ``trace_event`` JSON — open the file in
     ``ui.perfetto.dev``.  ``--smoke`` is the observability CI gate.
+``report``
+    Render a metrics-snapshot scoreboard with SLO verdicts, or diff two
+    snapshots with per-metric tolerances (nonzero exit on drift).
+    ``--smoke`` is the metrics CI gate: a fixed chaos run with the
+    registry on, SLOs evaluated and the Prometheus exposition
+    round-tripped.
 
 Examples::
 
@@ -29,6 +35,9 @@ Examples::
     python -m repro perf --flows 100,1000,10000 --events 30
     python -m repro chaos --levels 0,1,2 --nodes 20 --detector-timeout 15
     python -m repro trace --manager custody --faults 1 --out run.trace.json --summary
+    python -m repro run --nodes 20 --metrics run.metrics.json
+    python -m repro report run.metrics.json --prom run.prom
+    python -m repro report --diff base.metrics.json pr.metrics.json --tolerance 0.05
 """
 
 from __future__ import annotations
@@ -118,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print a slot-utilization report")
     run_p.add_argument("--perf", action="store_true",
                        help="also print network hot-path perf counters")
+    run_p.add_argument("--metrics", metavar="PATH", default=None,
+                       dest="metrics_out",
+                       help="attach the metrics registry and write its JSON "
+                            "snapshot to PATH (render with 'repro report')")
 
     cmp_p = sub.add_parser("compare", help="compare managers on one trace")
     add_common(cmp_p)
@@ -227,6 +240,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="observability CI gate: small chaos run, "
                               "schema-validate the export, require events "
                               "from all five instrumented layers")
+
+    rep_p = sub.add_parser(
+        "report", help="render or diff metrics snapshots (SLO scoreboard)"
+    )
+    rep_p.add_argument("snapshot", nargs="?", default=None,
+                       help="metrics snapshot JSON to render "
+                            "(from 'repro run --metrics')")
+    rep_p.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                       help="compare two snapshots; exits nonzero when any "
+                            "metric drifts beyond tolerance")
+    rep_p.add_argument("--tolerance", type=float, default=0.05,
+                       help="default symmetric relative tolerance for --diff")
+    rep_p.add_argument("--tol", action="append", default=None,
+                       metavar="PREFIX=TOL",
+                       help="per-metric-prefix tolerance override, e.g. "
+                            "--tol job_completion_seconds=0.2 (repeatable; "
+                            "longest matching prefix wins)")
+    rep_p.add_argument("--slo", metavar="PATH", default=None,
+                       help="evaluate SLO specs from a JSON file "
+                            "({'slos': [...]}); default: built-in smoke "
+                            "objectives")
+    rep_p.add_argument("--out", metavar="PATH", default=None,
+                       help="write the (smoke-run) snapshot JSON to PATH")
+    rep_p.add_argument("--prom", metavar="PATH", default=None,
+                       help="also write the Prometheus text exposition to PATH")
+    rep_p.add_argument("--smoke", action="store_true",
+                       help="metrics CI gate: fixed chaos run with the "
+                            "registry on, default SLOs evaluated, Prometheus "
+                            "exposition round-tripped through the parser")
+    rep_p.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -249,6 +292,7 @@ def _config(args: argparse.Namespace, manager: str) -> ExperimentConfig:
         alloc_coalesce=not getattr(args, "per_event_alloc", False),
         perf_counters=getattr(args, "perf", False),
         trace=getattr(args, "trace", None) is not None,
+        metrics=getattr(args, "metrics_out", None) is not None,
     )
 
 
@@ -297,6 +341,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"\nsaved: {path}")
     if args.trace:
         print(f"trace: {_write_trace(result, args.trace)}")
+    if args.metrics_out and result.registry is not None:
+        from repro.obs.exposition import write_snapshot
+
+        snapshot = result.registry.snapshot(
+            meta={"seed": config.seed, "manager": config.manager,
+                  "workload": config.workload},
+            timeseries=result.sampler.as_dict() if result.sampler else None,
+        )
+        print(f"metrics: {write_snapshot(snapshot, args.metrics_out)}")
     if args.json_out:
         _emit_json(result_to_dict(result), args.json_out)
     return 0
@@ -715,6 +768,133 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tol_overrides(entries: Optional[Sequence[str]]) -> dict:
+    overrides = {}
+    for entry in entries or []:
+        prefix, sep, raw = entry.partition("=")
+        if not sep or not prefix:
+            raise ValueError(
+                f"--tol expects PREFIX=TOLERANCE, got {entry!r}"
+            )
+        overrides[prefix] = float(raw)
+    return overrides
+
+
+def _report_smoke_snapshot(seed: int) -> dict:
+    """Run the fixed chaos scenario with the registry on; return a snapshot.
+
+    Mirrors the ``trace --smoke`` scenario so the metrics gate measures a
+    run with real faults, recovery traffic and all five layers active.
+    """
+    import numpy as np
+
+    from repro.faults.chaos import build_chaos_plan
+
+    config = ExperimentConfig(
+        manager="custody",
+        workload="wordcount",
+        num_nodes=12,
+        num_apps=2,
+        jobs_per_app=2,
+        seed=seed,
+        detector_timeout=10.0,
+        metrics=True,
+        trace=True,
+    )
+    rng = np.random.default_rng([config.seed, 7919, 1])
+    fault_plan = build_chaos_plan(
+        config.num_nodes, config.executors_per_node, rng,
+        node_failures=1, partitions=1, degradations=1,
+        executor_failures=1, slowdowns=1, horizon=40.0,
+    )
+    result = run_experiment(config, fault_plan=fault_plan)
+    assert result.registry is not None
+    return result.registry.snapshot(
+        meta={"seed": config.seed, "manager": config.manager,
+              "workload": config.workload, "smoke": True},
+        timeseries=result.sampler.as_dict() if result.sampler else None,
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_snapshots, render_scoreboard
+    from repro.obs.exposition import (
+        load_snapshot,
+        parse_prometheus,
+        to_prometheus,
+        write_snapshot,
+    )
+    from repro.obs.slo import default_slos, evaluate_slos, load_slo_specs
+
+    if args.diff:
+        try:
+            overrides = _parse_tol_overrides(args.tol)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        a, b = (load_snapshot(p) for p in args.diff)
+        report = diff_snapshots(
+            a, b, tolerance=args.tolerance, overrides=overrides
+        )
+        print(report.describe())
+        return 0 if report.passed else 1
+
+    if args.smoke:
+        snapshot = _report_smoke_snapshot(args.seed)
+    elif args.snapshot:
+        snapshot = load_snapshot(args.snapshot)
+    else:
+        print("error: give a snapshot path, --diff A B, or --smoke",
+              file=sys.stderr)
+        return 2
+
+    print(render_scoreboard(snapshot))
+    specs = load_slo_specs(args.slo) if args.slo else default_slos()
+    slo_report = evaluate_slos(specs, snapshot)
+    print()
+    print(slo_report.describe())
+
+    exposition = to_prometheus(snapshot)
+    if args.out:
+        print(f"\nsnapshot: {write_snapshot(snapshot, args.out)}")
+    if args.prom:
+        Path(args.prom).write_text(exposition)
+        print(f"prometheus: {args.prom}")
+
+    if args.smoke:
+        problems = []
+        if not slo_report.passed:
+            problems.extend(
+                f"SLO failed: {v.describe()}"
+                for v in slo_report.verdicts if not v.passed
+            )
+        parsed = parse_prometheus(exposition)
+        exported = {m["name"] for m in snapshot["metrics"]}
+        if set(parsed) != exported:
+            problems.append(
+                "Prometheus round-trip lost families: "
+                f"{sorted(exported ^ set(parsed))}"
+            )
+        required = {
+            "alloc_rounds_total",          # managers
+            "task_launches_total",         # driver
+            "net_rate_recomputes_total",   # network engines
+            "faults_injected_total",       # faults/detector
+            "job_arrivals_total",          # workload/queue
+        }
+        missing = sorted(required - exported)
+        if missing:
+            problems.append(f"no metrics from layers: {missing}")
+        if problems:
+            print("\nmetrics smoke FAILED:", file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        print("\nmetrics smoke passed: all five layers exported, SLOs met, "
+              "exposition round-trips through the parser.")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -727,6 +907,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "validate": _cmd_validate,
         "trace": _cmd_trace,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -71,6 +71,7 @@ class ExperimentConfig:
     perf_counters: bool = False  # collect PerfCounters from the engine hot paths
     trace: bool = False  # attach a repro.obs Tracer (ring sink) to the run
     trace_sample_interval: float = 5.0  # sim-seconds between time-series samples
+    metrics: bool = False  # attach a label-aware MetricsRegistry to every layer
     # ------------------------------------------------ failure-handling knobs
     heartbeat_interval: float = 3.0  # worker heartbeat period (seconds)
     detector_timeout: Optional[float] = None  # None: managers see ground truth

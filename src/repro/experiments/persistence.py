@@ -28,20 +28,24 @@ __all__ = [
     "load_timeline_records",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Versions ``load_result`` still understands (v1 lacked the nested
+#: per-section ``format_version`` markers and derived metric fields).
+_READABLE_VERSIONS = (1, 2)
 
 
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
     """The JSON-serialisable projection of a result.
 
-    ``perf`` and ``faults`` appear only when the run collected them
-    (``load_result`` reads its fixed keys and passes these through
-    untouched, so their presence does not bump the format version).
+    ``perf``, ``faults`` and ``metrics_snapshot`` appear only when the run
+    collected them (``load_result`` reads its fixed keys and passes these
+    through untouched, so their presence does not bump the format version).
+    Each nested section carries its own ``format_version`` marker.
     """
     payload = {
         "format_version": _FORMAT_VERSION,
         "config": asdict(result.config),
-        "metrics": asdict(result.metrics),
+        "metrics": result.metrics.as_dict(),
         "sim_time": result.sim_time,
         "allocation_rounds": result.allocation_rounds,
         "speculative_launches": result.speculative_launches,
@@ -51,6 +55,10 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
         payload["perf"] = result.perf.as_dict()
     if result.faults is not None:
         payload["faults"] = result.faults.as_dict()
+    if result.registry is not None:
+        payload["metrics_snapshot"] = result.registry.snapshot(
+            meta={"seed": result.config.seed, "manager": result.config.manager}
+        )
     return payload
 
 
@@ -69,12 +77,16 @@ def load_result(path: Union[str, Path]) -> Dict[str, Any]:
     """
     data = json.loads(Path(path).read_text())
     version = data.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ConfigurationError(
             f"unsupported result format version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
+            f"(expected one of {_READABLE_VERSIONS})"
         )
     metrics_raw = dict(data["metrics"])
+    # v2 sections carry markers and derived fields that are not
+    # constructor arguments; strip them before rebuilding the dataclass.
+    metrics_raw.pop("format_version", None)
+    metrics_raw.pop("min_local_job_fraction", None)
     metrics_raw["local_job_fraction_per_app"] = tuple(
         metrics_raw["local_job_fraction_per_app"]
     )
@@ -85,6 +97,7 @@ def load_result(path: Union[str, Path]) -> Dict[str, Any]:
         "allocation_rounds": data["allocation_rounds"],
         "speculative_launches": data.get("speculative_launches", 0),
         "speculative_wins": data.get("speculative_wins", 0),
+        "metrics_snapshot": data.get("metrics_snapshot"),
     }
 
 

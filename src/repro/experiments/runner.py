@@ -47,6 +47,7 @@ from repro.metrics.collector import (
 )
 from repro.network.fabric import NetworkFabric
 from repro.obs.events import DRIVER, ENGINE, NETWORK
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.sinks import RingSink
 from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.tracer import Tracer
@@ -87,6 +88,7 @@ class ExperimentResult:
     tracer: Optional[Tracer] = None
     trace_events: Optional[list] = None
     sampler: Optional[TimeSeriesSampler] = None
+    registry: Optional[MetricsRegistry] = None
 
 
 def _make_placement(config: ExperimentConfig) -> PlacementPolicy:
@@ -122,6 +124,7 @@ def _make_manager(
     timeline: Optional[Timeline],
     tracer: Optional[Tracer] = None,
     perf: Optional[PerfCounters] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ClusterManager:
     weights = None
     if config.app_weights is not None:
@@ -138,6 +141,7 @@ def _make_manager(
             tracer=tracer,
             coalesce=config.alloc_coalesce,
             counters=perf,
+            metrics=metrics,
         )
     if config.manager == "yarn":
         return YarnManager(
@@ -149,6 +153,7 @@ def _make_manager(
             tracer=tracer,
             coalesce=config.alloc_coalesce,
             counters=perf,
+            metrics=metrics,
         )
     if config.manager == "mesos":
         return MesosManager(
@@ -161,6 +166,7 @@ def _make_manager(
             tracer=tracer,
             coalesce=config.alloc_coalesce,
             counters=perf,
+            metrics=metrics,
         )
     return CustodyManager(
         sim,
@@ -174,6 +180,7 @@ def _make_manager(
         alloc_engine=config.alloc_engine,
         coalesce=config.alloc_coalesce,
         counters=perf,
+        metrics=metrics,
     )
 
 
@@ -266,12 +273,18 @@ def run_experiment(
         tracer = Tracer(sinks=[RingSink()])
     if tracer is not None:
         tracer.clock = lambda: sim.now
+    registry: Optional[MetricsRegistry] = None
+    metrics = NULL_METRICS
+    if config.metrics:
+        registry = MetricsRegistry(clock=lambda: sim.now)
+        metrics = registry
     fabric = NetworkFabric(
         sim,
         timeline=timeline if config.timeline_enabled else None,
         engine=config.network_engine,
         counters=perf,
         tracer=tracer,
+        metrics=metrics,
     )
     cluster = Cluster(
         ClusterConfig(
@@ -326,7 +339,7 @@ def run_experiment(
             input_fraction=config.kmn_fraction,
         )
 
-    manager = _make_manager(config, sim, cluster, streams, timeline, tracer, perf)
+    manager = _make_manager(config, sim, cluster, streams, timeline, tracer, perf, metrics)
     if config.admission_control:
         manager.attach_admission(
             AdmissionController(
@@ -346,6 +359,7 @@ def run_experiment(
                     suspect_after=config.detector_suspect_after,
                     dead_after=config.detector_dead_after,
                     tracer=tracer,
+                    metrics=metrics,
                 )
             else:
                 detector = FailureDetector(
@@ -353,6 +367,7 @@ def run_experiment(
                     interval=config.heartbeat_interval,
                     timeout=config.detector_timeout,
                     tracer=tracer,
+                    metrics=metrics,
                 )
         injector = FaultInjector(
             sim, cluster, hdfs, fault_plan,
@@ -362,6 +377,7 @@ def run_experiment(
             network_timeout=config.network_timeout,
             re_replication_parallelism=config.re_replication_parallelism,
             tracer=tracer,
+            metrics=metrics,
         )
         injector.bind_manager(manager)
         manager.fault_injector = injector
@@ -397,6 +413,7 @@ def run_experiment(
             hedge_quantile=config.hedge_quantile,
             hedge_multiplier=config.hedge_multiplier,
             tracer=tracer,
+            metrics=metrics,
         )
         drivers[app_id] = driver
         manager.register_driver(driver)
@@ -417,6 +434,8 @@ def run_experiment(
         if nxt is None or nxt > max_sim_time:
             break
         sim.step()
+    if sampler is not None:
+        sampler.flush()
     if sim.pending_events:
         # Hit the safety cap with work still queued: surface it loudly for
         # configurations that are *expected* to finish.
@@ -430,7 +449,17 @@ def run_experiment(
             )
 
     apps = [drivers[a].app for a in config.app_ids]
-    metrics = MetricsCollector().collect(apps)
+    summary = MetricsCollector().collect(apps)
+    if registry is not None:
+        for name, help_, value in (
+            ("run_jobs_finished", "Jobs completed by quiescence.", summary.finished_jobs),
+            ("run_jobs_unfinished", "Jobs left unfinished at quiescence.", summary.unfinished_jobs),
+            ("run_locality_mean", "Mean per-job input locality.", summary.locality_mean),
+            ("run_locality_min", "Worst per-job input locality.", summary.locality_min),
+            ("run_fairness_index", "Jain's index over per-app local-job fractions.", summary.fairness_index),
+            ("run_sim_time", "Virtual seconds simulated.", sim.now),
+        ):
+            registry.gauge(name, help_).set(value)
     faults: Optional[FaultStats] = None
     if injector is not None:
         breaker_totals = {"opens": 0, "probes": 0, "closes": 0}
@@ -484,7 +513,7 @@ def run_experiment(
         )
     return ExperimentResult(
         config=config,
-        metrics=metrics,
+        metrics=summary,
         apps=apps,
         sim_time=sim.now,
         allocation_rounds=manager.allocation_rounds,
@@ -498,4 +527,5 @@ def run_experiment(
         tracer=tracer,
         trace_events=tracer.events() if tracer is not None else None,
         sampler=sampler,
+        registry=registry,
     )

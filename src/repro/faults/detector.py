@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.obs.events import HeartbeatMiss, SuspicionChange
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.engine import Simulation
 
@@ -99,6 +100,7 @@ class FailureDetector:
         interval: float = 3.0,
         timeout: float = 15.0,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if interval <= 0:
             raise ConfigurationError(f"heartbeat interval must be positive, got {interval}")
@@ -110,6 +112,11 @@ class FailureDetector:
         self.interval = interval
         self.timeout = timeout
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_reports = self.metrics.counter(
+            "detector_reports_total",
+            "Failed-launch reports fed back to the failure detector.",
+        )
         self._history: Dict[str, NodeHealthHistory] = {}
         #: node id → last time a failed launch was reported against it
         self._reported: Dict[str, float] = {}
@@ -158,6 +165,7 @@ class FailureDetector:
         succeeds (the node actually recovered)."""
         self._reported[node_id] = max(self._reported.get(node_id, 0.0), self.sim.now)
         self.reported_failures += 1
+        self._m_reports.inc()
         if self.tracer.enabled:
             self.tracer.emit(
                 HeartbeatMiss(self.sim.now, track=node_id, attrs={"node": node_id})
@@ -247,6 +255,7 @@ class AdaptiveFailureDetector(FailureDetector):
         dead_after: float = 8.0,
         window: int = 8,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if suspect_after <= 1.0:
             raise ConfigurationError(
@@ -261,8 +270,25 @@ class AdaptiveFailureDetector(FailureDetector):
         # ``timeout`` doubles as the nominal detection delay consumers
         # (re-replication scheduling) plan around: dead_after healthy gaps.
         super().__init__(
-            sim, interval=interval, timeout=dead_after * interval, tracer=tracer
+            sim,
+            interval=interval,
+            timeout=dead_after * interval,
+            tracer=tracer,
+            metrics=metrics,
         )
+        self._m_suspicion = self.metrics.counter(
+            "suspicion_changes_total",
+            "Belief transitions observed by detector queries, by new state.",
+            ("state",),
+        )
+        _verdicts = self.metrics.counter(
+            "detector_verdicts_total",
+            "Detection accuracy scoring (true/false positives, misses).",
+            ("verdict",),
+        )
+        self._m_verdict_tp = _verdicts.labels(verdict="true_positive")
+        self._m_verdict_fp = _verdicts.labels(verdict="false_positive")
+        self._m_verdict_fn = _verdicts.labels(verdict="false_negative")
         self.suspect_after = suspect_after
         self.dead_after = dead_after
         self.window = window
@@ -322,8 +348,10 @@ class AdaptiveFailureDetector(FailureDetector):
         if hist is not None and not hist.is_out:
             if self._last_state.get(node_id) == "dead":
                 self.true_positives += 1
+                self._m_verdict_tp.inc()
             else:
                 self.false_negatives += 1
+                self._m_verdict_fn.inc()
 
     # ----------------------------------------------------- emission-clock math
     def _segments(self, node_id: str) -> List[Tuple[float, float, float]]:
@@ -439,6 +467,7 @@ class AdaptiveFailureDetector(FailureDetector):
         if state == prev:
             return
         self._last_state[node_id] = state
+        self._m_suspicion.labels(state=state).inc()
         if state == "suspected":
             self.suspicions += 1
         elif state == "dead":
@@ -447,6 +476,7 @@ class AdaptiveFailureDetector(FailureDetector):
                 pass  # scored at end_outage (true positive if still believed)
             else:
                 self.false_positives += 1
+                self._m_verdict_fp.inc()
         if self.tracer.enabled:
             self.tracer.emit(
                 SuspicionChange(

@@ -40,6 +40,7 @@ from repro.faults.plan import (
 from repro.hdfs.filesystem import HDFS
 from repro.network.fabric import NetworkFabric
 from repro.obs.events import FaultHealed, FaultInjected, RecoveryFlow
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.engine import Simulation
 from repro.simulation.process import Process
@@ -80,6 +81,7 @@ class FaultInjector:
         network_timeout: float = 30.0,
         re_replication_parallelism: int = 4,
         tracer: Optional[Tracer] = None,
+        metrics=None,
     ):
         if network_timeout <= 0:
             raise ConfigurationError(
@@ -98,6 +100,17 @@ class FaultInjector:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fabric = fabric
         self.detector = detector
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_injected = self.metrics.counter(
+            "faults_injected_total",
+            "Fault events fired, by fault kind.",
+            ("kind",),
+        )
+        self._m_healed = self.metrics.counter(
+            "faults_healed_total",
+            "Fault recoveries completed, by fault kind.",
+            ("kind",),
+        )
         self.network_timeout = network_timeout
         self.re_replication_parallelism = re_replication_parallelism
         self.manager: Optional["ClusterManager"] = None
@@ -241,6 +254,7 @@ class FaultInjector:
     # -------------------------------------------------------------- tracing
     def _trace_fault(self, kind: str, target: str, *, healed: bool = False, **attrs) -> None:
         """Emit a FaultInjected/FaultHealed instant on the target's track."""
+        (self._m_healed if healed else self._m_injected).labels(kind=kind).inc()
         if not self.tracer.enabled:
             return
         cls = FaultHealed if healed else FaultInjected

@@ -66,6 +66,16 @@ class AdmissionController:
     def bind(self, manager: "ClusterManager") -> None:
         """Attach to the owning manager (needed for demand/capacity views)."""
         self.manager = manager
+        decisions = manager.metrics.counter(
+            "admission_decisions_total",
+            "Admission-control outcomes (deferred / shed re-checks / "
+            "admitted-after-defer).",
+            ("manager", "decision"),
+        )
+        self._m_decisions = {
+            decision: decisions.labels(manager=manager.name, decision=decision)
+            for decision in ("deferred", "shed", "admitted")
+        }
 
     @property
     def deferred_jobs(self) -> int:
@@ -158,6 +168,7 @@ class AdmissionController:
     ) -> None:
         manager = self.manager
         assert manager is not None
+        self._m_decisions[decision].inc()
         if manager.timeline is not None:
             manager.timeline.record(
                 f"admission.{decision}",

@@ -18,6 +18,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.executor import Executor
 from repro.common.errors import AllocationError, ConfigurationError
 from repro.obs.events import AllocationRound, ExecutorGrant
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.engine import Simulation
 from repro.simulation.timeline import Timeline
@@ -46,6 +47,7 @@ class ClusterManager(abc.ABC):
         tracer: Optional[Tracer] = None,
         coalesce: bool = False,
         counters=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if num_apps < 1:
             raise ConfigurationError(f"num_apps must be >= 1, got {num_apps}")
@@ -69,6 +71,25 @@ class ClusterManager(abc.ABC):
         self.coalesce = coalesce
         #: optional :class:`repro.metrics.collector.PerfCounters`
         self.counters = counters
+        #: label-aware aggregation registry (NULL_METRICS when metering is
+        #: off).  Instruments are pre-bound here once so hot paths pay one
+        #: method call, no dict lookups — and a no-op when disabled.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_rounds = self.metrics.counter(
+            "alloc_rounds_total", "Allocation rounds executed.", ("manager",)
+        ).labels(manager=self.name)
+        self._m_rounds_coalesced = self.metrics.counter(
+            "alloc_rounds_coalesced_total",
+            "Same-instant allocation-round triggers absorbed by coalescing.",
+            ("manager",),
+        ).labels(manager=self.name)
+        _grants = self.metrics.counter(
+            "executor_grants_total",
+            "Executor grants attempted, by outcome (ok / dead node).",
+            ("manager", "outcome"),
+        )
+        self._m_grants_ok = _grants.labels(manager=self.name, outcome="ok")
+        self._m_grants_dead = _grants.labels(manager=self.name, outcome="dead")
         self._round_pending = False
         #: set by the experiment runner under fault injection; None otherwise.
         #: The manager's liveness view goes through these — a detector gives
@@ -134,6 +155,7 @@ class ClusterManager(abc.ABC):
             not executor.healthy or not injector.node_reachable(executor.node_id)
         ):
             self.failed_launches += 1
+            self._m_grants_dead.inc()
             if self.detector is not None:
                 self.detector.report_failure(executor.node_id)
             if self.timeline is not None:
@@ -159,6 +181,7 @@ class ClusterManager(abc.ABC):
                 )
             return False
         executor.allocate(driver.app_id)
+        self._m_grants_ok.inc()
         self._note_pool_change(executor)
         if self.timeline is not None:
             self.timeline.record(
@@ -231,6 +254,7 @@ class ClusterManager(abc.ABC):
         if self._round_pending:
             if self.counters is not None:
                 self.counters.alloc_rounds_coalesced += 1
+            self._m_rounds_coalesced.inc()
             return
         self._round_pending = True
         self.sim.defer(("alloc-round", id(self)), self._flush_round)
@@ -241,6 +265,7 @@ class ClusterManager(abc.ABC):
 
     def _run_round(self) -> None:
         """Execute one allocation pass, timing it into the perf counters."""
+        self._m_rounds.inc()
         if self.counters is None:
             self._allocation_round()
             return

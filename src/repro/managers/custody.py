@@ -88,6 +88,7 @@ class CustodyManager(ClusterManager):
         alloc_engine: str = "incremental",
         coalesce: bool = False,
         counters=None,
+        metrics=None,
     ):
         super().__init__(
             sim,
@@ -98,7 +99,16 @@ class CustodyManager(ClusterManager):
             tracer=tracer,
             coalesce=coalesce,
             counters=counters,
+            metrics=metrics,
         )
+        _cache = self.metrics.counter(
+            "demand_cache_requests_total",
+            "Per-round demand builds served from / missing the incremental "
+            "cache.",
+            ("manager", "result"),
+        )
+        self._m_cache_hit = _cache.labels(manager=self.name, result="hit")
+        self._m_cache_miss = _cache.labels(manager=self.name, result="miss")
         self.allocator = DataAwareAllocator(
             fill=fill,
             executor_capacity=cluster.config.executor_slots,
@@ -394,12 +404,14 @@ class CustodyManager(ClusterManager):
                 )
             ):
                 self.demand_cache_hits += 1
+                self._m_cache_hit.inc()
                 if self.counters is not None:
                     self.counters.demand_cache_hits += 1
                 demands.append(entry.demand)
                 fill_limits[driver.app_id] = entry.fill_limit
                 continue
             self.demand_cache_misses += 1
+            self._m_cache_miss.inc()
             if self.counters is not None:
                 self.counters.demand_cache_misses += 1
             epoch = driver.demand_epoch

@@ -47,6 +47,7 @@ class MesosManager(ClusterManager):
         tracer=None,
         coalesce: bool = False,
         counters=None,
+        metrics=None,
     ):
         super().__init__(
             sim,
@@ -57,6 +58,7 @@ class MesosManager(ClusterManager):
             tracer=tracer,
             coalesce=coalesce,
             counters=counters,
+            metrics=metrics,
         )
         if offer_interval <= 0:
             raise ValueError(f"offer_interval must be positive, got {offer_interval}")

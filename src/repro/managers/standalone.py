@@ -52,6 +52,7 @@ class StandaloneManager(ClusterManager):
         tracer=None,
         coalesce: bool = False,
         counters=None,
+        metrics=None,
     ):
         super().__init__(
             sim,
@@ -62,6 +63,7 @@ class StandaloneManager(ClusterManager):
             tracer=tracer,
             coalesce=coalesce,
             counters=counters,
+            metrics=metrics,
         )
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.spread = spread

@@ -70,6 +70,7 @@ class PerfCounters:
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready projection (derived means included)."""
         return {
+            "format_version": 1,
             "flow_events": self.flow_events,
             "reallocations": self.reallocations,
             "recomputes": self.recomputes,
@@ -148,6 +149,7 @@ class FaultStats:
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready projection."""
         return {
+            "format_version": 1,
             "injected": self.injected,
             "tasks_requeued": self.tasks_requeued,
             "failed_attempts": self.failed_attempts,
@@ -217,6 +219,7 @@ class ExperimentMetrics:
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready projection (derived min-fraction included)."""
         return {
+            "format_version": 1,
             "finished_jobs": self.finished_jobs,
             "unfinished_jobs": self.unfinished_jobs,
             "locality_mean": self.locality_mean,

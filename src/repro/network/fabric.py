@@ -37,6 +37,12 @@ from repro.network.bandwidth import LinkCapacities, maxmin_rates
 from repro.network.rate_engine import RateEngine
 from repro.network.transfer import Transfer
 from repro.obs.events import TransferSpan
+from repro.obs.metrics import (
+    NULL_METRICS,
+    RATE_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.engine import EventHandle, Simulation
 from repro.simulation.timeline import Timeline
@@ -73,6 +79,7 @@ class NetworkFabric:
         engine: str = "incremental",
         counters: Optional[object] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if engine not in ("incremental", "reference"):
             raise ConfigurationError(
@@ -82,10 +89,49 @@ class NetworkFabric:
         self.timeline = timeline
         self.counters = counters
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        _events = self.metrics.counter(
+            "net_transfers_total",
+            "Transfer lifecycle events by kind.",
+            ("event",),
+        )
+        self._m_xfer_start = _events.labels(event="start")
+        self._m_xfer_complete = _events.labels(event="complete")
+        self._m_xfer_cancel = _events.labels(event="cancel")
+        self._m_xfer_fail = _events.labels(event="fail")
+        self._m_xfer_stall = _events.labels(event="stall")
+        self._m_xfer_unstall = _events.labels(event="unstall")
+        self._m_bytes = self.metrics.counter(
+            "net_bytes_moved_total", "Bytes delivered by completed transfers."
+        )
+        self._m_rate_hist = self.metrics.histogram(
+            "net_transfer_rate_bytes_per_sec",
+            "Achieved mean transfer rate (size / flow lifetime).",
+            buckets=RATE_BUCKETS,
+        )
+        # The reference allocator recomputes from scratch inside _flush, so
+        # the fabric owns its engine-labelled instruments; the incremental
+        # RateEngine binds (and fills) the engine="incremental" series.
+        self._m_recomputes = self.metrics.counter(
+            "net_rate_recomputes_total",
+            "Water-filling passes executed, by allocator engine.",
+            ("engine",),
+        ).labels(engine=engine)
+        self._m_component = self.metrics.histogram(
+            "net_dirty_component_flows",
+            "Flows re-rated per recompute (dirty-component size).",
+            ("engine",),
+            buckets=SIZE_BUCKETS,
+        ).labels(engine=engine)
         self.capacities = LinkCapacities()
         self.engine_mode = engine
         self._engine: Optional[RateEngine] = (
-            RateEngine(self.capacities, counters=counters, tracer=self.tracer)
+            RateEngine(
+                self.capacities,
+                counters=counters,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
             if engine == "incremental"
             else None
         )
@@ -216,6 +262,7 @@ class NetworkFabric:
             self.tracer.instant(
                 "net.stall", "network", track=src, lane=f"nic:{src}", dst=dst
             )
+            self._m_xfer_stall.inc()
             if self.counters is not None:
                 self.counters.flow_events += 1
             return transfer
@@ -230,6 +277,7 @@ class NetworkFabric:
                         f"flow references unregistered node {node!r}"
                     )
         self._active[transfer.transfer_id] = transfer
+        self._m_xfer_start.inc()
         if self.timeline is not None:
             self.timeline.record(
                 "transfer.start", transfer.transfer_id, src=src, dst=dst, size=size
@@ -246,6 +294,7 @@ class NetworkFabric:
             self._token.pop(transfer.transfer_id, None)
             if self._engine is not None:
                 self._engine.remove_flow(transfer.transfer_id)
+            self._m_xfer_cancel.inc()
             if self.timeline is not None:
                 self.timeline.record("transfer.cancel", transfer.transfer_id)
             if self.counters is not None:
@@ -254,6 +303,7 @@ class NetworkFabric:
         elif transfer.transfer_id in self._stalled:
             _, handle = self._stalled.pop(transfer.transfer_id)
             handle.cancel()
+            self._m_xfer_cancel.inc()
             if self.timeline is not None:
                 self.timeline.record("transfer.cancel", transfer.transfer_id)
             if self.counters is not None:
@@ -268,6 +318,7 @@ class NetworkFabric:
 
     def _record_failure(self, transfer: Transfer, cause: str) -> None:
         self.failed_count += 1
+        self._m_xfer_fail.inc()
         if self.timeline is not None:
             self.timeline.record("transfer.fail", transfer.transfer_id, cause=cause)
         if self.counters is not None:
@@ -341,6 +392,7 @@ class NetworkFabric:
                 lane=f"nic:{transfer.src}",
                 dst=transfer.dst,
             )
+            self._m_xfer_unstall.inc()
             if self.counters is not None:
                 self.counters.flow_events += 1
         if released:
@@ -366,6 +418,10 @@ class NetworkFabric:
                 else []
             )
             changed = [(t.transfer_id, r) for t, r in zip(transfers, rates)]
+            if transfers:
+                # Full recompute: the "dirty component" is every active flow.
+                self._m_recomputes.inc()
+                self._m_component.observe(len(transfers))
         applied = 0
         for transfer_id, rate in changed:
             transfer = self._active.get(transfer_id)
@@ -456,6 +512,11 @@ class NetworkFabric:
             transfer.finished_at = now
             self.completed_count += 1
             self.total_bytes_moved += transfer.size
+            self._m_xfer_complete.inc()
+            self._m_bytes.inc(transfer.size)
+            lifetime = now - transfer.started_at
+            if lifetime > 0:
+                self._m_rate_hist.observe(transfer.size / lifetime)
             if self.counters is not None:
                 self.counters.flow_events += 1
             if self.timeline is not None:

@@ -32,6 +32,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.network.bandwidth import LinkCapacities, maxmin_rates
+from repro.obs.metrics import NULL_METRICS, SIZE_BUCKETS
 
 __all__ = ["RateEngine"]
 
@@ -67,10 +68,24 @@ class RateEngine:
         capacities: LinkCapacities,
         counters: Optional[object] = None,
         tracer: Optional[object] = None,
+        metrics: Optional[object] = None,
     ):
         self.capacities = capacities
         self.counters = counters
         self.tracer = tracer
+        if metrics is None:
+            metrics = NULL_METRICS
+        self._m_recomputes = metrics.counter(
+            "net_rate_recomputes_total",
+            "Water-filling passes executed, by allocator engine.",
+            ("engine",),
+        ).labels(engine="incremental")
+        self._m_component = metrics.histogram(
+            "net_dirty_component_flows",
+            "Flows re-rated per recompute (dirty-component size).",
+            ("engine",),
+            buckets=SIZE_BUCKETS,
+        ).labels(engine="incremental")
         self._flows: Dict[Hashable, Tuple[str, str]] = {}
         self._seq: Dict[Hashable, int] = {}
         self._next_seq = 0
@@ -201,6 +216,9 @@ class RateEngine:
                 self._rates[fid] = rate
                 changed[fid] = rate
 
+        if affected:
+            self._m_recomputes.inc()
+            self._m_component.observe(len(affected))
         if self.counters is not None:
             self.counters.recomputes += 1
             self.counters.flows_touched += len(affected)

@@ -17,6 +17,14 @@ A structured trace layer threaded through the whole simulator:
 * :mod:`repro.obs.report` — human-readable timeline summary (per-phase
   task-time breakdown, top-N slowest jobs with the allocation decisions
   that produced them).
+* :mod:`repro.obs.metrics` — label-aware Counter/Gauge/Histogram registry
+  (fixed-bucket streaming quantiles, :data:`NULL_METRICS` no-op default).
+* :mod:`repro.obs.exposition` — Prometheus text exposition + parser and
+  versioned JSON snapshot persistence.
+* :mod:`repro.obs.slo` — declarative SLO specs with error-budget burn
+  accounting, evaluated against snapshots.
+* :mod:`repro.obs.diff` — snapshot flattening, tolerance-based regression
+  diffs and the ``repro report`` scoreboard renderer.
 
 Every timestamp is virtual (``Simulation.now``); traces are deterministic —
 two runs from the same seed produce identical event streams.
@@ -45,7 +53,18 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.diff import DiffReport, diff_snapshots, flatten_snapshot, render_scoreboard
+from repro.obs.exposition import load_snapshot, parse_prometheus, to_prometheus, write_snapshot
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
 from repro.obs.sinks import JsonlSink, RingSink, TraceSink
+from repro.obs.slo import SloReport, SloSpec, SloVerdict, default_slos, evaluate_slos
 from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -53,7 +72,17 @@ __all__ = [
     "AdmissionDecision",
     "AllocationRound",
     "BreakerTransition",
+    "Counter",
     "CounterEvent",
+    "DiffReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+    "SloReport",
+    "SloSpec",
+    "SloVerdict",
     "ExecutorGrant",
     "FaultHealed",
     "FaultInjected",
@@ -74,6 +103,14 @@ __all__ = [
     "Tracer",
     "TransferSpan",
     "chrome_trace",
+    "default_slos",
+    "diff_snapshots",
+    "evaluate_slos",
+    "flatten_snapshot",
+    "load_snapshot",
+    "parse_prometheus",
+    "render_scoreboard",
+    "to_prometheus",
     "trace_summary",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -1,0 +1,210 @@
+"""Snapshot diffing and the run scoreboard behind ``repro report``.
+
+:func:`flatten_snapshot` projects a snapshot onto scalar keys
+(``name{label=value}`` for counters/gauges; histograms expand to
+``:count``, ``:sum``, ``:mean``, ``:p50``, ``:p90``, ``:p99`` facets).
+:func:`diff_snapshots` compares two flattened snapshots with a
+*symmetric* relative delta — ``|a-b| / max(|a|,|b|)`` — which is defined
+for zero baselines and order-independent, so ``diff A B`` and
+``diff B A`` agree on which metrics are out of tolerance.  Per-metric
+tolerance overrides let noisy families (wall-clock-ish rates) run looser
+than structural counters.  Meta fields (wall time, sim time) never enter
+the diff: only the ``metrics`` section is compared, making reports
+reproducible across machines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "flatten_snapshot",
+    "diff_snapshots",
+    "DiffEntry",
+    "DiffReport",
+    "render_scoreboard",
+]
+
+_HIST_FACETS = ("count", "sum", "mean", "p50", "p90", "p99")
+
+
+def _series_key(name: str, labels: Dict[str, str]) -> str:
+    if not labels:
+        return name
+    body = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+def flatten_snapshot(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """Project the metrics section onto a flat ``{key: scalar}`` map.
+
+    ``None`` facets (empty-histogram quantiles) are dropped rather than
+    zero-filled so "no observations" diffs against "no observations"
+    cleanly and against real data loudly (missing-key mismatch).
+    """
+    flat: Dict[str, float] = {}
+    for family in snapshot.get("metrics", ()):
+        kind = family["type"]
+        for series in family["series"]:
+            key = _series_key(family["name"], series["labels"])
+            if kind in ("counter", "gauge"):
+                flat[key] = float(series["value"])
+                continue
+            for facet in _HIST_FACETS:
+                value = series.get(facet)
+                if value is not None:
+                    flat[f"{key}:{facet}"] = float(value)
+    return flat
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared key: values, symmetric relative delta, verdict."""
+
+    key: str
+    a: Optional[float]
+    b: Optional[float]
+    rel_delta: float  #: inf when present on only one side
+    tolerance: float
+    within: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready entry (inf rel_delta serialised as null)."""
+        return {
+            "key": self.key,
+            "a": self.a,
+            "b": self.b,
+            "rel_delta": None if math.isinf(self.rel_delta) else self.rel_delta,
+            "tolerance": self.tolerance,
+            "within": self.within,
+        }
+
+    def describe(self) -> str:
+        """One ok/DRIFT line for this key."""
+        fmt = lambda v: "-" if v is None else f"{v:g}"  # noqa: E731
+        rel = "one-sided" if math.isinf(self.rel_delta) else f"{self.rel_delta:.1%}"
+        mark = "ok " if self.within else "DRIFT"
+        return f"  [{mark}] {self.key}: {fmt(self.a)} -> {fmt(self.b)}  ({rel}, tol {self.tolerance:.0%})"
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """All compared keys plus the out-of-tolerance subset."""
+
+    entries: Tuple[DiffEntry, ...]
+
+    @property
+    def drifted(self) -> Tuple[DiffEntry, ...]:
+        """The out-of-tolerance subset of entries."""
+        return tuple(e for e in self.entries if not e.within)
+
+    @property
+    def passed(self) -> bool:
+        """True iff no key drifted."""
+        return not self.drifted
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready report (drifted entries only, plus counts)."""
+        return {
+            "passed": self.passed,
+            "compared": len(self.entries),
+            "drifted": [e.as_dict() for e in self.drifted],
+        }
+
+    def describe(self, *, max_ok: int = 0) -> str:
+        """Drifted entries always; up to ``max_ok`` in-tolerance ones."""
+        lines = [e.describe() for e in self.drifted]
+        if max_ok:
+            lines.extend(e.describe() for e in self.entries[:max_ok] if e.within)
+        verdict = "within tolerance" if self.passed else "OUT OF TOLERANCE"
+        lines.append(
+            f"diff: {len(self.entries)} keys compared, "
+            f"{len(self.drifted)} drifted — {verdict}"
+        )
+        return "\n".join(lines)
+
+
+def _symmetric_rel(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    denom = max(abs(a), abs(b))
+    return abs(a - b) / denom
+
+
+def _tolerance_for(key: str, default: float, overrides: Dict[str, float]) -> float:
+    """Longest-prefix override match on the metric name (sans labels/facet)."""
+    best: Optional[Tuple[int, float]] = None
+    for prefix, tol in overrides.items():
+        if key.startswith(prefix) and (best is None or len(prefix) > best[0]):
+            best = (len(prefix), tol)
+    return best[1] if best is not None else default
+
+
+def diff_snapshots(
+    snap_a: Dict[str, Any],
+    snap_b: Dict[str, Any],
+    *,
+    tolerance: float = 0.05,
+    overrides: Optional[Dict[str, float]] = None,
+) -> DiffReport:
+    """Compare two snapshots key-by-key.
+
+    ``overrides`` maps a metric-name prefix to a tolerance, e.g.
+    ``{"net_transfer_rate_bytes": 0.25}`` — longest matching prefix wins.
+    A key present in only one snapshot is an automatic drift (relative
+    delta infinity) unless its tolerance is >= 1.0 (opt-out).
+    """
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    overrides = overrides or {}
+    flat_a, flat_b = flatten_snapshot(snap_a), flatten_snapshot(snap_b)
+    entries: List[DiffEntry] = []
+    for key in sorted(set(flat_a) | set(flat_b)):
+        a, b = flat_a.get(key), flat_b.get(key)
+        tol = _tolerance_for(key, tolerance, overrides)
+        if a is None or b is None:
+            rel = float("inf")
+            within = tol >= 1.0
+        else:
+            rel = _symmetric_rel(a, b)
+            within = rel <= tol
+        entries.append(DiffEntry(key=key, a=a, b=b, rel_delta=rel,
+                                 tolerance=tol, within=within))
+    return DiffReport(tuple(entries))
+
+
+def render_scoreboard(snapshot: Dict[str, Any]) -> str:
+    """Human-readable single-run scoreboard for ``repro report SNAP.json``."""
+    lines: List[str] = []
+    sim_time = snapshot.get("sim_time")
+    meta = snapshot.get("meta") or {}
+    header = "run scoreboard"
+    if sim_time is not None:
+        header += f"   sim_time={sim_time:g}s"
+    if meta:
+        header += "   " + "  ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    lines.append(header)
+    lines.append("-" * max(len(header), 40))
+    for family in snapshot.get("metrics", ()):
+        kind = family["type"]
+        lines.append(f"{family['name']} ({kind})")
+        for series in family["series"]:
+            label_part = _series_key("", series["labels"]) or "{}"
+            if kind in ("counter", "gauge"):
+                lines.append(f"  {label_part:<44} {series['value']:g}")
+            else:
+                mean = series.get("mean")
+                p50, p90, p99 = (series.get(k) for k in ("p50", "p90", "p99"))
+                fmt = lambda v: "-" if v is None else f"{v:.3g}"  # noqa: E731
+                lines.append(
+                    f"  {label_part:<44} n={series['count']}  "
+                    f"mean={fmt(mean)}  p50={fmt(p50)}  p90={fmt(p90)}  p99={fmt(p99)}"
+                )
+    ts = snapshot.get("timeseries")
+    if ts:
+        lines.append(f"timeseries: {len(ts.get('series', ts))} series sampled")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Snapshot exporters: Prometheus/OpenMetrics text + versioned JSON files.
+
+Two consumers, two formats:
+
+* :func:`to_prometheus` renders a registry snapshot in the Prometheus
+  text exposition format (``# HELP`` / ``# TYPE`` lines, cumulative
+  ``_bucket{le=...}`` series, ``_sum`` / ``_count``) so a scrape target
+  or ``promtool`` can ingest a run directly.  :func:`parse_prometheus`
+  is the matching reader — the CI smoke gate round-trips every snapshot
+  through it, which pins the escaping and float-formatting rules.
+* :func:`write_snapshot` / :func:`load_snapshot` persist the JSON
+  snapshot with a ``format_version`` check, same contract as BENCH_*
+  files and :mod:`repro.experiments.persistence`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import SNAPSHOT_FORMAT_VERSION, MetricsRegistry
+
+__all__ = [
+    "to_prometheus",
+    "parse_prometheus",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+
+def _fmt(value: float) -> str:
+    """Float formatting: shortest round-trippable repr, inf spelled +Inf."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labelset(labels: Dict[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, str(v)) for k, v in labels.items()] + [(k, v) for k, v in extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(source: Union[MetricsRegistry, Dict[str, Any]]) -> str:
+    """Render a registry or snapshot dict as Prometheus exposition text."""
+    snap = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: List[str] = []
+    for family in snap["metrics"]:
+        name, kind = family["name"], family["type"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape(family['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family["series"]:
+            labels = series["labels"]
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_labelset(labels)} {_fmt(series['value'])}")
+                continue
+            # histogram: cumulative buckets, then sum and count
+            cumulative = 0
+            for bound, count in zip(series["buckets"], series["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket{_labelset(labels, (('le', _fmt(bound)),))} "
+                    f"{_fmt(cumulative)}"
+                )
+            lines.append(
+                f"{name}_bucket{_labelset(labels, (('le', '+Inf'),))} "
+                f"{_fmt(series['count'])}"
+            )
+            lines.append(f"{name}_sum{_labelset(labels)} {_fmt(series['sum'])}")
+            lines.append(f"{name}_count{_labelset(labels)} {_fmt(series['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition text back into ``{family: {type, help, samples}}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)`` triples
+    with the family's suffixes (``_bucket``/``_sum``/``_count``) intact.
+    Raises :class:`ConfigurationError` on malformed lines so the CI gate
+    fails loudly rather than silently dropping series.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    current: str = ""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"type": None, "help": "", "samples": []})
+            families[name]["help"] = _unescape(help_text)
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {"type": None, "help": "", "samples": []})
+            families[name]["type"] = kind.strip()
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ConfigurationError(f"unparseable exposition line {lineno}: {line!r}")
+        sample_name = match.group("name")
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = 0
+            for lm in _LABEL_RE.finditer(raw_labels):
+                labels[lm.group(1)] = _unescape(lm.group(2))
+                consumed = lm.end()
+            leftover = raw_labels[consumed:].strip().strip(",")
+            if leftover:
+                raise ConfigurationError(
+                    f"unparseable label fragment {leftover!r} on line {lineno}"
+                )
+        family = current
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                family = sample_name[: -len(suffix)]
+                break
+        else:
+            if sample_name in families:
+                family = sample_name
+        if family not in families:
+            raise ConfigurationError(
+                f"sample {sample_name!r} on line {lineno} precedes its # TYPE header"
+            )
+        families[family]["samples"].append(
+            (sample_name, labels, _parse_value(match.group("value")))
+        )
+    return families
+
+
+def write_snapshot(snapshot: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Persist a snapshot dict as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a snapshot JSON file, enforcing the schema version."""
+    path = Path(path)
+    try:
+        snapshot = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read snapshot {path}: {exc}") from exc
+    if not isinstance(snapshot, dict) or snapshot.get("kind") != "metrics_snapshot":
+        raise ConfigurationError(f"{path} is not a metrics snapshot")
+    version = snapshot.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"{path}: snapshot format_version {version} != "
+            f"supported {SNAPSHOT_FORMAT_VERSION}"
+        )
+    return snapshot

@@ -1,0 +1,336 @@
+"""Declarative SLO engine: objectives evaluated against metric snapshots.
+
+An :class:`SloSpec` names a metric (optionally filtered by labels), a
+statistic to extract (``value`` for counters/gauges; ``count``, ``sum``,
+``mean``, ``min``, ``max`` or ``pNN`` quantiles for histograms), a
+comparison and a threshold::
+
+    SloSpec("p99-jct", metric="job_completion_seconds", stat="p99",
+            op="<=", threshold=600.0)
+
+With a ``budget``, histogram objectives additionally get *error-budget
+burn* accounting: the fraction of observations violating the per-event
+threshold is estimated from the bucket counts
+(:meth:`~repro.obs.metrics.Histogram.fraction_leq`) and divided by the
+allowed bad fraction — ``burn <= 1`` passes, ``burn > 1`` means the
+budget is exhausted.  This mirrors SRE burn-rate practice: an SLO like
+"99% of jobs finish within 600 s" is ``threshold=600, budget=0.01``.
+
+Multiple label-matching series aggregate before evaluation (counters and
+gauges sum; histograms merge — exact, because bucket merge is
+count-conserving).  A missing metric evaluates as 0 for counters unless
+the spec is ``required``, in which case it fails with a verdict detail —
+absence of a load-shed counter means no sheds, but absence of a JCT
+histogram means the run was not metered.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "SloSpec",
+    "SloVerdict",
+    "SloReport",
+    "evaluate_slos",
+    "load_slo_specs",
+    "default_slos",
+]
+
+_OPS = {
+    "<=": lambda a, b: a <= b,
+    "<": lambda a, b: a < b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+    "==": lambda a, b: a == b,
+}
+
+_QUANTILE_RE = re.compile(r"^p(\d{1,2}(?:\.\d+)?)$")
+_SCALAR_STATS = ("value", "count", "sum", "mean", "min", "max")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective. Frozen so specs can live in sets/dicts."""
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    stat: str = "value"
+    labels: Dict[str, str] = field(default_factory=dict)
+    budget: Optional[float] = None  #: allowed bad fraction (histograms only)
+    required: bool = False  #: fail (not zero-fill) when the metric is absent
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConfigurationError(
+                f"SLO {self.name!r}: unknown op {self.op!r}; expected one of {sorted(_OPS)}"
+            )
+        if self.stat not in _SCALAR_STATS and not _QUANTILE_RE.match(self.stat):
+            raise ConfigurationError(
+                f"SLO {self.name!r}: unknown stat {self.stat!r}; expected "
+                f"{_SCALAR_STATS} or pNN"
+            )
+        if self.budget is not None and not 0.0 < self.budget < 1.0:
+            raise ConfigurationError(
+                f"SLO {self.name!r}: budget must be in (0, 1), got {self.budget}"
+            )
+        if self.budget is not None and self.op not in ("<=", "<", ">=", ">"):
+            raise ConfigurationError(
+                f"SLO {self.name!r}: budget accounting needs an ordering op, got {self.op!r}"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready spec (inverse of the loader's per-entry dict)."""
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "stat": self.stat,
+            "labels": dict(self.labels),
+            "op": self.op,
+            "threshold": self.threshold,
+            "budget": self.budget,
+            "required": self.required,
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class SloVerdict:
+    """Evaluation outcome for one spec."""
+
+    spec: SloSpec
+    passed: bool
+    measured: Optional[float]
+    burn: Optional[float] = None  #: bad_fraction / budget, when budgeted
+    bad_fraction: Optional[float] = None
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready verdict row."""
+        return {
+            "name": self.spec.name,
+            "passed": self.passed,
+            "measured": self.measured,
+            "threshold": self.spec.threshold,
+            "op": self.spec.op,
+            "stat": self.spec.stat,
+            "burn": self.burn,
+            "bad_fraction": self.bad_fraction,
+            "budget": self.spec.budget,
+            "detail": self.detail,
+        }
+
+    def describe(self) -> str:
+        """One human-readable PASS/FAIL line."""
+        status = "PASS" if self.passed else "FAIL"
+        measured = "absent" if self.measured is None else f"{self.measured:g}"
+        line = (
+            f"[{status}] {self.spec.name}: {self.spec.metric}.{self.spec.stat} "
+            f"= {measured} (want {self.spec.op} {self.spec.threshold:g})"
+        )
+        if self.burn is not None:
+            line += f"   budget burn {self.burn:.2f}x"
+        if self.detail:
+            line += f"   [{self.detail}]"
+        return line
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """All verdicts for one snapshot; ``passed`` is the AND."""
+
+    verdicts: Tuple[SloVerdict, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True iff every verdict passed."""
+        return all(v.passed for v in self.verdicts)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready report."""
+        return {
+            "passed": self.passed,
+            "verdicts": [v.as_dict() for v in self.verdicts],
+        }
+
+    def describe(self) -> str:
+        """All verdict lines plus an N/M summary footer."""
+        lines = [v.describe() for v in self.verdicts]
+        failed = sum(not v.passed for v in self.verdicts)
+        lines.append(
+            f"SLOs: {len(self.verdicts) - failed}/{len(self.verdicts)} passed"
+            + (f" ({failed} FAILED)" if failed else "")
+        )
+        return "\n".join(lines)
+
+
+def _find_family(snapshot: Dict[str, Any], metric: str) -> Optional[Dict[str, Any]]:
+    for family in snapshot.get("metrics", ()):
+        if family["name"] == metric:
+            return family
+    return None
+
+
+def _matching_series(family: Dict[str, Any], labels: Dict[str, str]) -> List[Dict[str, Any]]:
+    out = []
+    for series in family["series"]:
+        have = series["labels"]
+        if all(have.get(k) == str(v) for k, v in labels.items()):
+            out.append(series)
+    return out
+
+
+def _aggregate(family: Dict[str, Any], series: List[Dict[str, Any]]):
+    """Sum scalar series; merge histogram series into one Histogram."""
+    if family["type"] in ("counter", "gauge"):
+        return sum(s["value"] for s in series)
+    merged = Histogram.from_dict(series[0])
+    for extra in series[1:]:
+        merged.merge(Histogram.from_dict(extra))
+    return merged
+
+
+def _extract_stat(spec: SloSpec, aggregated: Any) -> Optional[float]:
+    if isinstance(aggregated, Histogram):
+        if spec.stat == "value":
+            raise ConfigurationError(
+                f"SLO {spec.name!r}: stat 'value' is for counters/gauges; "
+                f"{spec.metric!r} is a histogram"
+            )
+        if spec.stat == "count":
+            return float(aggregated.count)
+        if spec.stat == "sum":
+            return aggregated.sum
+        if spec.stat == "mean":
+            return aggregated.mean
+        if spec.stat == "min":
+            return aggregated.min if aggregated.count else None
+        if spec.stat == "max":
+            return aggregated.max if aggregated.count else None
+        match = _QUANTILE_RE.match(spec.stat)
+        assert match is not None  # __post_init__ validated
+        return aggregated.quantile(float(match.group(1)) / 100.0)
+    if spec.stat != "value":
+        raise ConfigurationError(
+            f"SLO {spec.name!r}: stat {spec.stat!r} needs a histogram; "
+            f"{spec.metric!r} is a scalar metric"
+        )
+    return float(aggregated)
+
+
+def _evaluate_one(spec: SloSpec, snapshot: Dict[str, Any]) -> SloVerdict:
+    family = _find_family(snapshot, spec.metric)
+    series = _matching_series(family, spec.labels) if family else []
+    if not series:
+        if spec.required:
+            return SloVerdict(spec, passed=False, measured=None,
+                             detail="required metric absent from snapshot")
+        # Absent counter == zero events: evaluate 0 against the threshold.
+        measured = 0.0
+        return SloVerdict(spec, passed=_OPS[spec.op](measured, spec.threshold),
+                          measured=measured, detail="metric absent; treated as 0")
+
+    aggregated = _aggregate(family, series)
+    measured = _extract_stat(spec, aggregated)
+    if measured is None:
+        # Histogram exists but saw no observations (e.g. no jobs finished).
+        if spec.required:
+            return SloVerdict(spec, passed=False, measured=None,
+                              detail="histogram empty")
+        return SloVerdict(spec, passed=True, measured=None,
+                          detail="histogram empty; vacuously satisfied")
+
+    if spec.budget is not None and isinstance(aggregated, Histogram):
+        frac_leq = aggregated.fraction_leq(spec.threshold)
+        good = frac_leq if spec.op in ("<=", "<") else 1.0 - frac_leq
+        bad_fraction = 1.0 - good
+        burn = bad_fraction / spec.budget
+        return SloVerdict(
+            spec,
+            passed=burn <= 1.0,
+            measured=measured,
+            burn=burn,
+            bad_fraction=bad_fraction,
+            detail=f"{bad_fraction:.1%} of events violate the per-event target",
+        )
+
+    return SloVerdict(spec, passed=_OPS[spec.op](measured, spec.threshold),
+                      measured=measured)
+
+
+def evaluate_slos(specs: List[SloSpec], snapshot: Dict[str, Any]) -> SloReport:
+    """Evaluate every spec against one snapshot dict."""
+    return SloReport(tuple(_evaluate_one(spec, snapshot) for spec in specs))
+
+
+def load_slo_specs(path: Union[str, Path]) -> List[SloSpec]:
+    """Load specs from a JSON file: ``{"slos": [{...spec fields...}]}``."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read SLO spec {path}: {exc}") from exc
+    entries = raw.get("slos") if isinstance(raw, dict) else None
+    if not isinstance(entries, list):
+        raise ConfigurationError(f"{path}: expected an object with an 'slos' list")
+    specs = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ConfigurationError(f"{path}: slos[{i}] is not an object")
+        try:
+            specs.append(SloSpec(**entry))
+        except TypeError as exc:
+            raise ConfigurationError(f"{path}: slos[{i}]: {exc}") from exc
+    return specs
+
+
+def default_slos() -> List[SloSpec]:
+    """The smoke-run scoreboard objectives (used by ``repro report --smoke``).
+
+    Thresholds are deliberately loose — these gate "the run is sane", not
+    performance; perf regressions are caught by ``repro report --diff``.
+    """
+    return [
+        SloSpec(
+            "all-jobs-finish",
+            metric="run_jobs_unfinished",
+            op="<=",
+            threshold=0.0,
+            description="every submitted job reached completion",
+        ),
+        SloSpec(
+            "locality-floor",
+            metric="run_locality_mean",
+            op=">=",
+            threshold=0.1,
+            description="mean data-locality stays above a sanity floor",
+        ),
+        SloSpec(
+            "p99-jct",
+            metric="job_completion_seconds",
+            stat="p99",
+            op="<=",
+            threshold=2000.0,
+            budget=0.05,
+            required=True,
+            description="95% of jobs complete within the per-job target",
+        ),
+        SloSpec(
+            "no-load-shed",
+            metric="admission_decisions_total",
+            labels={"decision": "shed"},
+            op="<=",
+            threshold=0.0,
+            description="admission control never had to shed a job",
+        ),
+    ]

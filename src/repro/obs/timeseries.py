@@ -43,6 +43,7 @@ class TimeSeriesSampler:
         self.samples: Dict[str, List[Tuple[float, float]]] = {}
         self._event: Optional[EventHandle] = None
         self.ticks = 0
+        self._last_sample_time: Optional[float] = None
 
     def add_series(
         self,
@@ -68,6 +69,31 @@ class TimeSeriesSampler:
         points = self.samples.get(name)
         return points[-1][1] if points else None
 
+    def flush(self) -> None:
+        """Take one final sample at the current instant (idempotent).
+
+        The runner calls this after draining the event queue so runs
+        shorter than one interval still get an end-of-run point and every
+        series closes on the final simulation state.  A pending grid tick
+        is cancelled first — the simulation is over, the grid is moot.
+        """
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if self._last_sample_time is None or self.sim.now > self._last_sample_time:
+            self._sample()
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready projection for snapshot inclusion."""
+        return {
+            "interval": self.interval,
+            "ticks": self.ticks,
+            "series": {
+                name: [[t, v] for t, v in points]
+                for name, points in self.samples.items()
+            },
+        }
+
     # ----------------------------------------------------------------- ticks
     def _arm(self) -> None:
         # Next grid point strictly after now (floating-robust).
@@ -89,6 +115,7 @@ class TimeSeriesSampler:
     def _sample(self) -> None:
         now = self.sim.now
         self.ticks += 1
+        self._last_sample_time = now
         for name, cat, track, probe in self._series:
             value = float(probe())
             self.samples[name].append((now, value))

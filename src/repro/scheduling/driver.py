@@ -40,6 +40,7 @@ from repro.common.errors import AllocationError, TransferFailedError
 from repro.hdfs.filesystem import HDFS
 from repro.network.fabric import NetworkFabric
 from repro.obs.events import BreakerTransition, HedgeLaunch, JobSpan, TaskAttempt
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.scheduling.policies import TaskScheduler
 from repro.scheduling.robustness import CLOSED, CircuitBreakerBoard, RetryBudget
@@ -115,6 +116,7 @@ class ApplicationDriver:
         hedge_quantile: float = 0.95,
         hedge_multiplier: float = 1.5,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not (0.0 < speculation_quantile <= 1.0):
             raise ValueError(
@@ -209,6 +211,67 @@ class ApplicationDriver:
         self._wakeup: Optional[EventHandle] = None
         self._spec_wakeup: Optional[EventHandle] = None
         self._hedge_wakeup: Optional[EventHandle] = None
+        # Pre-bound metric instruments (no-ops when metering is off).  All
+        # of these only *read* driver state — enabling metrics cannot
+        # change a trajectory.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        app_label = app.app_id
+        self._m_job_arrivals = self.metrics.counter(
+            "job_arrivals_total", "Jobs submitted to a driver.", ("app",)
+        ).labels(app=app_label)
+        self._m_job_completions = self.metrics.counter(
+            "job_completions_total", "Jobs that reached completion.", ("app",)
+        ).labels(app=app_label)
+        self._m_jct = self.metrics.histogram(
+            "job_completion_seconds",
+            "Job completion time (submit to last stage done), sim seconds.",
+            ("app",),
+        ).labels(app=app_label)
+        _launches = self.metrics.counter(
+            "task_launches_total",
+            "Task attempts started, by kind (primary / speculative / hedge).",
+            ("app", "kind"),
+        )
+        self._m_launch_primary = _launches.labels(app=app_label, kind="primary")
+        self._m_launch_speculative = _launches.labels(app=app_label, kind="speculative")
+        self._m_launch_hedge = _launches.labels(app=app_label, kind="hedge")
+        self._m_retries = self.metrics.counter(
+            "task_retries_total", "Failed tasks requeued for another attempt.", ("app",)
+        ).labels(app=app_label)
+        self._m_retries_denied = self.metrics.counter(
+            "task_retries_denied_total",
+            "Retries refused by an exhausted per-job token budget.",
+            ("app",),
+        ).labels(app=app_label)
+        self._m_failed_attempts = self.metrics.counter(
+            "task_attempt_failures_total", "Attempts that died mid-flight.", ("app",)
+        ).labels(app=app_label)
+        self._m_abandoned = self.metrics.counter(
+            "task_abandoned_total",
+            "Tasks permanently given up, by reason.",
+            ("app", "reason"),
+        )
+        self._m_breaker = self.metrics.counter(
+            "breaker_transitions_total",
+            "Circuit-breaker state transitions, by target state.",
+            ("app", "state"),
+        )
+        _hedges = self.metrics.counter(
+            "hedges_total",
+            "Hedged backup attempts by outcome (launched / won / lost).",
+            ("app", "outcome"),
+        )
+        self._m_hedges_launched = _hedges.labels(app=app_label, outcome="launched")
+        self._m_hedges_won = _hedges.labels(app=app_label, outcome="won")
+        self._m_hedges_lost = _hedges.labels(app=app_label, outcome="lost")
+        self._m_speculative_wins = self.metrics.counter(
+            "speculative_wins_total",
+            "Speculative clones that beat their primary attempt.",
+            ("app",),
+        ).labels(app=app_label)
+        self._m_queue_depth = self.metrics.gauge(
+            "runnable_queue_depth", "Tasks waiting for a slot right now.", ("app",)
+        ).labels(app=app_label)
         #: task id → failed attempt count (drives backoff and the budget)
         self._failure_counts: Dict[str, int] = {}
         #: node id → recent attempt-failure timestamps (blacklist window)
@@ -258,6 +321,7 @@ class ApplicationDriver:
         job.submitted_at = now
         self._jobs[job.job_id] = job
         self.app.add_job(job)
+        self._m_job_arrivals.inc()
         self._enqueue_stage(job, 0)
         if self.timeline is not None:
             self.timeline.record(
@@ -282,6 +346,7 @@ class ApplicationDriver:
         for task in stage.tasks:
             task.submitted_at = now
             self._runnable.append(task)
+        self._m_queue_depth.set(len(self._runnable))
 
     # -------------------------------------------------------- executor churn
     def attach_executor(self, executor: Executor) -> None:
@@ -372,6 +437,7 @@ class ApplicationDriver:
         """Board hook: record every breaker state change."""
         if state == "open":
             self.blacklist_events += 1
+        self._m_breaker.labels(app=self.app_id, state=state).inc()
         if self.timeline is not None:
             self.timeline.record(
                 "node.breaker", node_id, app=self.app_id, state=state, prev=prev
@@ -456,6 +522,7 @@ class ApplicationDriver:
             # task instead of feeding the failure loop more attempts.
             if not self._budget_for(task.job_id).try_spend(self.sim.now):
                 self.retries_denied += 1
+                self._m_retries_denied.inc()
                 self.tracer.instant(
                     "task.retry_denied",
                     "driver",
@@ -505,6 +572,8 @@ class ApplicationDriver:
         self._runnable.append(task)
         self.demand_epoch += 1
         self.requeued_tasks += 1
+        self._m_retries.inc()
+        self._m_queue_depth.set(len(self._runnable))
         if self.timeline is not None:
             self.timeline.record(
                 "task.requeue", task.task_id, app=self.app_id, node=node_id
@@ -539,6 +608,7 @@ class ApplicationDriver:
         task.cancelled = True
         self.demand_epoch += 1
         self.abandoned_tasks += 1
+        self._m_abandoned.labels(app=self.app_id, reason=reason).inc()
         if self.timeline is not None:
             self.timeline.record(
                 "task.abandon", task.task_id, app=self.app_id, reason=reason
@@ -603,6 +673,7 @@ class ApplicationDriver:
                 progressed = True
                 if not self._runnable:
                     break
+        self._m_queue_depth.set(len(self._runnable))
         if self.speculation:
             self._launch_speculative_attempts()
         if self.hedging:
@@ -685,6 +756,7 @@ class ApplicationDriver:
                 continue
             self._start_attempt(attempt.task, executor, speculative=True)
             self.speculative_launches += 1
+            self._m_launch_speculative.inc()
             if executor.free_slots <= 0:
                 free.remove(executor)
         if next_check is not None and next_check > now:
@@ -778,6 +850,8 @@ class ApplicationDriver:
             if executor is None:
                 continue
             self.hedges_launched += 1
+            self._m_hedges_launched.inc()
+            self._m_launch_hedge.inc()
             if self.timeline is not None:
                 self.timeline.record(
                     "task.hedge",
@@ -876,6 +950,7 @@ class ApplicationDriver:
             task.executor_id = executor.executor_id
             task.node_id = executor.node_id
             self.demand_epoch += 1
+            self._m_launch_primary.inc()
         if self.timeline is not None:
             self.timeline.record(
                 "task.start" if not speculative else ("task.hedge.start" if hedge else "task.speculate"),
@@ -1011,6 +1086,7 @@ class ApplicationDriver:
         its slot and route the task through the retry machinery."""
         task, executor = attempt.task, attempt.executor
         self.failed_attempts += 1
+        self._m_failed_attempts.inc()
         self.demand_epoch += 1
         for transfer in attempt.transfers:
             self.fabric.cancel_transfer(transfer)
@@ -1094,11 +1170,14 @@ class ApplicationDriver:
         for loser in attempts:
             if loser.hedge:
                 self.hedges_lost += 1
+                self._m_hedges_lost.inc()
             self._kill_attempt(loser)
         if attempt.hedge:
             self.hedges_won += 1
+            self._m_hedges_won.inc()
         elif attempt.speculative:
             self.speculative_wins += 1
+            self._m_speculative_wins.inc()
         # The winning attempt defines the task's recorded outcome.
         task.finished_at = now
         task.executor_id = executor.executor_id
@@ -1165,6 +1244,9 @@ class ApplicationDriver:
             self._enqueue_stage(job, stage_index + 1)
             return
         job.finished_at = self.sim.now
+        self._m_job_completions.inc()
+        if job.submitted_at is not None:
+            self._m_jct.observe(self.sim.now - job.submitted_at)
         if self.timeline is not None:
             self.timeline.record(
                 "job.finish",

@@ -1,0 +1,115 @@
+"""Prometheus exposition: render, parse back, snapshot file round-trips."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.exposition import (
+    load_snapshot,
+    parse_prometheus,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = [pytest.mark.obs, pytest.mark.metrics]
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry(clock=lambda: 100.0)
+    jobs = reg.counter("jobs_total", "Jobs seen.", ("app",))
+    jobs.labels(app="app-00").inc(3)
+    jobs.labels(app="app-01").inc(5)
+    reg.gauge("queue_depth", "Runnable tasks.").set(7)
+    jct = reg.histogram("jct_seconds", "Job completion time.", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 2.0, 2.5, 50.0, 500.0):
+        jct.observe(v)
+    return reg
+
+
+def test_exposition_text_structure(registry):
+    text = to_prometheus(registry)
+    assert "# HELP jobs_total Jobs seen." in text
+    assert "# TYPE jobs_total counter" in text
+    assert 'jobs_total{app="app-00"} 3' in text
+    assert "# TYPE jct_seconds histogram" in text
+    assert 'jct_seconds_bucket{le="+Inf"} 5' in text
+    assert "jct_seconds_count 5" in text
+
+
+def test_histogram_buckets_are_cumulative(registry):
+    text = to_prometheus(registry)
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("jct_seconds_bucket"):
+            le = line.split('le="')[1].split('"')[0]
+            values[le] = float(line.rsplit(" ", 1)[1])
+    assert values["1"] == 1  # 0.5
+    assert values["10"] == 3  # + 2.0, 2.5
+    assert values["100"] == 4  # + 50.0
+    assert values["+Inf"] == 5  # + 500.0 (overflow)
+
+
+def test_round_trip_through_parser(registry):
+    snap = registry.snapshot()
+    parsed = parse_prometheus(to_prometheus(snap))
+    assert set(parsed) == {m["name"] for m in snap["metrics"]}
+    jobs = parsed["jobs_total"]
+    assert jobs["type"] == "counter"
+    by_app = {
+        labels["app"]: value
+        for name, labels, value in jobs["samples"]
+    }
+    assert by_app == {"app-00": 3.0, "app-01": 5.0}
+    jct = parsed["jct_seconds"]
+    count = [v for n, labels, v in jct["samples"] if n == "jct_seconds_count"]
+    assert count == [5.0]
+
+
+def test_label_values_escape_and_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("weird_total", "", ("path",)).labels(path='a"b\\c\nd').inc()
+    parsed = parse_prometheus(to_prometheus(reg))
+    ((_, labels, value),) = parsed["weird_total"]["samples"]
+    assert labels["path"] == 'a"b\\c\nd'
+    assert value == 1.0
+
+
+def test_parser_rejects_malformed_lines():
+    with pytest.raises(ConfigurationError):
+        parse_prometheus("this is not a metric line at all{")
+    with pytest.raises(ConfigurationError):
+        parse_prometheus('x_total{app="a"} not-a-number')
+
+
+def test_parser_ignores_comments_and_blank_lines():
+    text = (
+        "\n# freeform comment\n"
+        "# HELP x_total Things.\n"
+        "# TYPE x_total counter\n"
+        "\n# another comment\n"
+        "x_total 4\n\n"
+    )
+    parsed = parse_prometheus(text)
+    assert parsed["x_total"]["samples"] == [("x_total", {}, 4.0)]
+
+
+def test_snapshot_file_round_trip(registry, tmp_path):
+    snap = registry.snapshot(meta={"seed": 3})
+    path = write_snapshot(snap, tmp_path / "run.metrics.json")
+    loaded = load_snapshot(path)
+    assert loaded == snap
+
+
+def test_load_snapshot_rejects_wrong_kind(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text('{"kind": "something_else"}')
+    with pytest.raises(ConfigurationError, match="not a metrics snapshot"):
+        load_snapshot(path)
+
+
+def test_load_snapshot_rejects_unreadable(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        load_snapshot(path)

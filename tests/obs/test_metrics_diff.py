@@ -1,0 +1,105 @@
+"""Snapshot diffing: flattening, symmetric deltas, tolerance overrides."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.diff import diff_snapshots, flatten_snapshot, render_scoreboard
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = [pytest.mark.obs, pytest.mark.metrics]
+
+
+def make_snapshot(jobs=10, jct_values=(1.0, 5.0, 20.0), queue=3.0):
+    reg = MetricsRegistry(clock=lambda: 50.0)
+    fam = reg.counter("jobs_total", "Jobs.", ("app",))
+    fam.labels(app="a").inc(jobs)
+    reg.gauge("queue_depth", "Depth.").set(queue)
+    h = reg.histogram("jct_seconds", "JCT.", buckets=(1.0, 10.0, 100.0))
+    for v in jct_values:
+        h.observe(v)
+    return reg.snapshot(meta={"seed": 0})
+
+
+def test_flatten_projects_scalars_and_histogram_facets():
+    flat = flatten_snapshot(make_snapshot())
+    assert flat["jobs_total{app=a}"] == 10.0
+    assert flat["queue_depth"] == 3.0
+    assert flat["jct_seconds:count"] == 3.0
+    assert flat["jct_seconds:sum"] == 26.0
+    assert "jct_seconds:p99" in flat
+
+
+def test_flatten_drops_empty_histogram_quantiles():
+    reg = MetricsRegistry()
+    reg.histogram("empty", buckets=(1.0,))
+    reg.histogram("empty", buckets=(1.0,)).labels()  # materialise the series
+    flat = flatten_snapshot(reg.snapshot())
+    assert flat.get("empty:count") == 0.0
+    assert "empty:p50" not in flat and "empty:mean" not in flat
+
+
+def test_identical_snapshots_pass():
+    report = diff_snapshots(make_snapshot(), make_snapshot())
+    assert report.passed
+    assert not report.drifted
+    assert "within tolerance" in report.describe()
+
+
+def test_drift_detected_and_order_independent():
+    a, b = make_snapshot(jobs=10), make_snapshot(jobs=20)
+    fwd = diff_snapshots(a, b)
+    rev = diff_snapshots(b, a)
+    assert not fwd.passed and not rev.passed
+    assert {e.key for e in fwd.drifted} == {e.key for e in rev.drifted}
+    (entry,) = [e for e in fwd.drifted if e.key == "jobs_total{app=a}"]
+    assert entry.rel_delta == pytest.approx(0.5)  # |10-20|/max(10,20)
+
+
+def test_small_drift_within_default_tolerance():
+    report = diff_snapshots(make_snapshot(queue=100.0), make_snapshot(queue=102.0))
+    assert report.passed  # 2% < 5% default
+
+
+def test_tolerance_overrides_longest_prefix_wins():
+    a, b = make_snapshot(jobs=10), make_snapshot(jobs=16)
+    assert not diff_snapshots(a, b).passed
+    loose = diff_snapshots(a, b, overrides={"jobs_total": 0.5})
+    assert loose.passed
+    # A longer, more specific prefix beats the shorter one.
+    mixed = diff_snapshots(
+        a, b, overrides={"jobs_": 0.5, "jobs_total{app=a}": 0.01}
+    )
+    assert not mixed.passed
+
+
+def test_missing_key_is_drift_unless_opted_out():
+    a = make_snapshot()
+    b = make_snapshot()
+    b["metrics"] = [m for m in b["metrics"] if m["name"] != "queue_depth"]
+    report = diff_snapshots(a, b)
+    (entry,) = [e for e in report.drifted if e.key == "queue_depth"]
+    assert entry.b is None
+    assert not report.passed
+    # tolerance >= 1.0 opts a family out of presence checking.
+    assert diff_snapshots(a, b, overrides={"queue_depth": 1.0}).passed
+
+
+def test_zero_baseline_is_safe():
+    report = diff_snapshots(make_snapshot(queue=0.0), make_snapshot(queue=0.0))
+    assert report.passed
+    report = diff_snapshots(make_snapshot(queue=0.0), make_snapshot(queue=5.0))
+    (entry,) = [e for e in report.drifted if e.key == "queue_depth"]
+    assert entry.rel_delta == 1.0
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ConfigurationError):
+        diff_snapshots(make_snapshot(), make_snapshot(), tolerance=-0.1)
+
+
+def test_scoreboard_renders_all_families():
+    text = render_scoreboard(make_snapshot())
+    assert "run scoreboard" in text and "sim_time=50" in text
+    assert "jobs_total (counter)" in text
+    assert "jct_seconds (histogram)" in text
+    assert "n=3" in text

@@ -1,0 +1,118 @@
+"""CLI: ``repro run --metrics`` and the ``repro report`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = [pytest.mark.obs, pytest.mark.metrics]
+
+RUN_ARGS = ["run", "--nodes", "10", "--apps", "2", "--jobs", "1"]
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("metrics") / "a.metrics.json"
+    assert main(RUN_ARGS + ["--metrics", str(path)]) == 0
+    return path
+
+
+def test_run_writes_a_valid_snapshot(snapshot_path):
+    data = json.loads(snapshot_path.read_text())
+    assert data["kind"] == "metrics_snapshot"
+    assert data["format_version"] == 1
+    assert data["meta"]["manager"] == "custody"
+    names = {m["name"] for m in data["metrics"]}
+    assert {"job_arrivals_total", "alloc_rounds_total",
+            "run_jobs_finished"} <= names
+
+
+def test_report_renders_scoreboard(snapshot_path, capsys):
+    assert main(["report", str(snapshot_path)]) == 0
+    out = capsys.readouterr().out
+    assert "run scoreboard" in out
+    assert "job_completion_seconds" in out
+    assert "SLOs:" in out
+
+
+def test_report_writes_prometheus_exposition(snapshot_path, tmp_path, capsys):
+    prom = tmp_path / "run.prom"
+    assert main(["report", str(snapshot_path), "--prom", str(prom)]) == 0
+    text = prom.read_text()
+    assert "# TYPE job_completion_seconds histogram" in text
+    assert 'le="+Inf"' in text
+
+
+def test_diff_identical_snapshots_exits_zero(snapshot_path, tmp_path, capsys):
+    twin = tmp_path / "b.metrics.json"
+    assert main(RUN_ARGS + ["--metrics", str(twin)]) == 0
+    assert main(["report", "--diff", str(snapshot_path), str(twin)]) == 0
+    assert "within tolerance" in capsys.readouterr().out
+
+
+def test_diff_drifted_snapshots_exit_nonzero(snapshot_path, tmp_path, capsys):
+    other = tmp_path / "c.metrics.json"
+    bigger = ["run", "--nodes", "10", "--apps", "2", "--jobs", "3",
+              "--metrics", str(other)]
+    assert main(bigger) == 0
+    assert main(["report", "--diff", str(snapshot_path), str(other)]) == 1
+    assert "OUT OF TOLERANCE" in capsys.readouterr().out
+    # A blanket >=1.0 tolerance waves everything (including one-sided keys).
+    assert main(["report", "--diff", str(snapshot_path), str(other),
+                 "--tolerance", "1.0"]) == 0
+
+
+def test_diff_tol_override_rescues_a_noisy_family(snapshot_path, tmp_path, capsys):
+    other = tmp_path / "d.metrics.json"
+    assert main(["run", "--nodes", "10", "--apps", "2", "--jobs", "3",
+                 "--metrics", str(other)]) == 0
+    base = main(["report", "--diff", str(snapshot_path), str(other)])
+    assert base == 1
+    out = capsys.readouterr().out
+    drifted_keys = [line for line in out.splitlines() if "DRIFT" in line]
+    assert drifted_keys
+    # Loosening every drifted family by prefix flips the verdict.
+    prefixes = sorted({
+        line.split("] ", 1)[1].split(":")[0].split("{")[0]
+        for line in drifted_keys
+    })
+    args = ["report", "--diff", str(snapshot_path), str(other)]
+    for p in prefixes:
+        args += ["--tol", f"{p}=1.0"]
+    assert main(args) == 0
+
+
+def test_diff_bad_tol_syntax_exits_two(snapshot_path, capsys):
+    code = main(["report", "--diff", str(snapshot_path), str(snapshot_path),
+                 "--tol", "nonsense"])
+    assert code == 2
+    assert "PREFIX=TOLERANCE" in capsys.readouterr().err
+
+
+def test_report_without_input_exits_two(capsys):
+    assert main(["report"]) == 2
+    assert "snapshot path" in capsys.readouterr().err
+
+
+def test_report_with_custom_slo_file(snapshot_path, tmp_path, capsys):
+    slos = tmp_path / "slos.json"
+    slos.write_text(json.dumps({"slos": [
+        {"name": "impossible", "metric": "run_jobs_finished",
+         "op": "<=", "threshold": -1},
+    ]}))
+    # Rendering a report with failing SLOs is not an error outside --smoke.
+    assert main(["report", str(snapshot_path), "--slo", str(slos)]) == 0
+    out = capsys.readouterr().out
+    assert "[FAIL] impossible" in out
+
+
+@pytest.mark.slow
+def test_report_smoke_gate_passes(tmp_path, capsys):
+    out_path = tmp_path / "smoke.metrics.json"
+    assert main(["report", "--smoke", "--out", str(out_path)]) == 0
+    assert "metrics smoke passed" in capsys.readouterr().out
+    data = json.loads(out_path.read_text())
+    names = {m["name"] for m in data["metrics"]}
+    assert "faults_injected_total" in names
+    assert data["meta"]["smoke"] is True

@@ -1,0 +1,186 @@
+"""SLO engine: spec validation, verdicts, error-budget burn, file loading."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SloSpec,
+    default_slos,
+    evaluate_slos,
+    load_slo_specs,
+)
+
+pytestmark = [pytest.mark.obs, pytest.mark.metrics]
+
+
+def snapshot_with(build):
+    reg = MetricsRegistry(clock=lambda: 10.0)
+    build(reg)
+    return reg.snapshot()
+
+
+# ------------------------------------------------------------- validation
+def test_spec_rejects_unknown_op_and_stat():
+    with pytest.raises(ConfigurationError, match="unknown op"):
+        SloSpec("x", metric="m", op="!=", threshold=1)
+    with pytest.raises(ConfigurationError, match="unknown stat"):
+        SloSpec("x", metric="m", op="<=", threshold=1, stat="median")
+
+
+def test_spec_accepts_quantile_stats():
+    spec = SloSpec("x", metric="m", op="<=", threshold=1, stat="p99")
+    assert spec.stat == "p99"
+    SloSpec("y", metric="m", op="<=", threshold=1, stat="p99.9")
+
+
+def test_spec_budget_validated():
+    with pytest.raises(ConfigurationError, match="budget"):
+        SloSpec("x", metric="m", op="<=", threshold=1, budget=1.5)
+    with pytest.raises(ConfigurationError, match="ordering op"):
+        SloSpec("x", metric="m", op="==", threshold=1, budget=0.1)
+
+
+# --------------------------------------------------------------- verdicts
+def test_gauge_threshold_pass_and_fail():
+    snap = snapshot_with(lambda r: r.gauge("unfinished").set(3))
+    passing = SloSpec("ok", metric="unfinished", op="<=", threshold=5)
+    failing = SloSpec("bad", metric="unfinished", op="<=", threshold=0)
+    report = evaluate_slos([passing, failing], snap)
+    assert [v.passed for v in report.verdicts] == [True, False]
+    assert not report.passed
+    assert report.verdicts[0].measured == 3.0
+
+
+def test_labelled_series_are_summed():
+    def build(r):
+        fam = r.counter("shed_total", "", ("manager",))
+        fam.labels(manager="custody").inc(2)
+        fam.labels(manager="yarn").inc(3)
+
+    snap = snapshot_with(build)
+    report = evaluate_slos(
+        [SloSpec("sum", metric="shed_total", op="==", threshold=5)], snap
+    )
+    assert report.passed
+    # Label filter narrows the aggregation to matching series.
+    report = evaluate_slos(
+        [SloSpec("one", metric="shed_total", op="==", threshold=2,
+                 labels={"manager": "custody"})],
+        snap,
+    )
+    assert report.passed
+
+
+def test_missing_metric_treated_as_zero_unless_required():
+    snap = snapshot_with(lambda r: r.gauge("something_else").set(1))
+    lenient = SloSpec("zero-ok", metric="ghost_total", op="<=", threshold=0)
+    strict = SloSpec("must-exist", metric="ghost_total", op="<=", threshold=0,
+                     required=True)
+    report = evaluate_slos([lenient, strict], snap)
+    assert report.verdicts[0].passed
+    assert report.verdicts[0].detail == "metric absent; treated as 0"
+    assert not report.verdicts[1].passed
+    assert report.verdicts[1].measured is None
+
+
+def test_empty_histogram_is_vacuous_unless_required():
+    # .labels() materialises the zero-observation series in the snapshot.
+    snap = snapshot_with(lambda r: r.histogram("jct", buckets=(1.0, 10.0)).labels())
+    lenient = SloSpec("loose", metric="jct", op="<=", threshold=5, stat="p99")
+    strict = SloSpec("strict", metric="jct", op="<=", threshold=5, stat="p99",
+                     required=True)
+    report = evaluate_slos([lenient, strict], snap)
+    assert report.verdicts[0].passed and "vacuously" in report.verdicts[0].detail
+    assert not report.verdicts[1].passed
+
+
+def test_histogram_quantile_slo():
+    def build(r):
+        h = r.histogram("jct", buckets=(1.0, 10.0, 100.0))
+        for v in [2.0] * 98 + [50.0, 50.0]:
+            h.observe(v)
+
+    snap = snapshot_with(build)
+    report = evaluate_slos(
+        [SloSpec("p50-tight", metric="jct", op="<=", threshold=10, stat="p50"),
+         SloSpec("p99-loose", metric="jct", op="<=", threshold=100, stat="p99")],
+        snap,
+    )
+    assert report.passed
+
+
+def test_error_budget_burn():
+    def build(r):
+        h = r.histogram("jct", buckets=(1.0, 10.0, 100.0))
+        # 90 fast, 10 slow: 10% of events violate a <=10 per-event target.
+        for v in [2.0] * 90 + [50.0] * 10:
+            h.observe(v)
+
+    snap = snapshot_with(build)
+    # 20% budget: burn = 0.10/0.20 = 0.5x -> pass.
+    within = SloSpec("within", metric="jct", op="<=", threshold=10.0,
+                     stat="p99", budget=0.2)
+    # 5% budget: burn = 0.10/0.05 = 2x -> fail.
+    blown = SloSpec("blown", metric="jct", op="<=", threshold=10.0,
+                    stat="p99", budget=0.05)
+    report = evaluate_slos([within, blown], snap)
+    v_within, v_blown = report.verdicts
+    assert v_within.passed
+    assert v_within.burn == pytest.approx(0.5)
+    assert v_within.bad_fraction == pytest.approx(0.10)
+    assert not v_blown.passed
+    assert v_blown.burn == pytest.approx(2.0)
+
+
+def test_value_stat_on_histogram_raises():
+    snap = snapshot_with(
+        lambda r: r.histogram("jct", buckets=(1.0,)).observe(0.5)
+    )
+    spec = SloSpec("bad", metric="jct", op="<=", threshold=1, stat="value")
+    with pytest.raises(ConfigurationError, match="histogram"):
+        evaluate_slos([spec], snap)
+
+
+def test_quantile_stat_on_counter_raises():
+    snap = snapshot_with(lambda r: r.counter("c_total").inc())
+    spec = SloSpec("bad", metric="c_total", op="<=", threshold=1, stat="p99")
+    with pytest.raises(ConfigurationError, match="needs a histogram"):
+        evaluate_slos([spec], snap)
+
+
+# ------------------------------------------------------------ file loading
+def test_load_slo_specs_round_trip(tmp_path):
+    path = tmp_path / "slos.json"
+    path.write_text(json.dumps({
+        "slos": [
+            {"name": "finish", "metric": "run_jobs_unfinished",
+             "op": "<=", "threshold": 0},
+            {"name": "p99", "metric": "job_completion_seconds",
+             "op": "<=", "threshold": 100, "stat": "p99", "budget": 0.05},
+        ]
+    }))
+    specs = load_slo_specs(path)
+    assert [s.name for s in specs] == ["finish", "p99"]
+    assert specs[1].budget == 0.05
+
+
+def test_load_slo_specs_rejects_bad_shapes(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2]")
+    with pytest.raises(ConfigurationError, match="'slos' list"):
+        load_slo_specs(path)
+    path.write_text(json.dumps({"slos": [{"name": "x", "bogus_field": 1}]}))
+    with pytest.raises(ConfigurationError, match="slos\\[0\\]"):
+        load_slo_specs(path)
+
+
+def test_default_slos_are_valid_and_evaluable():
+    specs = default_slos()
+    assert specs
+    snap = snapshot_with(lambda r: r.gauge("run_locality_mean").set(0.5))
+    report = evaluate_slos(specs, snap)
+    assert len(report.verdicts) == len(specs)
+    assert "SLOs:" in report.describe()

@@ -76,3 +76,75 @@ def test_probes_do_not_run_when_probe_list_empty(sim):
     sim.run()
     assert sampler.ticks >= 1
     assert ring.events() == []
+
+
+def test_flush_adds_end_of_run_point_after_sampler_disarms(sim):
+    """Work that lands after the last grid tick still closes every series.
+
+    Once the sampler stops re-arming (quiescence rule), a later burst of
+    events advances the clock unsampled; the runner's flush() records the
+    final state.
+    """
+    sampler, _ = make_sampler(sim, interval=5.0)
+    sampler.add_series("x", lambda: sim.now)
+    sim.schedule_at(4.0, lambda: None)
+    sampler.start()
+    sim.run()  # samples at 0.0 plus one trailing tick at 5.0, then disarms
+    sim.schedule_at(8.0, lambda: None)
+    sim.run()
+    assert [t for t, _ in sampler.samples["x"]] == [0.0, 5.0]
+    sampler.flush()
+    assert [t for t, _ in sampler.samples["x"]] == [0.0, 5.0, 8.0]
+
+
+def test_flush_cancels_the_armed_grid_tick(sim):
+    """Flushing mid-flight tears down the pending grid event."""
+    sampler, _ = make_sampler(sim, interval=50.0)
+    sampler.add_series("x", lambda: 1.0)
+    sampler.start()  # samples at t=0 and arms a tick at t=50
+    sampler.flush()
+    sim.run()
+    assert sim.now == 0.0  # the t=50 tick never fired
+    assert sampler.samples["x"] == [(0.0, 1.0)]
+
+
+def test_flush_is_idempotent(sim):
+    sampler, _ = make_sampler(sim, interval=100.0)
+    sampler.add_series("x", lambda: 1.0)
+    sim.schedule_at(3.0, lambda: None)
+    sampler.start()
+    sim.run()
+    sampler.flush()
+    before = list(sampler.samples["x"])
+    sampler.flush()
+    sampler.flush()
+    assert sampler.samples["x"] == before
+
+
+def test_flush_skips_duplicate_when_grid_just_sampled(sim):
+    """If the last grid tick landed exactly at sim.now, flush adds nothing."""
+    sampler, _ = make_sampler(sim, interval=5.0)
+    sampler.add_series("x", lambda: 1.0)
+    sim.schedule_at(10.0, lambda: None)
+    sampler.start()
+    sim.run()
+    times = [t for t, _ in sampler.samples["x"]]
+    assert times[-1] == sim.now  # grid point coincides with the final event
+    sampler.flush()
+    assert [t for t, _ in sampler.samples["x"]] == times
+
+
+def test_as_dict_projection(sim):
+    sampler, _ = make_sampler(sim, interval=5.0)
+    sampler.add_series("a", lambda: 2.0)
+    sampler.add_series("b", lambda: 3.0)
+    sim.schedule_at(6.0, lambda: None)
+    sampler.start()
+    sim.run()
+    sampler.flush()
+    d = sampler.as_dict()
+    assert d["interval"] == 5.0
+    assert d["ticks"] == sampler.ticks
+    assert set(d["series"]) == {"a", "b"}
+    assert d["series"]["a"][0] == [0.0, 2.0]
+    assert all(isinstance(p, list) and len(p) == 2 for p in d["series"]["a"])

@@ -1,0 +1,105 @@
+"""Hypothesis properties of the bucket histogram.
+
+The quantile/merge guarantees the SLO and diff layers lean on:
+monotonicity in q, range containment, merge order-independence and
+count/sum conservation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+
+pytestmark = pytest.mark.metrics
+
+values = st.floats(
+    min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(values, min_size=1, max_size=200)
+bucket_sets = st.sampled_from([
+    DEFAULT_BUCKETS,
+    (1.0,),
+    (1.0, 2.0, 4.0, 8.0),
+    (10.0, 1000.0),
+])
+
+
+def fill(bounds, data):
+    h = Histogram(bounds)
+    for v in data:
+        h.observe(v)
+    return h
+
+
+@given(bucket_sets, value_lists, st.lists(st.floats(0.0, 1.0), min_size=2, max_size=10))
+@settings(max_examples=200, deadline=None)
+def test_quantiles_monotone_in_q_and_within_range(bounds, data, qs):
+    h = fill(bounds, data)
+    lo, hi = min(data), max(data)
+    results = h.quantiles(sorted(qs))
+    for q_value in results:
+        assert lo <= q_value <= hi
+    assert results == sorted(results)
+
+
+@given(bucket_sets, value_lists, value_lists)
+@settings(max_examples=200, deadline=None)
+def test_merge_is_order_independent(bounds, data_a, data_b):
+    ab = fill(bounds, data_a)
+    ab.merge(fill(bounds, data_b))
+    ba = fill(bounds, data_b)
+    ba.merge(fill(bounds, data_a))
+    assert ab.counts == ba.counts
+    assert ab.count == ba.count
+    assert ab.sum == pytest.approx(ba.sum)
+    assert ab.min == ba.min and ab.max == ba.max
+    for q in (0.5, 0.9, 0.99):
+        assert ab.quantile(q) == pytest.approx(ba.quantile(q))
+
+
+@given(bucket_sets, value_lists, value_lists)
+@settings(max_examples=200, deadline=None)
+def test_merge_conserves_count_and_sum(bounds, data_a, data_b):
+    merged = fill(bounds, data_a)
+    merged.merge(fill(bounds, data_b))
+    assert merged.count == len(data_a) + len(data_b)
+    assert merged.sum == pytest.approx(sum(data_a) + sum(data_b))
+    assert sum(merged.counts) == merged.count
+    assert merged.min == min(data_a + data_b)
+    assert merged.max == max(data_a + data_b)
+
+
+@given(bucket_sets, value_lists)
+@settings(max_examples=200, deadline=None)
+def test_merge_equals_observing_everything_in_one(bounds, data):
+    """Splitting a stream across histograms then merging loses nothing."""
+    whole = fill(bounds, data)
+    parts = fill(bounds, data[::2])
+    parts.merge(fill(bounds, data[1::2]))
+    assert parts.counts == whole.counts
+    assert parts.count == whole.count
+    assert parts.sum == pytest.approx(whole.sum)
+
+
+@given(bucket_sets, value_lists, values)
+@settings(max_examples=200, deadline=None)
+def test_fraction_leq_bounded_and_monotone(bounds, data, threshold):
+    h = fill(bounds, data)
+    frac = h.fraction_leq(threshold)
+    assert 0.0 <= frac <= 1.0
+    assert h.fraction_leq(threshold + 1.0) >= frac
+    assert h.fraction_leq(max(data)) == 1.0
+    assert h.fraction_leq(min(data) - 1e-9) == 0.0
+
+
+@given(bucket_sets, value_lists)
+@settings(max_examples=100, deadline=None)
+def test_dict_round_trip_preserves_quantiles(bounds, data):
+    h = fill(bounds, data)
+    back = Histogram.from_dict(h.as_dict())
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert back.quantile(q) == h.quantile(q)
+    assert back.fraction_leq(sum(data) / len(data)) == pytest.approx(
+        h.fraction_leq(sum(data) / len(data))
+    )

@@ -190,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "--smoke this is the gray-failure CI gate "
                               "(slowdowns + flaps; asserts zero unfinished "
                               "jobs and breaker reconvergence)")
+    chaos_p.add_argument("--manager-crash", action="store_true",
+                         dest="manager_crash",
+                         help="crash-recovery mode: additionally take the "
+                              "control plane down (level crashes per plan, "
+                              "drawn last) with the checkpoint/lease/WAL "
+                              "recovery stack enabled.  With --smoke this "
+                              "is the recovery CI gate (asserts every crash "
+                              "recovered, no zombie executors survive and "
+                              "all jobs finish)")
     chaos_p.add_argument("--json", metavar="PATH", default=None, dest="json_out",
                          help="write the sweep cells (incl. MTTR, detector "
                               "FP/FN, hedge and shed counts) to PATH as JSON")
@@ -478,6 +487,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             # Gray gate: level 2 adds flaps + a correlated rack failure on
             # top of the classic kinds, robustness stack fully on.
             levels = [2]
+        if args.manager_crash:
+            # Recovery gate: a longer horizon so the outage (5-15% of it)
+            # overlaps running jobs and recovery completes on-trace.
+            horizon = 60.0
     else:
         try:
             levels = [int(x) for x in args.levels.split(",") if x.strip()]
@@ -508,8 +521,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             admission_control=True,
             blacklist_timeout=10.0,
         )
+    if args.manager_crash:
+        # Crash-recovery mode: checkpointed control plane with leases.  A
+        # generous lease keeps restarts work-preserving; the short renewal
+        # interval is what the closed-form expiry math ticks on.
+        base = replace(
+            base,
+            manager_recovery=True,
+            lease_duration=120.0,
+            lease_renew_interval=5.0,
+            checkpoint_interval=15.0,
+            reconciliation_window=2.0,
+        )
     sweep = chaos_sweep(
-        base, levels=levels, managers=managers, horizon=horizon, gray=args.gray
+        base, levels=levels, managers=managers, horizon=horizon,
+        gray=args.gray, manager_crash=args.manager_crash,
     )
     if args.trace:
         for (manager, level), result in sorted(sweep.results.items()):
@@ -531,6 +557,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     c.hedges_launched, c.hedges_won, c.retries_denied,
                     c.breaker_opens, c.breakers_open_at_end,
                     c.admission_deferred, c.load_shed]
+    if args.manager_crash:
+        headers += ["crashes", "recovered", "readopted", "lease exp.",
+                    "zombies", "buffered", "lease requeue"]
+        for row, c in zip(rows, sweep.cells):
+            row += [c.manager_crashes, c.manager_recoveries,
+                    c.leases_readopted, c.leases_expired,
+                    c.zombies_reclaimed, c.submissions_buffered,
+                    c.recovery_tasks_requeued]
     print(format_table(
         headers,
         rows,
@@ -548,6 +582,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "horizon": horizon,
             "detector_timeout": detector_timeout,
             "gray": args.gray,
+            "manager_crash": args.manager_crash,
             "levels": list(levels),
             "managers": list(managers),
             "cells": [
@@ -603,12 +638,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     f"{manager}/L{level}: breaker closed without a "
                     "half-open probe"
                 )
+        if args.manager_crash and level > 0 and result.faults is not None:
+            faults = result.faults
+            if not faults.manager_crashes:
+                violations.append(
+                    f"{manager}/L{level}: no manager crash injected"
+                )
+            if faults.manager_recoveries != faults.manager_crashes:
+                violations.append(
+                    f"{manager}/L{level}: {faults.manager_crashes} crashes "
+                    f"but {faults.manager_recoveries} completed recoveries"
+                )
+            if faults.zombies_surviving:
+                violations.append(
+                    f"{manager}/L{level}: {faults.zombies_surviving} zombie "
+                    "executors survived reconciliation"
+                )
     if violations:
         print("\nchaos smoke FAILED:", file=sys.stderr)
         for v in violations:
             print(f"  - {v}", file=sys.stderr)
         return 1
-    if args.gray:
+    if args.manager_crash:
+        print("\nrecovery chaos smoke passed: every manager crash recovered "
+              "work-preservingly, no zombie executors survived, all jobs "
+              "finished.")
+    elif args.gray:
         print("\ngray chaos smoke passed: all jobs finished under flaps and "
               "correlated failures, every breaker reconverged to closed.")
     else:
@@ -784,7 +839,9 @@ def _report_smoke_snapshot(seed: int) -> dict:
     """Run the fixed chaos scenario with the registry on; return a snapshot.
 
     Mirrors the ``trace --smoke`` scenario so the metrics gate measures a
-    run with real faults, recovery traffic and all five layers active.
+    run with real faults, recovery traffic and all five layers active —
+    plus one manager crash, so the recovery SLOs (restart duration, zero
+    zombie survivors) gate a restart that actually happened.
     """
     import numpy as np
 
@@ -800,12 +857,17 @@ def _report_smoke_snapshot(seed: int) -> dict:
         detector_timeout=10.0,
         metrics=True,
         trace=True,
+        manager_recovery=True,
+        lease_duration=120.0,
+        lease_renew_interval=5.0,
+        checkpoint_interval=15.0,
+        reconciliation_window=2.0,
     )
     rng = np.random.default_rng([config.seed, 7919, 1])
     fault_plan = build_chaos_plan(
         config.num_nodes, config.executors_per_node, rng,
         node_failures=1, partitions=1, degradations=1,
-        executor_failures=1, slowdowns=1, horizon=40.0,
+        executor_failures=1, slowdowns=1, manager_crashes=1, horizon=40.0,
     )
     result = run_experiment(config, fault_plan=fault_plan)
     assert result.registry is not None
@@ -849,7 +911,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 2
 
     print(render_scoreboard(snapshot))
-    specs = load_slo_specs(args.slo) if args.slo else default_slos()
+    specs = (
+        load_slo_specs(args.slo) if args.slo
+        else default_slos(include_recovery=args.smoke)
+    )
     slo_report = evaluate_slos(specs, snapshot)
     print()
     print(slo_report.describe())
@@ -881,6 +946,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             "net_rate_recomputes_total",   # network engines
             "faults_injected_total",       # faults/detector
             "job_arrivals_total",          # workload/queue
+            "manager_crashes_total",       # crash-recovery stack
         }
         missing = sorted(required - exported)
         if missing:
@@ -890,8 +956,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
             for p in problems:
                 print(f"  - {p}", file=sys.stderr)
             return 1
-        print("\nmetrics smoke passed: all five layers exported, SLOs met, "
-              "exposition round-trips through the parser.")
+        print("\nmetrics smoke passed: every instrumented layer exported, "
+              "SLOs met, exposition round-trips through the parser.")
     return 0
 
 

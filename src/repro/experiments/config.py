@@ -98,6 +98,16 @@ class ExperimentConfig:
     admission_control: bool = False  # defer job admission under overload
     admission_factor: float = 4.0  # overload = demand > factor * capacity
     admission_retry: float = 5.0  # seconds between admission re-checks
+    # -------------------------------------------------------- recovery knobs
+    # All default-off: without manager_recovery the control plane is the
+    # immortal seed manager and no ManagerCrash may appear in the plan.
+    manager_recovery: bool = False  # checkpoint/WAL/lease crash-recovery
+    lease_duration: float = 60.0  # grant lease TTL after its last renewal
+    lease_renew_interval: float = 10.0  # healthy-manager renewal period
+    checkpoint_interval: float = 30.0  # state snapshot period (piggybacked)
+    reconciliation_window: float = 5.0  # post-restart re-register window
+    wal_flush_lag: float = 0.0  # trailing WAL seconds lost by a crash
+    submission_retry_limit: int = 6  # driver retries against a down manager
 
     def __post_init__(self) -> None:
         if self.manager not in _MANAGERS:
@@ -217,6 +227,34 @@ class ExperimentConfig:
         if self.admission_retry <= 0:
             raise ConfigurationError(
                 f"admission_retry must be positive, got {self.admission_retry}"
+            )
+        if self.lease_duration <= 0:
+            raise ConfigurationError(
+                f"lease_duration must be positive, got {self.lease_duration}"
+            )
+        if self.lease_renew_interval <= 0:
+            raise ConfigurationError(
+                f"lease_renew_interval must be positive, "
+                f"got {self.lease_renew_interval}"
+            )
+        if self.checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be positive, "
+                f"got {self.checkpoint_interval}"
+            )
+        if self.reconciliation_window < 0:
+            raise ConfigurationError(
+                f"reconciliation_window must be >= 0, "
+                f"got {self.reconciliation_window}"
+            )
+        if self.wal_flush_lag < 0:
+            raise ConfigurationError(
+                f"wal_flush_lag must be >= 0, got {self.wal_flush_lag}"
+            )
+        if self.submission_retry_limit < 1:
+            raise ConfigurationError(
+                f"submission_retry_limit must be >= 1, "
+                f"got {self.submission_retry_limit}"
             )
         if self.trace_sample_interval <= 0:
             raise ConfigurationError(

@@ -25,7 +25,7 @@ from repro.common.units import BlockSpec
 from repro.experiments.config import ExperimentConfig
 from repro.faults.detector import AdaptiveFailureDetector, FailureDetector
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, ManagerCrash
 from repro.hdfs.filesystem import HDFS
 from repro.hdfs.placement import (
     PlacementPolicy,
@@ -37,6 +37,7 @@ from repro.managers.admission import AdmissionController
 from repro.managers.base import ClusterManager
 from repro.managers.custody import CustodyManager
 from repro.managers.mesos import MesosManager
+from repro.managers.recovery import RecoveryCoordinator
 from repro.managers.standalone import StandaloneManager
 from repro.managers.yarn import YarnManager
 from repro.metrics.collector import (
@@ -89,6 +90,7 @@ class ExperimentResult:
     trace_events: Optional[list] = None
     sampler: Optional[TimeSeriesSampler] = None
     registry: Optional[MetricsRegistry] = None
+    recovery: Optional[RecoveryCoordinator] = None
 
 
 def _make_placement(config: ExperimentConfig) -> PlacementPolicy:
@@ -348,6 +350,29 @@ def run_experiment(
                 retry_interval=config.admission_retry,
             )
         )
+    recovery: Optional[RecoveryCoordinator] = None
+    if config.manager_recovery:
+        recovery = RecoveryCoordinator(
+            sim,
+            lease_duration=config.lease_duration,
+            lease_renew_interval=config.lease_renew_interval,
+            checkpoint_interval=config.checkpoint_interval,
+            reconciliation_window=config.reconciliation_window,
+            wal_flush_lag=config.wal_flush_lag,
+            timeline=timeline if config.timeline_enabled else None,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        manager.attach_recovery(recovery)
+    if (
+        fault_plan is not None
+        and recovery is None
+        and any(isinstance(e, ManagerCrash) for e in fault_plan)
+    ):
+        raise ConfigurationError(
+            "fault plan contains ManagerCrash events but manager_recovery "
+            "is off; enable it on the ExperimentConfig"
+        )
     injector: Optional[FaultInjector] = None
     detector: Optional[FailureDetector] = None
     if fault_plan is not None and len(fault_plan):
@@ -408,6 +433,7 @@ def run_experiment(
             ),
             retry_budget=config.retry_budget,
             retry_refill=config.retry_refill,
+            submission_retry_limit=config.submission_retry_limit,
             circuit_breaker=config.circuit_breaker,
             hedging=config.hedging,
             hedge_quantile=config.hedge_quantile,
@@ -510,6 +536,28 @@ def run_experiment(
             breakers_open_at_end=breakers_open,
             admission_deferred=admission.admission_deferred if admission else 0,
             load_shed=admission.load_shed if admission else 0,
+            manager_crashes=recovery.manager_crashes if recovery else 0,
+            manager_recoveries=recovery.recoveries if recovery else 0,
+            recovery_seconds_mean=(
+                sum(recovery.recovery_durations) / len(recovery.recovery_durations)
+                if recovery and recovery.recovery_durations
+                else 0.0
+            ),
+            leases_readopted=recovery.leases_readopted if recovery else 0,
+            leases_expired=recovery.leases_expired if recovery else 0,
+            zombies_reclaimed=recovery.zombies_reclaimed if recovery else 0,
+            zombies_surviving=recovery.zombies_surviving if recovery else 0,
+            wal_replay_entries=recovery.wal_replay_entries if recovery else 0,
+            wal_lost_entries=recovery.wal_lost_entries if recovery else 0,
+            checkpoints_taken=recovery.log.checkpoints_taken if recovery else 0,
+            rounds_stalled=recovery.rounds_stalled if recovery else 0,
+            recovery_tasks_requeued=recovery.tasks_requeued if recovery else 0,
+            submissions_buffered=sum(
+                d.submissions_buffered for d in drivers.values()
+            ),
+            submission_retries=sum(
+                d.submission_retries for d in drivers.values()
+            ),
         )
     return ExperimentResult(
         config=config,
@@ -528,4 +576,5 @@ def run_experiment(
         trace_events=tracer.events() if tracer is not None else None,
         sampler=sampler,
         registry=registry,
+        recovery=recovery,
     )

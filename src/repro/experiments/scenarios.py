@@ -338,6 +338,15 @@ class ChaosCell:
     breakers_open_at_end: int = 0
     admission_deferred: int = 0
     load_shed: int = 0
+    #: crash-recovery tallies (zero unless manager crashes were injected)
+    manager_crashes: int = 0
+    manager_recoveries: int = 0
+    leases_readopted: int = 0
+    leases_expired: int = 0
+    zombies_reclaimed: int = 0
+    zombies_surviving: int = 0
+    submissions_buffered: int = 0
+    recovery_tasks_requeued: int = 0
 
 
 @dataclass
@@ -365,6 +374,7 @@ def chaos_sweep(
     managers: Sequence[str] = ("custody", "standalone", "yarn", "mesos"),
     horizon: float = 300.0,
     gray: bool = False,
+    manager_crash: bool = False,
 ) -> ChaosSweepResult:
     """Replay one seeded fault plan per level against every manager.
 
@@ -379,6 +389,10 @@ def chaos_sweep(
     draws happen after the classic ones, so a gray plan at level ``L``
     *extends* the classic plan for the same seed rather than reshuffling
     it.
+
+    ``manager_crash=True`` additionally takes the control plane down ``L``
+    times per level (drawn last, after every other kind, so it too only
+    extends the plan) — the base config must have ``manager_recovery`` on.
 
     ``base_config.manager`` is ignored; ``detector_timeout`` decides
     whether managers see the heartbeat-delayed view or ground truth.
@@ -402,6 +416,7 @@ def chaos_sweep(
                 slowdowns=level,
                 link_flaps=level if gray else 0,
                 correlated_failures=(1 if gray and level >= 2 else 0),
+                manager_crashes=level if manager_crash else 0,
                 horizon=horizon,
             )
         for manager in sweep.managers:
@@ -441,6 +456,20 @@ def chaos_sweep(
                     ),
                     admission_deferred=faults.admission_deferred if faults else 0,
                     load_shed=faults.load_shed if faults else 0,
+                    manager_crashes=faults.manager_crashes if faults else 0,
+                    manager_recoveries=(
+                        faults.manager_recoveries if faults else 0
+                    ),
+                    leases_readopted=faults.leases_readopted if faults else 0,
+                    leases_expired=faults.leases_expired if faults else 0,
+                    zombies_reclaimed=faults.zombies_reclaimed if faults else 0,
+                    zombies_surviving=faults.zombies_surviving if faults else 0,
+                    submissions_buffered=(
+                        faults.submissions_buffered if faults else 0
+                    ),
+                    recovery_tasks_requeued=(
+                        faults.recovery_tasks_requeued if faults else 0
+                    ),
                 )
             )
     return sweep

@@ -18,6 +18,7 @@ from repro.faults.plan import (
     FaultPlan,
     LinkDegradation,
     LinkFlap,
+    ManagerCrash,
     NetworkPartition,
     NodeFailure,
     NodeSlowdown,
@@ -38,6 +39,7 @@ def build_chaos_plan(
     slowdowns: int = 1,
     link_flaps: int = 0,
     correlated_failures: int = 0,
+    manager_crashes: int = 0,
     horizon: float = 300.0,
 ) -> FaultPlan:
     """Draw a random fault plan over ``[horizon * 0.05, horizon)``.
@@ -49,7 +51,9 @@ def build_chaos_plan(
 
     The gray kinds (``link_flaps``, ``correlated_failures``) default to 0
     and are drawn *after* the original kinds, so plans from existing seeds
-    are bit-identical to what earlier revisions produced.
+    are bit-identical to what earlier revisions produced.  ``manager_crashes``
+    (control-plane outages, requiring ``manager_recovery``) likewise default
+    to 0 and are drawn after the gray kinds for the same reason.
     """
     if num_nodes < 2:
         raise ConfigurationError(f"chaos needs >= 2 nodes, got {num_nodes}")
@@ -129,6 +133,13 @@ def build_chaos_plan(
                 at=_when(),
                 node_ids=tuple(f"worker-{int(i):03d}" for i in members),
                 restart_delay=float(rng.uniform(horizon * 0.1, horizon * 0.3)),
+            )
+        )
+    for _ in range(manager_crashes):
+        plan.add(
+            ManagerCrash(
+                at=_when(),
+                duration=float(rng.uniform(horizon * 0.05, horizon * 0.15)),
             )
         )
     return plan

@@ -33,6 +33,7 @@ from repro.faults.plan import (
     FaultPlan,
     LinkDegradation,
     LinkFlap,
+    ManagerCrash,
     NetworkPartition,
     NodeFailure,
     NodeSlowdown,
@@ -117,6 +118,11 @@ class FaultInjector:
         #: node id → set of (end_time, factor) currently active
         self._slowdowns: Dict[str, List[Tuple[float, float]]] = {}
         self._failed_executors: Set[str] = set()
+        #: executor id → failure generation, bumped on every kill.  Pending
+        #: restart callbacks carry the generation they belong to, so a
+        #: restart scheduled for an earlier failure cannot revive (or
+        #: double-count the heal of) a later one.
+        self._executor_fail_epoch: Dict[str, int] = {}
         self._down_nodes: Set[str] = set()
         self._partitions: List[frozenset] = []
         self._degradations: Dict[str, List[Tuple[float, float]]] = {}
@@ -153,6 +159,8 @@ class FaultInjector:
                 self.sim.schedule_at(event.at, self._start_flap, event)
             elif isinstance(event, CorrelatedFailure):
                 self.sim.schedule_at(event.at, self._fail_group, event)
+            elif isinstance(event, ManagerCrash):
+                self.sim.schedule_at(event.at, self._crash_manager, event)
             else:
                 raise ConfigurationError(f"unknown fault event {event!r}")
 
@@ -184,6 +192,11 @@ class FaultInjector:
                     raise ConfigurationError(
                         f"{type(event).__name__} targets unknown nodes {unknown!r}"
                     )
+            elif isinstance(event, ManagerCrash):
+                # Targets the control plane, not a cluster entity; the
+                # recovery-coordinator requirement is checked at fire time
+                # (the manager is bound after construction).
+                pass
             else:
                 raise ConfigurationError(f"unknown fault event {event!r}")
             if (
@@ -311,11 +324,19 @@ class FaultInjector:
         self._notify_manager()
         # Restart: the executor rejoins the free pool after the delay; a
         # reallocation nudge lets demand-driven managers pick it up.
-        self.sim.schedule(event.restart_delay, self._restart_executor, executor)
+        self.sim.schedule(
+            event.restart_delay,
+            self._restart_executor,
+            executor,
+            self._executor_fail_epoch[executor.executor_id],
+        )
 
     def _kill_executor(self, executor) -> None:
         """Shared crash path: mark down, kill attempts, release ownership."""
         self._failed_executors.add(executor.executor_id)
+        self._executor_fail_epoch[executor.executor_id] = (
+            self._executor_fail_epoch.get(executor.executor_id, 0) + 1
+        )
         executor.healthy = False
         owner = executor.owner
         if owner is not None:
@@ -328,7 +349,11 @@ class FaultInjector:
                 self.tasks_requeued += driver.on_executor_failure(executor)
             executor.release()
 
-    def _restart_executor(self, executor) -> None:
+    def _restart_executor(self, executor, epoch: int) -> None:
+        if epoch != self._executor_fail_epoch.get(executor.executor_id, 0):
+            return  # stale callback: the executor failed again meanwhile
+        if executor.executor_id not in self._failed_executors:
+            return  # already revived (e.g. its node restored); don't re-heal
         if executor.node_id in self._down_nodes:
             return  # the whole node crashed meanwhile; node restore handles it
         self._failed_executors.discard(executor.executor_id)
@@ -337,6 +362,43 @@ class FaultInjector:
             self.timeline.record("fault.executor.restart", executor.executor_id)
         self._trace_fault("executor", executor.executor_id, healed=True)
         self._notify_manager()
+
+    # ---------------------------------------------------------------- manager
+    def _crash_manager(self, event: ManagerCrash) -> None:
+        """Control-plane crash: hand the outage to the recovery coordinator.
+
+        The data plane (executors, drivers, transfers) keeps running; the
+        coordinator stalls allocation, marks the crash point in its WAL,
+        and schedules its own restart + reconciliation.  The injector only
+        owns the fault bookkeeping (trace/heal/MTTR) so chaos sweeps see
+        manager crashes like any other fault kind.
+        """
+        if self.manager is None:
+            raise ConfigurationError(
+                "FaultInjector needs bind_manager() before manager crashes"
+            )
+        recovery = getattr(self.manager, "recovery", None)
+        if recovery is None:
+            raise ConfigurationError(
+                "ManagerCrash requires a recovery coordinator; "
+                "enable manager_recovery on the experiment config"
+            )
+        self.injected += 1
+        if self.timeline is not None:
+            self.timeline.record("fault.manager", "manager", duration=event.duration)
+        self._trace_fault("manager", "manager", duration=event.duration)
+        recovery.crash(event.duration)
+        self.sim.schedule(event.duration, self._restore_manager, self.sim.now)
+
+    def _restore_manager(self, failed_at: float) -> None:
+        """The outage window ended: record the heal (the coordinator has
+        already restarted and begun reconciliation at this instant)."""
+        self.mttr.setdefault("manager", []).append(self.sim.now - failed_at)
+        if self.timeline is not None:
+            self.timeline.record("fault.manager.restart", "manager")
+        self._trace_fault(
+            "manager", "manager", healed=True, after=self.sim.now - failed_at
+        )
 
     # ------------------------------------------------------------------ disks
     def _fail_disk(self, event: DiskFailure) -> None:

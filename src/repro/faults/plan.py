@@ -19,6 +19,7 @@ __all__ = [
     "LinkDegradation",
     "LinkFlap",
     "CorrelatedFailure",
+    "ManagerCrash",
     "FaultPlan",
 ]
 
@@ -238,6 +239,28 @@ class CorrelatedFailure(FaultEvent):
         object.__setattr__(self, "node_ids", tuple(sorted(set(self.node_ids))))
 
 
+@dataclass(frozen=True)
+class ManagerCrash(FaultEvent):
+    """Control-plane crash: the cluster manager process dies for
+    ``duration`` seconds.  Registrations, submissions, and allocation
+    rounds stall; running executors and drivers keep working (the data
+    plane is unaffected — this is the classic control/data separation).
+
+    Requires a run with ``manager_recovery`` enabled: on expiry the
+    manager restarts from its last durable checkpoint + WAL suffix and
+    reconciles its lease ledger against the live cluster (re-adopting
+    live leases, expiring orphans, reclaiming zombie executors) before
+    resuming allocation.
+    """
+
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+
+
 #: JSON tag → event class, the serialisable surface of the fault model.
 _EVENT_TYPES = {
     cls.__name__: cls
@@ -250,6 +273,7 @@ _EVENT_TYPES = {
         LinkDegradation,
         LinkFlap,
         CorrelatedFailure,
+        ManagerCrash,
     )
 }
 #: dataclass fields serialised as JSON arrays that must round-trip to tuples

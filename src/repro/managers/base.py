@@ -101,6 +101,9 @@ class ClusterManager(abc.ABC):
         #: optional :class:`repro.managers.admission.AdmissionController`;
         #: None (the default) admits every job unconditionally.
         self.admission = None
+        #: optional :class:`repro.managers.recovery.RecoveryCoordinator`;
+        #: None (the default) = the immortal seed control plane.
+        self.recovery = None
 
     # ------------------------------------------------------------------ quota
     @property
@@ -134,10 +137,17 @@ class ClusterManager(abc.ABC):
             raise AllocationError(f"app {driver.app_id} registered twice")
         if driver.manager is not None and driver.manager is not self:
             raise AllocationError(f"driver {driver.app_id} already has a manager")
+        if self.recovery is not None and not self.recovery.available:
+            # The control plane is down: the registration queues and
+            # completes when reconciliation ends.
+            self.recovery.queue_registration(driver)
+            return
         self.drivers[driver.app_id] = driver
         driver.manager = self
         if self.timeline is not None:
             self.timeline.record("app.register", driver.app_id, manager=self.name)
+        if self.recovery is not None:
+            self.recovery.note_register(driver.app_id)
         self._on_register(driver)
 
     # ---------------------------------------------------------------- plumbing
@@ -150,6 +160,12 @@ class ClusterManager(abc.ABC):
         to the detector (so the master stops believing in the node), and the
         grant returns False instead of raising.
         """
+        if self.recovery is not None and not self.recovery.available:
+            # A dead control plane cannot hand out leases (offer paths can
+            # reach here without an allocation round, e.g. Mesos idle
+            # re-offers).
+            self.recovery.note_grant_refused()
+            return False
         injector = self.fault_injector
         if injector is not None and (
             not executor.healthy or not injector.node_reachable(executor.node_id)
@@ -204,6 +220,8 @@ class ClusterManager(abc.ABC):
                     },
                 )
             )
+        if self.recovery is not None:
+            self.recovery.note_grant(executor.executor_id, driver.app_id)
         driver.attach_executor(executor)
         return True
 
@@ -215,8 +233,12 @@ class ClusterManager(abc.ABC):
             )
         if executor.running_tasks:
             return False
+        if self.recovery is not None and not self.recovery.available:
+            return False  # revocation is a manager decision; it is down
         driver.detach_executor(executor)
         executor.release()
+        if self.recovery is not None:
+            self.recovery.note_release(executor.executor_id, driver.app_id)
         self._note_pool_change(executor)
         if self.timeline is not None:
             self.timeline.record(
@@ -247,7 +269,14 @@ class ClusterManager(abc.ABC):
         via :meth:`Simulation.defer`; further same-instant triggers are
         absorbed (counted as ``alloc_rounds_coalesced``), so N job
         boundaries cost one round.
+
+        Every manager (and the admission controller's re-check timer)
+        routes allocation through here, so this single gate stalls the
+        whole control plane while a crashed manager is down.
         """
+        if self.recovery is not None and not self.recovery.rounds_enabled:
+            self.recovery.note_round_stalled()
+            return
         if not self.coalesce:
             self._run_round()
             return
@@ -265,6 +294,11 @@ class ClusterManager(abc.ABC):
 
     def _run_round(self) -> None:
         """Execute one allocation pass, timing it into the perf counters."""
+        if self.recovery is not None and not self.recovery.rounds_enabled:
+            # Direct callers (Mesos offer retry) bypass _schedule_round;
+            # the disjoint gates never double-count a stalled trigger.
+            self.recovery.note_round_stalled()
+            return
         self._m_rounds.inc()
         if self.counters is None:
             self._allocation_round()
@@ -340,6 +374,12 @@ class ClusterManager(abc.ABC):
         """Install an :class:`~repro.managers.admission.AdmissionController`."""
         controller.bind(self)
         self.admission = controller
+
+    # ---------------------------------------------------------------- recovery
+    def attach_recovery(self, coordinator) -> None:
+        """Install a :class:`~repro.managers.recovery.RecoveryCoordinator`."""
+        coordinator.bind(self)
+        self.recovery = coordinator
 
     def admit_job(self, driver: "ApplicationDriver", job: Job) -> bool:
         """Overload gate consulted by job-submission hooks.

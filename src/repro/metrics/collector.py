@@ -145,6 +145,22 @@ class FaultStats:
     breakers_open_at_end: int = 0  #: breakers still excluding a node at quiescence
     admission_deferred: int = 0  #: job admissions deferred under overload
     load_shed: int = 0  #: re-checks that found the overload sustained
+    # ----------------------------------------------- crash-recovery tallies
+    # All zero unless manager_recovery was on and a ManagerCrash fired.
+    manager_crashes: int = 0  #: control-plane crashes injected
+    manager_recoveries: int = 0  #: restarts that completed reconciliation
+    recovery_seconds_mean: float = 0.0  #: mean crash -> allocation-resumed
+    leases_readopted: int = 0  #: live leases re-adopted work-preservingly
+    leases_expired: int = 0  #: leases past expiry (reclaimed or orphaned)
+    zombies_reclaimed: int = 0  #: allocated executors the WAL never recorded
+    zombies_surviving: int = 0  #: zombies still allocated after reconciliation
+    wal_replay_entries: int = 0  #: WAL entries replayed by the last restart
+    wal_lost_entries: int = 0  #: WAL tail destroyed by the flush lag
+    checkpoints_taken: int = 0  #: manager state snapshots taken
+    rounds_stalled: int = 0  #: round triggers dropped while down
+    recovery_tasks_requeued: int = 0  #: tasks requeued by lease reclaims
+    submissions_buffered: int = 0  #: jobs buffered against a down manager
+    submission_retries: int = 0  #: buffered-submission retry attempts
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready projection."""
@@ -179,6 +195,20 @@ class FaultStats:
             "breakers_open_at_end": self.breakers_open_at_end,
             "admission_deferred": self.admission_deferred,
             "load_shed": self.load_shed,
+            "manager_crashes": self.manager_crashes,
+            "manager_recoveries": self.manager_recoveries,
+            "recovery_seconds_mean": self.recovery_seconds_mean,
+            "leases_readopted": self.leases_readopted,
+            "leases_expired": self.leases_expired,
+            "zombies_reclaimed": self.zombies_reclaimed,
+            "zombies_surviving": self.zombies_surviving,
+            "wal_replay_entries": self.wal_replay_entries,
+            "wal_lost_entries": self.wal_lost_entries,
+            "checkpoints_taken": self.checkpoints_taken,
+            "rounds_stalled": self.rounds_stalled,
+            "recovery_tasks_requeued": self.recovery_tasks_requeued,
+            "submissions_buffered": self.submissions_buffered,
+            "submission_retries": self.submission_retries,
         }
 
     def describe(self) -> str:

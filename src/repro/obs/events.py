@@ -45,6 +45,9 @@ __all__ = [
     "BreakerTransition",
     "HedgeLaunch",
     "AdmissionDecision",
+    "ManagerDown",
+    "ManagerRestart",
+    "LeaseOutcome",
 ]
 
 #: The five instrumented layers; ``TraceEvent.cat`` is always one of these.
@@ -279,4 +282,43 @@ class AdmissionDecision(TraceEvent):
     """
 
     name: str = "admission.decision"
+    cat: str = MANAGER
+
+
+# ------------------------------------------------------- recovery (manager)
+@dataclass(frozen=True)
+class ManagerDown(TraceEvent):
+    """The control plane crashed; allocation stalls until restart.
+
+    attrs: ``outage`` (scheduled downtime), ``leases`` (outstanding at the
+    crash), ``wal_durable`` (entries that survived), ``wal_lost`` (trailing
+    entries dropped by the flush lag).
+    """
+
+    name: str = "manager.down"
+    cat: str = MANAGER
+
+
+@dataclass(frozen=True)
+class ManagerRestart(TraceEvent):
+    """The manager restarted and finished a recovery phase.
+
+    attrs: ``phase`` ("replay" | "recovered"), ``wal_replayed``,
+    ``readopted``, ``expired``, ``zombies``, and on the final phase
+    ``duration`` (crash → allocation resumed).
+    """
+
+    name: str = "manager.restart"
+    cat: str = MANAGER
+
+
+@dataclass(frozen=True)
+class LeaseOutcome(TraceEvent):
+    """Reconciliation decided one executor lease's fate.
+
+    attrs: ``executor``, ``app``, ``outcome`` ("readopted" | "expired" |
+    "zombie").
+    """
+
+    name: str = "lease.outcome"
     cat: str = MANAGER

@@ -294,13 +294,18 @@ def load_slo_specs(path: Union[str, Path]) -> List[SloSpec]:
     return specs
 
 
-def default_slos() -> List[SloSpec]:
+def default_slos(include_recovery: bool = False) -> List[SloSpec]:
     """The smoke-run scoreboard objectives (used by ``repro report --smoke``).
 
     Thresholds are deliberately loose — these gate "the run is sane", not
     performance; perf regressions are caught by ``repro report --diff``.
+
+    With ``include_recovery`` the crash-recovery objectives join the
+    scoreboard: restarts must finish reconciliation quickly and no zombie
+    executor may survive it (both metrics exist on every recovery-enabled
+    run, so ``required=True`` also catches runs that forgot the stack).
     """
-    return [
+    specs = [
         SloSpec(
             "all-jobs-finish",
             metric="run_jobs_unfinished",
@@ -334,3 +339,23 @@ def default_slos() -> List[SloSpec]:
             description="admission control never had to shed a job",
         ),
     ]
+    if include_recovery:
+        specs.extend([
+            SloSpec(
+                "recovery-p99",
+                metric="manager_recovery_seconds",
+                stat="p99",
+                op="<=",
+                threshold=600.0,
+                description="p99 crash-to-recovered stays inside the MTTR bound",
+            ),
+            SloSpec(
+                "no-zombie-survivors",
+                metric="manager_zombies_surviving",
+                op="<=",
+                threshold=0.0,
+                required=True,
+                description="reconciliation reclaimed every zombie executor",
+            ),
+        ])
+    return specs

@@ -32,6 +32,7 @@ from repro.scenarios import (  # noqa: F401
     littles_law,
     locality,
     queueing,
+    recovery,
     workloads,
 )
 

@@ -111,6 +111,7 @@ class ApplicationDriver:
         retry_jitter_rng=None,
         retry_budget: Optional[int] = None,
         retry_refill: float = 0.0,
+        submission_retry_limit: int = 6,
         circuit_breaker: bool = False,
         hedging: bool = False,
         hedge_quantile: float = 0.95,
@@ -142,6 +143,10 @@ class ApplicationDriver:
             raise ValueError(f"retry_budget must be >= 1, got {retry_budget}")
         if retry_refill < 0:
             raise ValueError(f"retry_refill must be >= 0, got {retry_refill}")
+        if submission_retry_limit < 1:
+            raise ValueError(
+                f"submission_retry_limit must be >= 1, got {submission_retry_limit}"
+            )
         if not (0.0 < hedge_quantile <= 1.0):
             raise ValueError(f"hedge_quantile must be in (0, 1], got {hedge_quantile}")
         if hedge_multiplier < 1.0:
@@ -167,6 +172,7 @@ class ApplicationDriver:
         self.retry_jitter_rng = retry_jitter_rng
         self.retry_budget_tokens = retry_budget
         self.retry_refill = retry_refill
+        self.submission_retry_limit = submission_retry_limit
         self.hedging = hedging
         self.hedge_quantile = hedge_quantile
         self.hedge_multiplier = hedge_multiplier
@@ -198,6 +204,11 @@ class ApplicationDriver:
         self.hedges_won = 0
         self.hedges_lost = 0
         self.retries_denied = 0
+        self.submissions_buffered = 0
+        self.submission_retries = 0
+        #: jobs accepted locally while the manager was down; the manager
+        #: notification is delivered by retry or by the recovery flush
+        self._pending_submissions: List[Job] = []
         self._executors: Dict[str, Executor] = {}
         self._runnable: List[Task] = []
         self._attempts: Dict[str, List[_Attempt]] = {}
@@ -272,6 +283,11 @@ class ApplicationDriver:
         self._m_queue_depth = self.metrics.gauge(
             "runnable_queue_depth", "Tasks waiting for a slot right now.", ("app",)
         ).labels(app=app_label)
+        self._m_submissions_buffered = self.metrics.counter(
+            "driver_submissions_buffered_total",
+            "Job submissions accepted locally while the manager was down.",
+            ("app",),
+        ).labels(app=app_label)
         #: task id → failed attempt count (drives backoff and the budget)
         self._failure_counts: Dict[str, int] = {}
         #: node id → recent attempt-failure timestamps (blacklist window)
@@ -328,8 +344,68 @@ class ApplicationDriver:
                 "job.submit", job.job_id, app=self.app_id, inputs=job.num_input_tasks
             )
         if self.manager is not None:
-            self.manager.on_job_submitted(self, job)
+            recovery = self.manager.recovery
+            if recovery is not None and not recovery.accepting_submissions:
+                # The control plane is down: the job is accepted locally
+                # (it can run on already-owned executors) and the manager
+                # notification is retried with bounded backoff.
+                self._buffer_submission(job)
+            else:
+                if recovery is not None:
+                    recovery.note_job_submitted(self.app_id, job.job_id)
+                self.manager.on_job_submitted(self, job)
         self._dispatch_or_defer()
+
+    def _buffer_submission(self, job: Job) -> None:
+        """Queue a manager notification the dead control plane missed."""
+        self._pending_submissions.append(job)
+        self.submissions_buffered += 1
+        self._m_submissions_buffered.inc()
+        if self.timeline is not None:
+            self.timeline.record("job.submit.buffered", job.job_id, app=self.app_id)
+        self.tracer.instant(
+            "job.submit.buffered", "driver", track=self.app_id, job=job.job_id
+        )
+        self._schedule_submission_retry(job, 1)
+
+    def _schedule_submission_retry(self, job: Job, attempt: int) -> None:
+        """Full-jitter exponential backoff, same shape as task retries."""
+        delay = min(self.retry_backoff * (2.0 ** (attempt - 1)), 60.0)
+        if self.retry_jitter_rng is not None and delay > 0:
+            delay = float(self.retry_jitter_rng.uniform(0.0, delay))
+        self.sim.schedule(delay, self._retry_submission, job, attempt)
+
+    def _retry_submission(self, job: Job, attempt: int) -> None:
+        if job not in self._pending_submissions:
+            return  # already delivered by the recovery flush
+        manager = self.manager
+        if manager is None:
+            return
+        recovery = manager.recovery
+        if recovery is None or recovery.accepting_submissions:
+            self._pending_submissions.remove(job)
+            self.submission_retries += 1
+            if recovery is not None:
+                recovery.note_job_submitted(self.app_id, job.job_id)
+            manager.on_job_submitted(self, job)
+            return
+        if attempt >= self.submission_retry_limit:
+            # Bounded: give up retrying; the coordinator's post-recovery
+            # flush delivers whatever is still pending.
+            return
+        self.submission_retries += 1
+        self._schedule_submission_retry(job, attempt + 1)
+
+    def flush_pending_submissions(self) -> None:
+        """Recovery hook: deliver every buffered submission to the manager."""
+        if self.manager is None or not self._pending_submissions:
+            return
+        pending, self._pending_submissions = self._pending_submissions, []
+        recovery = self.manager.recovery
+        for job in pending:
+            if recovery is not None:
+                recovery.note_job_submitted(self.app_id, job.job_id)
+            self.manager.on_job_submitted(self, job)
 
     def _enqueue_stage(self, job: Job, stage_index: int) -> None:
         stage = job.stages[stage_index]
@@ -410,6 +486,39 @@ class ApplicationDriver:
                     continue
                 if self._handle_task_failure(task, executor.node_id, "executor-lost"):
                     requeued += 1
+        self._executors.pop(executor.executor_id, None)
+        self.demand_epoch += 1
+        self._dispatch()
+        return requeued
+
+    def reclaim_executor(self, executor: Executor) -> int:
+        """Recovery hook: the restarted manager reclaimed ``executor``
+        (expired lease or zombie).  Kills its attempts and requeues the
+        tasks immediately — a control-plane action, so unlike
+        :meth:`on_executor_failure` the node is not penalised (no
+        blacklist/breaker signal, no failure count, no retry-budget spend).
+        """
+        victims = [
+            attempt
+            for attempts in self._attempts.values()
+            for attempt in attempts
+            if attempt.executor is executor
+        ]
+        requeued = 0
+        for attempt in victims:
+            task = attempt.task
+            self._kill_attempt(attempt)
+            if not self._attempts.get(task.task_id):
+                self._attempts.pop(task.task_id, None)
+                if task.cancelled or task.finished_at is not None:
+                    continue
+                task.started_at = None
+                task.executor_id = None
+                task.node_id = None
+                task.was_local = None
+                task.read_time = None
+                self._requeue_task(task, executor.node_id, dispatch=False)
+                requeued += 1
         self._executors.pop(executor.executor_id, None)
         self.demand_epoch += 1
         self._dispatch()

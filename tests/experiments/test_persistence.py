@@ -49,6 +49,59 @@ def test_version_check(result, tmp_path):
         load_result(path)
 
 
+def _downgrade_to_v1(data):
+    """Rewrite a v2 payload into the v1 shape: no nested section markers,
+    no derived metric fields, no speculation counters or extra sections."""
+    v1 = {
+        "format_version": 1,
+        "config": data["config"],
+        "metrics": dict(data["metrics"]),
+        "sim_time": data["sim_time"],
+        "allocation_rounds": data["allocation_rounds"],
+    }
+    v1["metrics"].pop("format_version", None)
+    v1["metrics"].pop("min_local_job_fraction", None)
+    return v1
+
+
+class TestBackwardCompat:
+    def test_v1_snapshot_loads_through_v2_loader(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        v1 = _downgrade_to_v1(json.loads(path.read_text()))
+        path.write_text(json.dumps(v1))
+        loaded = load_result(path)
+        assert loaded["config"] == result.config
+        assert loaded["metrics"] == result.metrics
+        assert loaded["sim_time"] == result.sim_time
+        # v1 predates speculation counters: they migrate to zero.
+        assert loaded["speculative_launches"] == 0
+        assert loaded["speculative_wins"] == 0
+        assert loaded["metrics_snapshot"] is None
+
+    @pytest.mark.parametrize("version", [0, 3, "2", None])
+    def test_unreadable_version_names_itself(self, result, tmp_path, version):
+        path = save_result(result, tmp_path / "result.json")
+        data = json.loads(path.read_text())
+        if version is None:
+            del data["format_version"]
+        else:
+            data["format_version"] = version
+        path.write_text(json.dumps(data))
+        with pytest.raises(
+            ConfigurationError,
+            match=f"unsupported result format version {version!r}",
+        ):
+            load_result(path)
+
+    def test_error_lists_readable_versions(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        data = json.loads(path.read_text())
+        data["format_version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError, match=r"\(1, 2\)"):
+            load_result(path)
+
+
 def test_timeline_export_round_trip(result, tmp_path):
     path = export_timeline(result.timeline, tmp_path / "timeline.jsonl")
     records = load_timeline_records(path)

@@ -1,15 +1,22 @@
-"""FaultPlan JSON round-trip, the gray event types, and the checked fixture."""
+"""FaultPlan JSON round-trip, the gray event types, and the checked fixtures."""
 
 import json
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.common.errors import ConfigurationError
 from repro.faults.plan import (
     CorrelatedFailure,
+    DiskFailure,
+    ExecutorFailure,
     FaultPlan,
+    LinkDegradation,
     LinkFlap,
+    ManagerCrash,
+    NetworkPartition,
     NodeFailure,
     NodeSlowdown,
 )
@@ -17,6 +24,9 @@ from repro.faults.plan import (
 pytestmark = [pytest.mark.faults, pytest.mark.robustness]
 
 FIXTURE = Path(__file__).parent.parent / "fixtures" / "fault_plan_gray.json"
+CRASH_FIXTURE = (
+    Path(__file__).parent.parent / "fixtures" / "fault_plan_manager_crash.json"
+)
 
 
 class TestLinkFlap:
@@ -161,6 +171,76 @@ class TestFixture:
         assert flap.down_windows()[0] == (18.0, 20.0)
         corr = next(e for e in plan.events if isinstance(e, CorrelatedFailure))
         assert corr.node_ids == ("worker-008", "worker-009", "worker-010")
+
+
+class TestManagerCrashFixture:
+    def test_fixture_loads_and_round_trips(self):
+        text = CRASH_FIXTURE.read_text()
+        plan = FaultPlan.from_json(text)
+        kinds = [type(e).__name__ for e in plan.events]
+        assert kinds == [
+            "ManagerCrash", "ExecutorFailure", "NodeFailure",
+            "NetworkPartition", "ManagerCrash",
+        ]
+        crashes = plan.of_type(ManagerCrash)
+        assert [(c.at, c.duration) for c in crashes] == [
+            (10.0, 15.0), (40.0, 8.0),
+        ]
+        assert plan.to_json() == text.rstrip("\n")
+
+
+# ------------------------- Hypothesis round-trip over every fault kind
+_WORKER = st.integers(0, 19).map(lambda i: f"worker-{i:03d}")
+_AT = st.floats(min_value=0.0, max_value=300.0, allow_nan=False)
+_DURATION = st.floats(min_value=0.1, max_value=120.0, allow_nan=False)
+_DELAY = st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+
+_EVENTS = st.one_of(
+    st.builds(
+        NodeSlowdown, at=_AT, node_id=_WORKER, duration=_DURATION,
+        factor=st.floats(min_value=1.0, max_value=16.0),
+    ),
+    st.builds(
+        ExecutorFailure, at=_AT,
+        executor_id=st.integers(0, 39).map(lambda i: f"executor-{i:03d}"),
+        restart_delay=_DELAY,
+    ),
+    st.builds(
+        DiskFailure, at=_AT, node_id=_WORKER, re_replicate=st.booleans()
+    ),
+    st.builds(
+        NodeFailure, at=_AT, node_id=_WORKER, restart_delay=_DELAY,
+        re_replicate=st.booleans(),
+    ),
+    st.builds(
+        NetworkPartition, at=_AT, duration=_DURATION,
+        nodes=st.sets(_WORKER, min_size=1, max_size=6).map(tuple),
+    ),
+    st.builds(
+        LinkDegradation, at=_AT, node_id=_WORKER, duration=_DURATION,
+        factor=st.floats(min_value=1.1, max_value=16.0),
+    ),
+    st.builds(
+        LinkFlap, at=_AT, node_id=_WORKER, duration=_DURATION,
+        period=st.floats(min_value=0.5, max_value=30.0),
+        down_fraction=st.floats(min_value=0.01, max_value=0.99),
+    ),
+    st.builds(
+        CorrelatedFailure, at=_AT,
+        node_ids=st.sets(_WORKER, min_size=2, max_size=6).map(tuple),
+        restart_delay=_DELAY, re_replicate=st.booleans(),
+    ),
+    st.builds(ManagerCrash, at=_AT, duration=_DURATION),
+)
+
+
+@given(events=st.lists(_EVENTS, max_size=12))
+@settings(max_examples=80, deadline=None)
+def test_any_plan_round_trips_through_json(events):
+    """Every fault kind survives to_json → from_json identically."""
+    plan = FaultPlan(events)
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored.events == plan.events
 
 
 def test_slowdown_round_trip_preserves_defaults():

@@ -1,0 +1,202 @@
+"""RecoveryLog, lease math, and the versioned on-disk recovery state."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.managers.recovery import (
+    Lease,
+    ManagerCheckpoint,
+    RecoveryCoordinator,
+    RecoveryLog,
+    WalEntry,
+    load_recovery_state,
+    save_recovery_state,
+)
+from repro.simulation.engine import Simulation
+
+pytestmark = pytest.mark.recovery
+
+
+class TestRecoveryLog:
+    def test_append_assigns_total_order(self):
+        log = RecoveryLog()
+        a = log.append(1.0, "grant", executor="e0", app="a0")
+        b = log.append(2.0, "release", executor="e0", app="a0")
+        assert (a.seq, b.seq) == (1, 2)
+        assert log.entries_total == 2
+        assert a.args == (("app", "a0"), ("executor", "e0"))
+
+    def test_checkpoint_truncates_covered_prefix(self):
+        log = RecoveryLog()
+        log.append(1.0, "grant", executor="e0")
+        log.append(2.0, "grant", executor="e1")
+        log.install_checkpoint(ManagerCheckpoint(seq=1, taken_at=1.5))
+        assert [e.seq for e in log.entries] == [2]
+        assert log.checkpoints_taken == 1
+
+    def test_checkpoint_due_uses_interval(self):
+        log = RecoveryLog(checkpoint_interval=10.0)
+        assert not log.checkpoint_due(9.9)
+        assert log.checkpoint_due(10.0)
+        log.install_checkpoint(ManagerCheckpoint(seq=0, taken_at=10.0))
+        assert not log.checkpoint_due(19.0)
+        assert log.checkpoint_due(20.0)
+
+    def test_flush_lag_splits_durable_and_lost(self):
+        log = RecoveryLog(flush_lag=5.0)
+        log.append(1.0, "grant", executor="e0")
+        log.append(7.0, "grant", executor="e1")
+        log.append(9.0, "grant", executor="e2")
+        # Crash at t=10: horizon is 5.0, so entries after it are destroyed.
+        assert [e.ts for e in log.durable_entries(10.0)] == [1.0]
+        assert [e.ts for e in log.lost_entries(10.0)] == [7.0, 9.0]
+
+    def test_zero_lag_is_synchronous(self):
+        log = RecoveryLog()
+        log.append(3.0, "grant", executor="e0")
+        assert log.lost_entries(3.0) == []
+        assert len(log.durable_entries(3.0)) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"checkpoint_interval": 0.0}, {"flush_lag": -1.0}]
+    )
+    def test_invalid_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RecoveryLog(**kwargs)
+
+
+class TestLeaseMath:
+    def _coord(self, **kwargs):
+        defaults = dict(lease_duration=60.0, lease_renew_interval=10.0)
+        defaults.update(kwargs)
+        return RecoveryCoordinator(Simulation(), **defaults)
+
+    def test_last_renewal_is_floor_of_ticks(self):
+        coord = self._coord()
+        # Granted at 7, crash at 43: ticks at 17, 27, 37 → last is 37.
+        assert coord._last_renewal(7.0, 43.0) == 37.0
+
+    def test_last_renewal_before_first_tick(self):
+        coord = self._coord()
+        assert coord._last_renewal(7.0, 9.0) == 7.0
+
+    def test_lease_live_within_duration_of_last_renewal(self):
+        coord = self._coord()
+        # Last renewal 37, expiry 97: a restart at 97 re-adopts, 97+ε expires.
+        assert coord.lease_live(7.0, 43.0, 97.0)
+        assert not coord.lease_live(7.0, 43.0, 97.1)
+
+    def test_short_lease_dies_during_long_outage(self):
+        coord = self._coord(lease_duration=5.0, lease_renew_interval=1.0)
+        assert not coord.lease_live(0.0, 10.0, 40.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lease_duration": 0.0},
+            {"lease_renew_interval": 0.0},
+            {"reconciliation_window": -1.0},
+        ],
+    )
+    def test_invalid_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            self._coord(**kwargs)
+
+    def test_crash_rejects_nonpositive_outage(self):
+        with pytest.raises(ConfigurationError):
+            self._coord().crash(0.0)
+
+
+class TestOnDiskState:
+    def _log(self) -> RecoveryLog:
+        log = RecoveryLog(flush_lag=2.0)
+        log.install_checkpoint(
+            ManagerCheckpoint(
+                seq=0,
+                taken_at=0.0,
+                apps=("app-00", "app-01"),
+                leases=(Lease("executor-000", "app-00", 1.0),),
+                demand_epochs=(("app-00", 3), ("app-01", 1)),
+                admission_queue=("job-07",),
+            )
+        )
+        log.append(5.0, "grant", executor="executor-001", app="app-01")
+        log.append(9.5, "release", executor="executor-000", app="app-00")
+        return log
+
+    def test_round_trip(self, tmp_path):
+        log = self._log()
+        path = save_recovery_state(log, tmp_path / "state.json", at=10.0)
+        state = load_recovery_state(path)
+        assert state["at"] == 10.0
+        checkpoint = state["checkpoint"]
+        assert checkpoint.apps == ("app-00", "app-01")
+        assert checkpoint.leases == (Lease("executor-000", "app-00", 1.0),)
+        assert checkpoint.demand_epochs == (("app-00", 3), ("app-01", 1))
+        assert checkpoint.admission_queue == ("job-07",)
+        # Only the durable view persists: the 9.5 entry is past the flush
+        # horizon (10 - 2 = 8) and never reaches disk.
+        assert [e.ts for e in state["wal"]] == [5.0]
+        assert state["wal"][0] == WalEntry(
+            seq=1, ts=5.0, op="grant",
+            args=(("app", "app-01"), ("executor", "executor-001")),
+        )
+
+    def test_format_version_written(self, tmp_path):
+        path = save_recovery_state(self._log(), tmp_path / "s.json", at=10.0)
+        assert json.loads(path.read_text())["format_version"] == 1
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = save_recovery_state(self._log(), tmp_path / "s.json", at=10.0)
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ConfigurationError, match="format version 99"):
+            load_recovery_state(path)
+
+    def test_missing_version_rejected(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"at": 1.0, "checkpoint": None, "wal": []}))
+        with pytest.raises(ConfigurationError, match="format version None"):
+            load_recovery_state(path)
+
+    def test_empty_log_round_trips(self, tmp_path):
+        path = save_recovery_state(RecoveryLog(), tmp_path / "s.json", at=0.0)
+        state = load_recovery_state(path)
+        assert state["checkpoint"] is None and state["wal"] == []
+
+
+class TestCoordinatorBookkeeping:
+    def test_grant_release_cycle_tracks_leases(self):
+        sim = Simulation()
+        coord = RecoveryCoordinator(sim)
+        coord.note_register("app-00")
+        coord.note_grant("executor-000", "app-00")
+        assert coord.leases == {
+            "executor-000": Lease("executor-000", "app-00", 0.0)
+        }
+        coord.note_release("executor-000", "app-00")
+        assert coord.leases == {}
+        assert coord.log.entries_total == 3
+
+    def test_checkpoint_piggybacks_on_wal_appends(self):
+        sim = Simulation()
+        coord = RecoveryCoordinator(sim, checkpoint_interval=10.0)
+        coord.note_grant("executor-000", "app-00")
+        assert coord.log.checkpoints_taken == 0
+        sim.schedule(15.0, lambda: coord.note_grant("executor-001", "app-00"))
+        sim.run()
+        assert coord.log.checkpoints_taken == 1
+        assert coord.log.checkpoint.leases == (
+            Lease("executor-000", "app-00", 0.0),
+            Lease("executor-001", "app-00", 15.0),
+        )
+
+    def test_state_machine_starts_up(self):
+        coord = RecoveryCoordinator(Simulation())
+        assert coord.state == "up"
+        assert coord.available
+        assert coord.rounds_enabled
+        assert coord.accepting_submissions

@@ -1,0 +1,40 @@
+"""The recovery validation scenario as a pytest-selectable gate.
+
+Runs the ``recovery`` scenario in smoke profile under both engine
+stacks, exactly as the ``recovery-smoke`` CI lane and ``python -m repro
+validate`` do, and asserts every closed-form bound holds.
+"""
+
+import pytest
+
+from repro.scenarios.base import ScenarioProfile, get_scenario
+
+pytestmark = [pytest.mark.scenarios, pytest.mark.recovery]
+
+ENGINE_VARIANTS = (("incremental", "incremental"), ("reference", "reference"))
+
+
+def describe(result) -> str:
+    lines = [f"{result.name} [{result.profile.network_engine}/"
+             f"{result.profile.alloc_engine}]"]
+    for c in result.checks:
+        verdict = "pass" if c.passed else "FAIL"
+        lines.append(f"  {verdict} {c.name}: measured={c.measured:.6g} "
+                     f"expected={c.expected:.6g} tol={c.tolerance:.3g}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("engines", ENGINE_VARIANTS, ids=lambda e: "/".join(e))
+def test_recovery_scenario_smoke(engines):
+    net, alloc = engines
+    profile = ScenarioProfile(
+        smoke=True, seed=0, network_engine=net, alloc_engine=alloc
+    )
+    result = get_scenario("recovery").run(profile)
+    assert result.passed, describe(result)
+
+
+def test_recovery_scenario_is_engine_sensitive():
+    # The validate CLI relies on this flag to repeat the scenario under
+    # both engine stacks; losing it would silently halve the coverage.
+    assert get_scenario("recovery").engine_sensitive

@@ -8,7 +8,7 @@ converge — caching substitutes for allocation when memory is abundant,
 while Custody's advantage is largest with no (or small) caches.
 """
 
-from common import cached_run, emit, paper_config
+from common import ablation_sweep, emit
 
 from repro.common.units import GB
 from repro.metrics.report import format_table
@@ -19,16 +19,15 @@ WORKLOAD = "wordcount"
 
 
 def run_sweep():
-    rows = []
-    for cache in CACHE_SIZES:
-        row = {"cache_gb": cache / GB}
-        for manager in ("standalone", "custody"):
-            config = paper_config(WORKLOAD, NUM_NODES, manager, cache_per_node=cache)
-            metrics = cached_run(config).metrics
-            row[manager] = metrics.locality_mean
-            row[f"{manager}_jct"] = metrics.avg_jct
-        rows.append(row)
-    return rows
+    return ablation_sweep(
+        "cache_gb",
+        CACHE_SIZES,
+        lambda cache: {"cache_per_node": cache},
+        workload=WORKLOAD,
+        num_nodes=NUM_NODES,
+        row_value=lambda cache: cache / GB,
+        extra=("jct", "avg_jct"),
+    )
 
 
 def test_ablation_cache(benchmark):

@@ -7,7 +7,7 @@ the baseline's locality collapses to whatever the random executor set
 happens to cover, while Custody already placed local executors.
 """
 
-from common import cached_run, emit, paper_config
+from common import ablation_sweep, emit
 
 from repro.metrics.report import format_table
 
@@ -17,16 +17,14 @@ WORKLOAD = "wordcount"
 
 
 def run_sweep():
-    rows = []
-    for wait in WAITS:
-        row = {"wait": wait}
-        for manager in ("standalone", "custody"):
-            config = paper_config(WORKLOAD, NUM_NODES, manager, delay_wait=wait)
-            metrics = cached_run(config).metrics
-            row[manager] = metrics.locality_mean
-            row[f"{manager}_delay"] = metrics.avg_scheduler_delay
-        rows.append(row)
-    return rows
+    return ablation_sweep(
+        "wait",
+        WAITS,
+        lambda wait: {"delay_wait": wait},
+        workload=WORKLOAD,
+        num_nodes=NUM_NODES,
+        extra=("delay", "avg_scheduler_delay"),
+    )
 
 
 def test_ablation_delay(benchmark):

@@ -6,7 +6,7 @@ Sweeps K/N and measures how much choice substitutes for — and composes
 with — Custody's data-aware allocation.
 """
 
-from common import cached_run, emit, paper_config
+from common import ablation_sweep, emit
 
 from repro.metrics.report import format_table
 
@@ -16,17 +16,14 @@ WORKLOAD = "wordcount"
 
 
 def run_sweep():
-    rows = []
-    for fraction in FRACTIONS:
-        row = {"fraction": fraction}
-        for manager in ("standalone", "custody"):
-            kmn = None if fraction >= 1.0 else fraction
-            config = paper_config(WORKLOAD, NUM_NODES, manager, kmn_fraction=kmn)
-            metrics = cached_run(config).metrics
-            row[manager] = metrics.locality_mean
-            row[f"{manager}_jct"] = metrics.avg_jct
-        rows.append(row)
-    return rows
+    return ablation_sweep(
+        "fraction",
+        FRACTIONS,
+        lambda f: {"kmn_fraction": None if f >= 1.0 else f},
+        workload=WORKLOAD,
+        num_nodes=NUM_NODES,
+        extra=("jct", "avg_jct"),
+    )
 
 
 def test_ablation_kmn(benchmark):

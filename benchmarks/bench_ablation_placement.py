@@ -6,7 +6,7 @@ placement against the popularity-proportional policy (hot pool files get
 more replicas) under both managers.
 """
 
-from common import cached_run, emit, paper_config
+from common import ablation_sweep, emit
 
 from repro.metrics.report import format_table
 
@@ -15,16 +15,14 @@ WORKLOAD = "wordcount"
 
 
 def run_comparison():
-    rows = []
-    for placement in ("random", "popularity"):
-        row = {"placement": placement}
-        for manager in ("standalone", "custody"):
-            config = paper_config(WORKLOAD, NUM_NODES, manager, placement=placement)
-            metrics = cached_run(config).metrics
-            row[manager] = metrics.locality_mean
-            row[f"{manager}_jct"] = metrics.avg_jct
-        rows.append(row)
-    return rows
+    return ablation_sweep(
+        "placement",
+        ("random", "popularity"),
+        lambda placement: {"placement": placement},
+        workload=WORKLOAD,
+        num_nodes=NUM_NODES,
+        extra=("jct", "avg_jct"),
+    )
 
 
 def test_ablation_placement(benchmark):

@@ -7,7 +7,7 @@ replication (it *chooses* the right executors), so the baseline's benefit
 from extra replicas is larger.
 """
 
-from common import JOBS_PER_APP, NUM_APPS, SEED, cached_run, emit, paper_config
+from common import ablation_sweep, emit
 
 from repro.metrics.report import format_table
 
@@ -17,16 +17,13 @@ WORKLOAD = "wordcount"
 
 
 def run_sweep():
-    rows = []
-    for replication in REPLICATION_LEVELS:
-        row = {"replication": replication}
-        for manager in ("standalone", "custody"):
-            config = paper_config(
-                WORKLOAD, NUM_NODES, manager, replication=replication
-            )
-            row[manager] = cached_run(config).metrics.locality_mean
-        rows.append(row)
-    return rows
+    return ablation_sweep(
+        "replication",
+        REPLICATION_LEVELS,
+        lambda replication: {"replication": replication},
+        workload=WORKLOAD,
+        num_nodes=NUM_NODES,
+    )
 
 
 def test_ablation_replication(benchmark):

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Dict, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
@@ -63,6 +63,42 @@ def compare(workload: str, num_nodes: int, **overrides) -> Dict[str, ExperimentR
         manager: cached_run(paper_config(workload, num_nodes, manager, **overrides))
         for manager in ("standalone", "custody")
     }
+
+
+def ablation_sweep(
+    key: str,
+    values: Sequence[Any],
+    overrides: Callable[[Any], Dict[str, Any]],
+    *,
+    workload: str = "wordcount",
+    num_nodes: int = 50,
+    row_value: Optional[Callable[[Any], Any]] = None,
+    extra: Optional[Tuple[str, str]] = None,
+    managers: Sequence[str] = ("standalone", "custody"),
+) -> List[Dict[str, Any]]:
+    """The standalone-vs-custody parameter sweep every ablation bench runs.
+
+    For each value, runs both managers on the paper configuration with
+    ``overrides(value)`` applied and builds one row: ``{key: value,
+    "<manager>": locality_mean, ...}``.  ``row_value`` remaps the stored
+    value for display (e.g. bytes -> GB); ``extra=(suffix, attr)`` adds a
+    second metric column per manager (e.g. ``("jct", "avg_jct")``).
+    """
+    rows: List[Dict[str, Any]] = []
+    for value in values:
+        row: Dict[str, Any] = {
+            key: row_value(value) if row_value is not None else value
+        }
+        for manager in managers:
+            metrics = cached_run(
+                paper_config(workload, num_nodes, manager, **overrides(value))
+            ).metrics
+            row[manager] = metrics.locality_mean
+            if extra is not None:
+                suffix, attr = extra
+                row[f"{manager}_{suffix}"] = getattr(metrics, attr)
+        rows.append(row)
+    return rows
 
 
 def emit(text: str) -> None:

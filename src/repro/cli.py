@@ -15,6 +15,12 @@ Commands
 ``chaos``
     Fault-injection sweep: the same seeded fault plan replayed against
     every manager at increasing fault rates.  ``--smoke`` is the CI gate.
+``sweep``
+    General config-grid sweep (Cartesian product of ``--grid`` fields)
+    with CSV/JSON output.
+Multi-cell commands (``chaos``, ``validate``, ``perf``, ``sweep``) take
+``--jobs N`` to fan their independent cells out across worker processes;
+the merged output is byte-identical to ``--jobs 1``.
 ``trace``
     One fully traced run (optionally under a chaos fault plan), exported as
     Chrome/Perfetto ``trace_event`` JSON — open the file in
@@ -30,10 +36,12 @@ Examples::
 
     python -m repro run --manager custody --workload sort --nodes 50
     python -m repro compare --managers standalone,custody,yarn --nodes 25
-    python -m repro figures --figure 7 --jobs 8
+    python -m repro figures --figure 7 --jobs-per-app 8
     python -m repro scenarios
     python -m repro perf --flows 100,1000,10000 --events 30
     python -m repro chaos --levels 0,1,2 --nodes 20 --detector-timeout 15
+    python -m repro chaos --smoke --jobs 4
+    python -m repro sweep --grid manager=standalone,custody --grid num_nodes=25,50 --jobs 4
     python -m repro trace --manager custody --faults 1 --out run.trace.json --summary
     python -m repro run --nodes 20 --metrics run.metrics.json
     python -m repro report run.metrics.json --prom run.prom
@@ -60,7 +68,6 @@ from repro.experiments.figures import (
 from repro.experiments.persistence import result_to_dict, save_result
 from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import (
-    chaos_sweep,
     fig1_motivating_example,
     fig3_interapp_example,
     fig45_intraapp_example,
@@ -84,7 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["pagerank", "wordcount", "sort"])
         p.add_argument("--nodes", type=int, default=50, help="cluster size")
         p.add_argument("--apps", type=int, default=4, help="applications")
-        p.add_argument("--jobs", type=int, default=8, help="jobs per application")
+        p.add_argument("--jobs-per-app", type=int, default=8,
+                       dest="jobs_per_app", help="jobs per application")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--delay-wait", type=float, default=3.0,
                        help="delay-scheduling locality wait (s)")
@@ -96,15 +104,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--speculation", action="store_true",
                        help="enable speculative execution")
         p.add_argument("--network-engine", default="incremental",
-                       choices=["incremental", "reference"],
-                       help="flow-rate allocator (reference = full recompute)")
+                       choices=["incremental", "reference", "vectorized"],
+                       help="flow-rate allocator (reference = full recompute, "
+                            "vectorized = numpy-bookkeeping kernel)")
         p.add_argument("--alloc-engine", default="incremental",
-                       choices=["incremental", "reference"],
+                       choices=["incremental", "reference", "vectorized"],
                        help="allocation control plane (reference = per-round "
-                            "from-scratch demand rebuild)")
+                            "from-scratch demand rebuild, vectorized = "
+                            "numpy demand bookkeeping)")
         p.add_argument("--per-event-alloc", action="store_true",
                        help="run one allocation round per job boundary instead "
                             "of coalescing same-instant boundaries")
+
+    def add_jobs_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes to shard the sweep's cells "
+                            "across (1 = run inline; output is identical "
+                            "either way)")
 
     def add_trace_flag(p: argparse.ArgumentParser) -> None:
         p.add_argument("--trace", metavar="PATH", default=None,
@@ -144,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig_p = sub.add_parser("figures", help="regenerate a paper figure")
     fig_p.add_argument("--figure", required=True, choices=["7", "8", "9", "10"])
-    fig_p.add_argument("--jobs", type=int, default=8)
+    fig_p.add_argument("--jobs-per-app", type=int, default=8, dest="jobs_per_app")
     fig_p.add_argument("--apps", type=int, default=4)
     fig_p.add_argument("--seed", type=int, default=0)
 
@@ -162,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="traffic-locality pod size (0 = all-to-all worst case)")
     perf_p.add_argument("--out", metavar="PATH", default="BENCH_network.json",
                         help="trajectory JSON output path ('' to skip)")
+    add_jobs_flag(perf_p)
 
     chaos_p = sub.add_parser(
         "chaos", help="fault-injection sweep: same fault plan, every manager"
@@ -202,6 +219,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--json", metavar="PATH", default=None, dest="json_out",
                          help="write the sweep cells (incl. MTTR, detector "
                               "FP/FN, hedge and shed counts) to PATH as JSON")
+    add_jobs_flag(chaos_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="config-grid sweep: Cartesian product of --grid fields"
+    )
+    add_common(sweep_p)
+    sweep_p.add_argument("--manager", default="custody",
+                         choices=["custody", "standalone", "yarn", "mesos"])
+    sweep_p.add_argument("--grid", action="append", default=None,
+                         metavar="FIELD=V1,V2,...", dest="grid_specs",
+                         help="config field and the values to try "
+                              "(repeatable; values parse as int, then "
+                              "float, then string)")
+    sweep_p.add_argument("--repeats", type=int, default=1,
+                         help="runs per grid point, seeds base..base+N-1")
+    sweep_p.add_argument("--csv", metavar="PATH", default=None,
+                         help="write the sweep rows as CSV")
+    sweep_p.add_argument("--json", nargs="?", const="-", default=None,
+                         metavar="PATH", dest="json_out",
+                         help="emit the sweep rows as JSON "
+                              "(to stdout, or to PATH when given)")
+    add_jobs_flag(sweep_p)
 
     val_p = sub.add_parser(
         "validate",
@@ -216,15 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "default: all registered scenarios")
     val_p.add_argument("--seed", type=int, default=0)
     val_p.add_argument("--network-engine", default="incremental",
-                       choices=["incremental", "reference"],
+                       choices=["incremental", "reference", "vectorized"],
                        help="engine for single-variant runs (ignored by the "
                             "smoke gate, which always runs both variants)")
     val_p.add_argument("--alloc-engine", default="incremental",
-                       choices=["incremental", "reference"])
+                       choices=["incremental", "reference", "vectorized"])
     val_p.add_argument("--out", metavar="PATH", default="VALIDATION.json",
                        help="pass/fail report artifact path ('' to skip)")
     val_p.add_argument("--list", action="store_true", dest="list_scenarios",
                        help="list registered scenarios and exit")
+    add_jobs_flag(val_p)
 
     trace_p = sub.add_parser(
         "trace", help="one fully traced run, exported for ui.perfetto.dev"
@@ -288,7 +328,7 @@ def _config(args: argparse.Namespace, manager: str) -> ExperimentConfig:
         workload=args.workload,
         num_nodes=args.nodes,
         num_apps=args.apps,
-        jobs_per_app=args.jobs,
+        jobs_per_app=args.jobs_per_app,
         seed=args.seed,
         delay_wait=args.delay_wait,
         replication=args.replication,
@@ -383,7 +423,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    scale = dict(jobs_per_app=args.jobs, num_apps=args.apps, seed=args.seed)
+    scale = dict(jobs_per_app=args.jobs_per_app, num_apps=args.apps, seed=args.seed)
     if args.figure == "7":
         rows = figure7_locality(**scale)
         print(format_table(
@@ -458,9 +498,17 @@ def _cmd_perf(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     pod_size = args.pod_size if args.pod_size > 0 else None
-    points = run_scale_bench(
-        flow_counts, events=args.events, seed=args.seed, pod_size=pod_size
-    )
+    if args.jobs > 1:
+        from repro.experiments.parallel import run_perf_points
+
+        points = run_perf_points(
+            flow_counts, events=args.events, seed=args.seed,
+            pod_size=pod_size, jobs=args.jobs,
+        )
+    else:
+        points = run_scale_bench(
+            flow_counts, events=args.events, seed=args.seed, pod_size=pod_size
+        )
     print(format_table(
         ["flows", "nodes", "reference s", "incremental s", "speedup",
          "flows/recompute"],
@@ -478,7 +526,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.smoke:
         # Fixed small gate: ignore the sizing flags so CI always runs the
         # same scenario (>= 1 node failure + >= 1 partition, stale views on).
-        args.nodes, args.apps, args.jobs = 12, 2, 2
+        args.nodes, args.apps, args.jobs_per_app = 12, 2, 2
         args.workload, args.seed = "wordcount", args.seed
         levels, managers = [1], ["custody", "standalone", "yarn", "mesos"]
         detector_timeout: Optional[float] = 10.0
@@ -533,14 +581,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             checkpoint_interval=15.0,
             reconciliation_window=2.0,
         )
-    sweep = chaos_sweep(
+    from repro.experiments.parallel import run_chaos_sweep
+
+    sweep = run_chaos_sweep(
         base, levels=levels, managers=managers, horizon=horizon,
         gray=args.gray, manager_crash=args.manager_crash,
+        jobs=args.jobs, trace_template=args.trace,
     )
+    # Cross-cell consumers (traces, JSON, gate) read the per-cell worker
+    # payloads in (manager, level) order — the order the serial loop over
+    # ``sorted(sweep.results.items())`` used to produce.
+    by_manager = sorted(sweep.payloads, key=lambda p: (p["manager"], p["level"]))
     if args.trace:
-        for (manager, level), result in sorted(sweep.results.items()):
-            out = _suffixed(args.trace, f"{manager}.L{level}")
-            print(f"trace: {_write_trace(result, str(out))}")
+        for payload in by_manager:
+            print(f"trace: {payload['trace_path']}")
     headers = ["manager", "level", "loc%", "min loc%", "avg JCT", "requeued",
                "failed att.", "abandoned", "data loss", "dead launch",
                "recovery flows", "blacklists", "unfinished"]
@@ -577,7 +631,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "workload": args.workload,
             "nodes": args.nodes,
             "apps": args.apps,
-            "jobs_per_app": args.jobs,
+            "jobs_per_app": args.jobs_per_app,
             "seed": args.seed,
             "horizon": horizon,
             "detector_timeout": detector_timeout,
@@ -587,18 +641,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "managers": list(managers),
             "cells": [
                 {
-                    "manager": manager,
-                    "level": level,
-                    "locality": result.metrics.locality_mean,
-                    "min_locality": result.metrics.min_local_job_fraction,
-                    "avg_jct": result.metrics.avg_jct,
-                    "unfinished_jobs": result.metrics.unfinished_jobs,
-                    "sim_time": result.sim_time,
-                    "faults": (
-                        result.faults.as_dict() if result.faults else None
-                    ),
+                    "manager": p["manager"],
+                    "level": p["level"],
+                    "locality": p["result"]["metrics"]["locality_mean"],
+                    "min_locality": p["result"]["metrics"][
+                        "min_local_job_fraction"
+                    ],
+                    "avg_jct": p["result"]["metrics"]["avg_jct"],
+                    "unfinished_jobs": p["result"]["metrics"][
+                        "unfinished_jobs"
+                    ],
+                    "sim_time": p["result"]["sim_time"],
+                    "faults": p["result"].get("faults"),
                 }
-                for (manager, level), result in sorted(sweep.results.items())
+                for p in by_manager
             ],
         }
         Path(args.json_out).write_text(json.dumps(payload, indent=2))
@@ -607,51 +663,48 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 0
 
     # CI gate assertions: chaos degrades runs, it must never lose work.
+    # The gate reads the persisted worker payloads, so it gates exactly
+    # what a parallel run shipped back across the process boundary.
     violations = []
-    for (manager, level), result in sorted(sweep.results.items()):
-        if result.metrics.unfinished_jobs:
+    for p in by_manager:
+        manager, level = p["manager"], p["level"]
+        metrics = p["result"]["metrics"]
+        faults = p["result"].get("faults")
+        if metrics["unfinished_jobs"]:
             violations.append(
-                f"{manager}/L{level}: {result.metrics.unfinished_jobs} "
+                f"{manager}/L{level}: {metrics['unfinished_jobs']} "
                 "unfinished jobs"
             )
-        lost = sum(
-            1
-            for app in result.apps
-            for job in app.jobs
-            for stage in job.stages
-            for task in stage.tasks
-            if task.finished_at is None and not task.cancelled
-        )
-        if lost:
-            violations.append(f"{manager}/L{level}: {lost} tasks lost untracked")
-        if level > 0 and result.faults is not None and not result.faults.recovery_flows:
+        if p["lost_tasks"]:
+            violations.append(
+                f"{manager}/L{level}: {p['lost_tasks']} tasks lost untracked"
+            )
+        if level > 0 and faults is not None and not faults["recovery_flows"]:
             violations.append(f"{manager}/L{level}: no recovery traffic modeled")
-        if args.gray and level > 0 and result.faults is not None:
-            faults = result.faults
-            if faults.breakers_open_at_end:
+        if args.gray and level > 0 and faults is not None:
+            if faults["breakers_open_at_end"]:
                 violations.append(
-                    f"{manager}/L{level}: {faults.breakers_open_at_end} "
+                    f"{manager}/L{level}: {faults['breakers_open_at_end']} "
                     "breakers never reconverged to closed"
                 )
-            if faults.breaker_closes > faults.breaker_probes:
+            if faults["breaker_closes"] > faults["breaker_probes"]:
                 violations.append(
                     f"{manager}/L{level}: breaker closed without a "
                     "half-open probe"
                 )
-        if args.manager_crash and level > 0 and result.faults is not None:
-            faults = result.faults
-            if not faults.manager_crashes:
+        if args.manager_crash and level > 0 and faults is not None:
+            if not faults["manager_crashes"]:
                 violations.append(
                     f"{manager}/L{level}: no manager crash injected"
                 )
-            if faults.manager_recoveries != faults.manager_crashes:
+            if faults["manager_recoveries"] != faults["manager_crashes"]:
                 violations.append(
-                    f"{manager}/L{level}: {faults.manager_crashes} crashes "
-                    f"but {faults.manager_recoveries} completed recoveries"
+                    f"{manager}/L{level}: {faults['manager_crashes']} crashes "
+                    f"but {faults['manager_recoveries']} completed recoveries"
                 )
-            if faults.zombies_surviving:
+            if faults["zombies_surviving"]:
                 violations.append(
-                    f"{manager}/L{level}: {faults.zombies_surviving} zombie "
+                    f"{manager}/L{level}: {faults['zombies_surviving']} zombie "
                     "executors survived reconciliation"
                 )
     if violations:
@@ -672,12 +725,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid_value(raw: str):
+    """``25`` -> int, ``0.5`` -> float, anything else -> the string."""
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError
+    from repro.experiments.sweeps import rows_to_csv, sweep
+
+    if not args.grid_specs:
+        print("error: give at least one --grid FIELD=V1,V2,...",
+              file=sys.stderr)
+        return 2
+    grid = {}
+    for spec in args.grid_specs:
+        field, sep, raw = spec.partition("=")
+        values = [v.strip() for v in raw.split(",") if v.strip()]
+        if not sep or not field or not values:
+            print(f"error: --grid expects FIELD=V1,V2,..., got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        grid[field] = [_parse_grid_value(v) for v in values]
+    base = _config(args, args.manager)
+    try:
+        rows = sweep(base, grid, repeats=args.repeats, jobs=args.jobs)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    columns = list(rows[0].keys())
+    print(format_table(
+        columns,
+        [[row[c] for c in columns] for row in rows],
+        title=f"sweep — {len(rows)} runs over {sorted(grid)}",
+    ))
+    if args.csv:
+        print(f"csv: {rows_to_csv(rows, args.csv)}")
+    if args.json_out:
+        _emit_json(rows, args.json_out)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from repro.scenarios import (
-        ScenarioProfile,
-        all_scenarios,
-        run_suite,
-    )
+    from repro.experiments.parallel import run_validation_suite
+    from repro.scenarios import ScenarioProfile, all_scenarios
 
     if args.list_scenarios:
         for name, scenario in all_scenarios().items():
@@ -696,17 +792,23 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         network_engine=args.network_engine,
         alloc_engine=args.alloc_engine,
     )
-    # The smoke gate pins both self-consistent engine stacks; a manual
-    # single-variant run validates exactly the engines it was given.
+    # The smoke gate pins every self-consistent engine stack (seed,
+    # incremental, vectorized); a manual single-variant run validates
+    # exactly the engines it was given.
     variants = (
-        [("incremental", "incremental"), ("reference", "reference")]
+        [
+            ("incremental", "incremental"),
+            ("reference", "reference"),
+            ("vectorized", "vectorized"),
+        ]
         if args.smoke
         else [(args.network_engine, args.alloc_engine)]
     )
-    report = run_suite(
+    report = run_validation_suite(
         args.scenario_names,
         profile,
         engine_variants=variants,
+        jobs=args.jobs,
         progress=lambda label: print(f"  running {label} ..."),
     )
 
@@ -755,7 +857,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.smoke:
         # Same fixed scenario as the chaos gate so CI always traces a run
         # with real faults, recovery traffic and all five layers active.
-        args.nodes, args.apps, args.jobs = 12, 2, 2
+        args.nodes, args.apps, args.jobs_per_app = 12, 2, 2
         args.workload = "wordcount"
         args.faults = max(args.faults, 1)
         args.horizon, args.detector_timeout = 40.0, 10.0
@@ -971,6 +1073,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "perf": _cmd_perf,
         "chaos": _cmd_chaos,
+        "sweep": _cmd_sweep,
         "validate": _cmd_validate,
         "trace": _cmd_trace,
         "report": _cmd_report,

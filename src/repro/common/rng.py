@@ -76,3 +76,22 @@ class RngStreams:
         ``(seed, trial)``.
         """
         return RngStreams(seed=hash((self._seed, int(salt))) & 0x7FFFFFFF)
+
+    def child(self, name: str) -> "RngStreams":
+        """A shard-local registry derived from ``(root seed, name)``.
+
+        The parallel fan-out runner hands each shard
+        ``streams.child("chaos/level=1/manager=custody")`` so a worker
+        process reconstructs exactly the registry the serial run would have
+        used for that cell — no global state, no dependence on worker
+        identity or scheduling order.  Derivation goes through
+        :class:`numpy.random.SeedSequence` spawn keys (like :meth:`get`, with
+        a ``0xC51D`` sentinel prefix so child registries can never collide
+        with a stream of the same name), then collapses the child sequence's
+        first word back into a root seed.
+        """
+        if not name:
+            raise SeedSequenceError("child name must be non-empty")
+        name_key = (0xC51D,) + tuple(name.encode("utf-8"))
+        seq = np.random.SeedSequence(entropy=self._seed, spawn_key=name_key)
+        return RngStreams(seed=int(seq.generate_state(1, np.uint64)[0]))

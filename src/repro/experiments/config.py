@@ -14,8 +14,8 @@ _MANAGERS = ("custody", "standalone", "yarn", "mesos")
 _SCHEDULERS = ("delay", "fifo", "locality-first")
 _PLACEMENTS = ("random", "rack-aware", "popularity")
 _WORKLOADS = ("pagerank", "wordcount", "sort")
-_NETWORK_ENGINES = ("incremental", "reference")
-_ALLOC_ENGINES = ("incremental", "reference")
+_NETWORK_ENGINES = ("incremental", "reference", "vectorized")
+_ALLOC_ENGINES = ("incremental", "reference", "vectorized")
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,7 @@ def sweep(
     *,
     extract: Optional[Dict[str, Callable[[ExperimentResult], Any]]] = None,
     repeats: int = 1,
+    jobs: int = 1,
 ) -> List[Dict[str, Any]]:
     """Run the Cartesian product of ``grid`` over ``base``.
 
@@ -57,8 +58,20 @@ def sweep(
     try; ``extract`` maps output column names to functions of the
     :class:`ExperimentResult` (default: :data:`DEFAULT_EXTRACTORS`).
     ``repeats`` runs each point with seeds ``base.seed + 0..repeats-1``,
-    one row per run (callers aggregate as they prefer).
+    one row per run (callers aggregate as they prefer).  ``jobs > 1`` fans
+    the (point, trial) cells out across worker processes — rows come back
+    in the identical order, but custom ``extract`` callables can't cross
+    the process boundary, so parallel sweeps use the default extractors.
     """
+    if jobs > 1:
+        if extract is not None:
+            raise ConfigurationError(
+                "custom extractors are not picklable across workers; "
+                "use jobs=1 or the default extractors"
+            )
+        from repro.experiments.parallel import run_grid
+
+        return run_grid(base, grid, repeats=repeats, jobs=jobs)
     if not grid:
         raise ConfigurationError("sweep grid must name at least one parameter")
     for field in grid:

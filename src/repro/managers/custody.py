@@ -39,6 +39,8 @@ Two control-plane implementations share this round structure:
 
 from __future__ import annotations
 
+import gc
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set
 
@@ -55,6 +57,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.scheduling.driver import ApplicationDriver
 
 __all__ = ["CustodyManager"]
+
+
+def _gc_collection_count() -> int:
+    """Total cyclic-GC passes run so far, across all generations."""
+    return sum(s["collections"] for s in gc.get_stats())
 
 
 @dataclass
@@ -162,7 +169,10 @@ class CustodyManager(ClusterManager):
         demands could go stale invisibly; the reference rebuild is the
         correct (and rare) path there.
         """
-        return self.alloc_engine == "incremental" and self.fault_injector is None
+        return (
+            self.alloc_engine in ("incremental", "vectorized")
+            and self.fault_injector is None
+        )
 
     def _note_pool_change(self, executor: Executor) -> None:
         self._pool_version += 1
@@ -187,18 +197,40 @@ class CustodyManager(ClusterManager):
 
     # --------------------------------------------------------------- allocation
     def reallocate(self) -> AllocationPlan:
-        """One full Custody round: release, build demands, allocate, apply."""
+        """One full Custody round: release, build demands, allocate, apply.
+
+        With counters attached, each phase is timed separately and the
+        cyclic-GC passes that fire mid-round are tallied — the breakdown
+        that attributes tail latency to collector pauses rather than to
+        any allocation phase.
+        """
+        counters = self.counters
+        if counters is not None:
+            gc_before = _gc_collection_count()
+            mark = time.perf_counter()
         self.allocation_rounds += 1
         self._release_surplus()
         # One pool scan serves both the demand builder and the idle list —
         # the seed scanned twice with identical results post-release.
         pool = self.free_pool()
+        if counters is not None:
+            now = time.perf_counter()
+            counters.alloc_release_seconds += now - mark
+            mark = now
         if self._incremental_enabled:
             demands, fill_limits = self._build_demands_incremental(pool)
         else:
             demands, fill_limits = self._build_demands(pool)
         idle = [e.executor_id for e in pool]
+        if counters is not None:
+            now = time.perf_counter()
+            counters.alloc_demand_seconds += now - mark
+            mark = now
         plan = self.allocator.allocate(demands, idle, fill_limits=fill_limits)
+        if counters is not None:
+            now = time.perf_counter()
+            counters.alloc_plan_seconds += now - mark
+            mark = now
         if self.validate:
             validate_plan(
                 plan,
@@ -258,6 +290,9 @@ class CustodyManager(ClusterManager):
                 track=f"manager:{self.name}",
             )
         self.last_plan = plan
+        if counters is not None:
+            counters.alloc_apply_seconds += time.perf_counter() - mark
+            counters.alloc_gc_collections += _gc_collection_count() - gc_before
         return plan
 
     # ----------------------------------------------------------------- releases

@@ -55,6 +55,15 @@ class PerfCounters:
     demand_cache_hits: int = 0  #: AppDemands reused from the incremental index
     demand_cache_misses: int = 0  #: AppDemands rebuilt from live state
     alloc_seconds: float = 0.0  #: wall time inside allocation rounds
+    # Round-cost breakdown: where a Custody reallocate() round spends its
+    # time, plus the cyclic-GC passes that fired inside rounds — the
+    # diagnostic that pinned the 32-tenant p99 tail on full collections
+    # rather than on any allocation phase.
+    alloc_release_seconds: float = 0.0  #: surplus release + idle-pool scan
+    alloc_demand_seconds: float = 0.0  #: demand build (incl. cache lookups)
+    alloc_plan_seconds: float = 0.0  #: two-level plan computation
+    alloc_apply_seconds: float = 0.0  #: grant application + hint forwarding
+    alloc_gc_collections: int = 0  #: cyclic-GC passes observed inside rounds
 
     @property
     def flows_per_recompute(self) -> float:
@@ -86,6 +95,11 @@ class PerfCounters:
             "demand_cache_misses": self.demand_cache_misses,
             "demand_cache_hit_rate": self.demand_cache_hit_rate,
             "alloc_seconds": self.alloc_seconds,
+            "alloc_release_seconds": self.alloc_release_seconds,
+            "alloc_demand_seconds": self.alloc_demand_seconds,
+            "alloc_plan_seconds": self.alloc_plan_seconds,
+            "alloc_apply_seconds": self.alloc_apply_seconds,
+            "alloc_gc_collections": self.alloc_gc_collections,
         }
 
     def describe(self) -> str:
@@ -100,7 +114,11 @@ class PerfCounters:
             f"alloc rounds: {self.alloc_rounds} "
             f"(+{self.alloc_rounds_coalesced} coalesced)   "
             f"demand cache: {self.demand_cache_hit_rate:.0%} hit   "
-            f"alloc wall: {self.alloc_seconds:.3f}s"
+            f"alloc wall: {self.alloc_seconds:.3f}s "
+            f"(release {self.alloc_release_seconds:.3f}s / demand "
+            f"{self.alloc_demand_seconds:.3f}s / plan {self.alloc_plan_seconds:.3f}s "
+            f"/ apply {self.alloc_apply_seconds:.3f}s)   "
+            f"gc in rounds: {self.alloc_gc_collections}"
         )
 
 

@@ -33,7 +33,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, TransferFailedError
 from repro.common.ids import IdFactory
-from repro.network.bandwidth import LinkCapacities, maxmin_rates
+from repro.network.bandwidth import (
+    LinkCapacities,
+    maxmin_rates,
+    maxmin_rates_vectorized,
+)
 from repro.network.rate_engine import RateEngine
 from repro.network.transfer import Transfer
 from repro.obs.events import TransferSpan
@@ -67,7 +71,9 @@ class NetworkFabric:
     timeline:
         Optional trace sink; transfer start/finish records are written to it.
     engine:
-        ``"incremental"`` (default) or ``"reference"`` — see module docstring.
+        ``"incremental"`` (default), ``"reference"`` or ``"vectorized"``
+        (incremental dirty-component machinery with the numpy-bookkeeping
+        water-filling kernel) — see module docstring.
     counters:
         Optional :class:`~repro.metrics.collector.PerfCounters` accumulator.
     """
@@ -81,9 +87,10 @@ class NetworkFabric:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
-        if engine not in ("incremental", "reference"):
+        if engine not in ("incremental", "reference", "vectorized"):
             raise ConfigurationError(
-                f"engine must be 'incremental' or 'reference', got {engine!r}"
+                f"engine must be 'incremental', 'reference' or 'vectorized', "
+                f"got {engine!r}"
             )
         self.sim = sim
         self.timeline = timeline
@@ -125,14 +132,19 @@ class NetworkFabric:
         ).labels(engine=engine)
         self.capacities = LinkCapacities()
         self.engine_mode = engine
+        # "vectorized" is the incremental engine with the numpy-bookkeeping
+        # water-filling kernel — same dirty-component machinery, bitwise
+        # identical rates (pinned by the equivalence suites).
         self._engine: Optional[RateEngine] = (
             RateEngine(
                 self.capacities,
                 counters=counters,
                 tracer=self.tracer,
                 metrics=self.metrics,
+                kernel=maxmin_rates_vectorized if engine == "vectorized" else None,
+                engine_label=engine,
             )
-            if engine == "incremental"
+            if engine in ("incremental", "vectorized")
             else None
         )
         self._active: Dict[str, Transfer] = {}

@@ -22,8 +22,10 @@ from repro.scenarios.base import (
     ValidationScenario,
     all_scenarios,
     get_scenario,
+    plan_suite,
     register,
     run_suite,
+    suite_cell_label,
 )
 
 # Importing the scenario modules registers their scenarios.
@@ -44,6 +46,8 @@ __all__ = [
     "ValidationScenario",
     "all_scenarios",
     "get_scenario",
+    "plan_suite",
     "register",
     "run_suite",
+    "suite_cell_label",
 ]

@@ -26,6 +26,8 @@ __all__ = [
     "register",
     "get_scenario",
     "all_scenarios",
+    "plan_suite",
+    "suite_cell_label",
     "run_suite",
 ]
 
@@ -119,6 +121,19 @@ class Check:
             "detail": self.detail,
         }
 
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Check":
+        """Inverse of :meth:`as_dict` (used by the parallel suite merge)."""
+        return Check(
+            name=data["name"],
+            measured=data["measured"],
+            expected=data["expected"],
+            tolerance=data["tolerance"],
+            passed=data["passed"],
+            kind=data["kind"],
+            detail=data.get("detail", ""),
+        )
+
 
 @dataclass(frozen=True)
 class ScenarioProfile:
@@ -177,6 +192,19 @@ class ScenarioResult:
             "checks": [c.as_dict() for c in self.checks],
             "wall_seconds": self.wall_seconds,
         }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ScenarioResult":
+        """Inverse of :meth:`as_dict` — ``passed`` is re-derived from the
+        checks, so a round-tripped result reports the identical verdict."""
+        return ScenarioResult(
+            name=data["name"],
+            title=data["title"],
+            profile=ScenarioProfile(**data["profile"]),
+            checks=[Check.from_dict(c) for c in data["checks"]],
+            params=dict(data.get("params", {})),
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
 
 
 class ValidationScenario:
@@ -275,6 +303,54 @@ class SuiteReport:
         return rows
 
 
+def plan_suite(
+    names: Optional[Sequence[str]] = None,
+    profile: ScenarioProfile = ScenarioProfile(),
+    *,
+    engine_variants: Optional[Sequence[tuple]] = None,
+) -> List[tuple]:
+    """The ordered ``(scenario name, profile)`` cells a suite run executes.
+
+    This is the single source of truth for suite composition: the serial
+    :func:`run_suite` walks it in order, and the parallel fan-out runner
+    shards it by cell index — so a merged parallel report lists exactly the
+    results, in exactly the order, a serial run would have produced.
+    """
+    from dataclasses import replace
+
+    registry = all_scenarios()
+    if names:
+        picked = [(n, get_scenario(n)) for n in names]
+    else:
+        picked = [
+            (n, s)
+            for n, s in registry.items()
+            if s.in_smoke or not profile.smoke
+        ]
+    cells: List[tuple] = []
+    for name, scenario in picked:
+        if scenario.engine_sensitive and engine_variants:
+            profiles = [
+                replace(profile, network_engine=net, alloc_engine=alloc)
+                for net, alloc in engine_variants
+            ]
+        else:
+            profiles = [profile]
+        for p in profiles:
+            cells.append((name, p))
+    return cells
+
+
+def suite_cell_label(name: str, profile: ScenarioProfile) -> str:
+    """The progress label for one suite cell."""
+    tag = (
+        f" [{profile.network_engine}/{profile.alloc_engine}]"
+        if get_scenario(name).engine_sensitive
+        else ""
+    )
+    return f"{name}{tag}"
+
+
 def run_suite(
     names: Optional[Sequence[str]] = None,
     profile: ScenarioProfile = ScenarioProfile(),
@@ -289,33 +365,9 @@ def run_suite(
     scenarios run once, under the profile's own engines).  In smoke mode,
     scenarios with ``in_smoke = False`` are skipped unless explicitly named.
     """
-    from dataclasses import replace
-
-    registry = all_scenarios()
-    if names:
-        picked = [(n, get_scenario(n)) for n in names]
-    else:
-        picked = [
-            (n, s)
-            for n, s in registry.items()
-            if s.in_smoke or not profile.smoke
-        ]
     report = SuiteReport()
-    for name, scenario in picked:
-        if scenario.engine_sensitive and engine_variants:
-            profiles = [
-                replace(profile, network_engine=net, alloc_engine=alloc)
-                for net, alloc in engine_variants
-            ]
-        else:
-            profiles = [profile]
-        for p in profiles:
-            if progress is not None:
-                tag = (
-                    f" [{p.network_engine}/{p.alloc_engine}]"
-                    if scenario.engine_sensitive
-                    else ""
-                )
-                progress(f"{name}{tag}")
-            report.results.append(scenario.run(p))
+    for name, p in plan_suite(names, profile, engine_variants=engine_variants):
+        if progress is not None:
+            progress(suite_cell_label(name, p))
+        report.results.append(get_scenario(name).run(p))
     return report

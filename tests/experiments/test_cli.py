@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import build_parser, main
 
-FAST = ["--nodes", "10", "--apps", "2", "--jobs", "2", "--seed", "1"]
+FAST = ["--nodes", "10", "--apps", "2", "--jobs-per-app", "2", "--seed", "1"]
 
 
 class TestParser:
@@ -62,5 +62,5 @@ class TestCommands:
         assert "Fig. 1" in out and "Fig. 5" in out
 
     def test_figures_9(self, capsys):
-        assert main(["figures", "--figure", "9", "--jobs", "2", "--apps", "2"]) == 0
+        assert main(["figures", "--figure", "9", "--jobs-per-app", "2", "--apps", "2"]) == 0
         assert "Fig. 9" in capsys.readouterr().out

@@ -1,0 +1,206 @@
+"""Parallel fan-out: shard engine, merge ordering, CLI byte-identity.
+
+The determinism contract under test: whatever ``--jobs`` a sweep runs
+with — and whatever order the workers happen to finish in — the merged
+artifacts are the ones the serial loop produces.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    Shard,
+    merge_by_key,
+    run_chaos_sweep,
+    run_grid,
+    run_sharded,
+    run_validation_suite,
+    shard_streams,
+)
+from repro.experiments.scenarios import chaos_sweep
+from repro.experiments.sweeps import sweep
+
+pytestmark = pytest.mark.parallel
+
+
+def _square(payload):
+    return payload * payload
+
+
+class TestShardEngine:
+    def test_inline_fallback_matches_key_order(self):
+        shards = [Shard(key=(i,), payload=i) for i in (3, 0, 2, 1)]
+        assert run_sharded(_square, shards, jobs=1) == [0, 1, 4, 9]
+
+    def test_pool_matches_inline(self):
+        shards = [Shard(key=(i,), payload=i) for i in range(6)]
+        assert run_sharded(_square, shards, jobs=3) == run_sharded(
+            _square, shards, jobs=1
+        )
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded(_square, [Shard(key=(0,), payload=1)], jobs=0)
+
+    def test_merge_is_completion_order_invariant(self):
+        """The regression the merge exists for: shuffle every possible
+        completion order and assert the merged list never changes."""
+        tagged = [((i,), f"result-{i}") for i in range(8)]
+        expected = [f"result-{i}" for i in range(8)]
+        rng = random.Random(7)
+        for _ in range(50):
+            shuffled = list(tagged)
+            rng.shuffle(shuffled)
+            assert merge_by_key(shuffled) == expected
+
+    def test_merge_orders_compound_keys(self):
+        tagged = [((1, 0), "b"), ((0, 1), "a2"), ((0, 0), "a1"), ((1, 1), "c")]
+        assert merge_by_key(tagged) == ["a1", "a2", "b", "c"]
+
+
+class TestShardStreams:
+    def test_same_key_same_streams(self):
+        a = shard_streams(42, (3, 1))
+        b = shard_streams(42, (3, 1))
+        assert a.get("x").random() == b.get("x").random()
+
+    def test_distinct_keys_distinct_streams(self):
+        draws = {
+            shard_streams(42, key).get("x").random()
+            for key in [(0,), (1,), (0, 0), (0, 1), (1, 0)]
+        }
+        assert len(draws) == 5
+
+    def test_derivation_is_order_free(self):
+        """Deriving shard 2's streams is independent of which other shards
+        were derived before it — no hidden global state."""
+        lone = shard_streams(9, (2,)).get("draw").random()
+        for other in [(0,), (1,), (3,)]:
+            shard_streams(9, other).get("draw").random()
+        assert shard_streams(9, (2,)).get("draw").random() == lone
+
+
+@pytest.fixture(scope="module")
+def chaos_base():
+    return ExperimentConfig(
+        manager="custody",
+        workload="wordcount",
+        num_nodes=10,
+        num_apps=2,
+        jobs_per_app=2,
+        seed=3,
+        detector_timeout=10.0,
+    )
+
+
+class TestChaosSweepParallel:
+    def test_matches_serial_chaos_sweep(self, chaos_base):
+        serial = chaos_sweep(
+            chaos_base, levels=[0, 1], managers=["custody", "yarn"],
+            horizon=40.0,
+        )
+        parallel = run_chaos_sweep(
+            chaos_base, levels=[0, 1], managers=["custody", "yarn"],
+            horizon=40.0, jobs=2,
+        )
+        assert parallel.cells == serial.cells
+
+    def test_payloads_align_with_cells(self, chaos_base):
+        result = run_chaos_sweep(
+            chaos_base, levels=[1], managers=["custody", "standalone"],
+            horizon=40.0, jobs=2,
+        )
+        assert [(p["manager"], p["level"]) for p in result.payloads] == [
+            (c.manager, c.level) for c in result.cells
+        ]
+        for payload in result.payloads:
+            assert payload["result"]["metrics"]["unfinished_jobs"] == 0
+            assert payload["lost_tasks"] == 0
+
+
+class TestValidationSuiteParallel:
+    def test_matches_serial_run_suite(self):
+        from repro.scenarios import ScenarioProfile, run_suite
+
+        profile = ScenarioProfile(smoke=True, seed=0)
+        names = ["littles_law", "mm1"]
+        serial = run_suite(names, profile)
+        parallel = run_validation_suite(names, profile, jobs=2)
+        # wall_seconds is wall-clock (differs between any two runs, serial
+        # included); everything else must round-trip exactly.
+        strip = lambda r: {k: v for k, v in r.as_dict().items()
+                           if k != "wall_seconds"}
+        assert [strip(r) for r in parallel.results] == [
+            strip(r) for r in serial.results
+        ]
+
+
+class TestGridParallel:
+    def test_matches_serial_sweep(self):
+        base = ExperimentConfig(
+            workload="wordcount", num_nodes=10, num_apps=2, jobs_per_app=2
+        )
+        grid = {"manager": ["standalone", "custody"]}
+        assert sweep(base, grid, repeats=2, jobs=2) == sweep(
+            base, grid, repeats=2
+        )
+
+    def test_custom_extractors_rejected_in_parallel(self):
+        base = ExperimentConfig(num_nodes=10, num_apps=2, jobs_per_app=2)
+        with pytest.raises(ConfigurationError):
+            sweep(base, {"manager": ["custody"]},
+                  extract={"x": lambda r: 0}, jobs=2)
+
+    def test_unknown_field_rejected(self):
+        base = ExperimentConfig(num_nodes=10, num_apps=2, jobs_per_app=2)
+        with pytest.raises(ConfigurationError):
+            run_grid(base, {"no_such_field": [1]}, jobs=2)
+
+
+class TestCliByteIdentity:
+    FAST = ["--nodes", "10", "--apps", "2", "--jobs-per-app", "2",
+            "--seed", "1", "--levels", "0,1", "--managers",
+            "custody,standalone", "--horizon", "40"]
+
+    def test_chaos_json_identical_across_jobs(self, tmp_path, capsys):
+        serial, fanned = tmp_path / "j1.json", tmp_path / "j2.json"
+        assert main(["chaos", *self.FAST, "--json", str(serial)]) == 0
+        assert main(["chaos", *self.FAST, "--jobs", "2",
+                     "--json", str(fanned)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == fanned.read_bytes()
+
+    def test_chaos_traces_identical_across_jobs(self, tmp_path, capsys):
+        args = ["--nodes", "10", "--apps", "2", "--jobs-per-app", "2",
+                "--seed", "1", "--levels", "1", "--managers", "custody",
+                "--horizon", "40"]
+        t1, t2 = tmp_path / "a.trace.json", tmp_path / "b.trace.json"
+        assert main(["chaos", *args, "--trace", str(t1)]) == 0
+        assert main(["chaos", *args, "--jobs", "2", "--trace", str(t2)]) == 0
+        capsys.readouterr()
+        read = lambda p: json.loads(
+            p.with_name(f"{p.stem}.custody.L1{p.suffix}").read_text()
+        )
+        assert read(t1) == read(t2)
+
+    def test_sweep_csv_identical_across_jobs(self, tmp_path, capsys):
+        args = ["sweep", "--nodes", "10", "--apps", "2", "--jobs-per-app",
+                "2", "--grid", "manager=standalone,custody", "--repeats", "2"]
+        c1, c2 = tmp_path / "s1.csv", tmp_path / "s2.csv"
+        assert main([*args, "--csv", str(c1)]) == 0
+        assert main([*args, "--jobs", "2", "--csv", str(c2)]) == 0
+        capsys.readouterr()
+        assert c1.read_bytes() == c2.read_bytes()
+
+    def test_sweep_requires_grid(self, capsys):
+        assert main(["sweep", "--nodes", "10"]) == 2
+        assert "--grid" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_grid_field(self, capsys):
+        assert main(["sweep", "--grid", "bogus_field=1,2"]) == 2
+        assert "bogus_field" in capsys.readouterr().err

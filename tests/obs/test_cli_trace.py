@@ -10,7 +10,7 @@ from repro.obs.export import validate_chrome_trace
 
 pytestmark = pytest.mark.obs
 
-FAST = ["--nodes", "10", "--apps", "2", "--jobs", "2", "--seed", "1"]
+FAST = ["--nodes", "10", "--apps", "2", "--jobs-per-app", "2", "--seed", "1"]
 
 
 class TestParser:

@@ -8,7 +8,7 @@ from repro.cli import main
 
 pytestmark = [pytest.mark.obs, pytest.mark.metrics]
 
-RUN_ARGS = ["run", "--nodes", "10", "--apps", "2", "--jobs", "1"]
+RUN_ARGS = ["run", "--nodes", "10", "--apps", "2", "--jobs-per-app", "1"]
 
 
 @pytest.fixture(scope="module")
@@ -53,7 +53,7 @@ def test_diff_identical_snapshots_exits_zero(snapshot_path, tmp_path, capsys):
 
 def test_diff_drifted_snapshots_exit_nonzero(snapshot_path, tmp_path, capsys):
     other = tmp_path / "c.metrics.json"
-    bigger = ["run", "--nodes", "10", "--apps", "2", "--jobs", "3",
+    bigger = ["run", "--nodes", "10", "--apps", "2", "--jobs-per-app", "3",
               "--metrics", str(other)]
     assert main(bigger) == 0
     assert main(["report", "--diff", str(snapshot_path), str(other)]) == 1
@@ -65,7 +65,7 @@ def test_diff_drifted_snapshots_exit_nonzero(snapshot_path, tmp_path, capsys):
 
 def test_diff_tol_override_rescues_a_noisy_family(snapshot_path, tmp_path, capsys):
     other = tmp_path / "d.metrics.json"
-    assert main(["run", "--nodes", "10", "--apps", "2", "--jobs", "3",
+    assert main(["run", "--nodes", "10", "--apps", "2", "--jobs-per-app", "3",
                  "--metrics", str(other)]) == 0
     base = main(["report", "--diff", str(snapshot_path), str(other)])
     assert base == 1

@@ -1,0 +1,105 @@
+"""Property tests: sharded parallel execution == serial execution.
+
+The fan-out runner's whole contract is that ``--jobs N`` is unobservable
+in the artifacts.  Hypothesis drives the three places that contract could
+crack: merge ordering under arbitrary completion orders, per-shard seed
+derivation, and full grid/chaos sweeps compared cell-by-cell against the
+serial loop.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    Shard,
+    merge_by_key,
+    run_chaos_sweep,
+    run_grid,
+    run_sharded,
+    shard_streams,
+)
+from repro.experiments.scenarios import chaos_sweep
+from repro.experiments.sweeps import sweep
+
+pytestmark = pytest.mark.parallel
+
+
+@given(
+    payloads=st.lists(st.integers(), min_size=1, max_size=24, unique=True),
+    completion=st.randoms(use_true_random=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_merge_recovers_serial_order_for_any_completion_order(
+    payloads, completion
+):
+    """However workers finish, the merge yields serial (key-sorted) order."""
+    tagged = [((i,), p) for i, p in enumerate(payloads)]
+    completion.shuffle(tagged)
+    assert merge_by_key(tagged) == payloads
+
+
+@given(
+    keys=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)),
+        min_size=1, max_size=16, unique=True,
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_inline_and_sharded_paths_agree(keys):
+    """jobs=1 (inline) and the shard list sorted any way both reduce to the
+    key-ordered serial result."""
+    shards = [Shard(key=k, payload=sum(k)) for k in keys]
+    expected = [sum(k) for k in sorted(keys)]
+    assert run_sharded(lambda p: p, shards, jobs=1) == expected
+
+
+@given(
+    root_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    key=st.tuples(st.integers(0, 99), st.integers(0, 99)),
+    decoys=st.lists(
+        st.tuples(st.integers(0, 99), st.integers(0, 99)),
+        max_size=4,
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_shard_seed_derivation_is_a_pure_function(root_seed, key, decoys):
+    """A shard's streams depend only on (root seed, key) — deriving other
+    shards' streams first (as a busy pool does) changes nothing."""
+    before = shard_streams(root_seed, key).get("draw").random()
+    for decoy in decoys:
+        shard_streams(root_seed, decoy).get("draw").random()
+    assert shard_streams(root_seed, key).get("draw").random() == before
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    managers=st.permutations(["custody", "standalone"]),
+)
+@settings(max_examples=4, deadline=None)
+def test_parallel_grid_equals_serial_sweep(seed, managers):
+    base = ExperimentConfig(
+        workload="wordcount", num_nodes=10, num_apps=2, jobs_per_app=2,
+        seed=seed,
+    )
+    grid = {"manager": list(managers)}
+    serial = sweep(base, grid, repeats=2)
+    assert run_grid(base, grid, repeats=2, jobs=2) == serial
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=3, deadline=None)
+def test_parallel_chaos_equals_serial_sweep(seed):
+    base = ExperimentConfig(
+        manager="custody", workload="wordcount", num_nodes=10, num_apps=2,
+        jobs_per_app=2, seed=seed, detector_timeout=10.0,
+    )
+    serial = chaos_sweep(
+        base, levels=[0, 1], managers=["custody", "yarn"], horizon=40.0
+    )
+    parallel = run_chaos_sweep(
+        base, levels=[0, 1], managers=["custody", "yarn"], horizon=40.0,
+        jobs=2,
+    )
+    assert parallel.cells == serial.cells

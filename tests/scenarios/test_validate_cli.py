@@ -60,7 +60,7 @@ class TestCommand:
                   str(tmp_path / "r.json")])
 
     @pytest.mark.scenarios
-    def test_smoke_gate_runs_both_engine_variants(self, capsys, tmp_path):
+    def test_smoke_gate_runs_all_engine_variants(self, capsys, tmp_path):
         out_path = tmp_path / "report.json"
         code = main(
             ["validate", "--smoke", "--scenario", "littles_law",
@@ -73,4 +73,5 @@ class TestCommand:
             for s in payload["scenarios"]
         }
         assert engines == {("incremental", "incremental"),
-                           ("reference", "reference")}
+                           ("reference", "reference"),
+                           ("vectorized", "vectorized")}
